@@ -1,0 +1,64 @@
+"""Ablation: equivalence classes vs. naive per-row parameters.
+
+The paper's first speed-up (Sec. II-A): rows with identical constraint
+membership share parameters, so the optimisation state is independent of n.
+This benchmark measures the state size directly and the OPTIM time across
+growing n at a fixed constraint topology — with equivalence classes the
+time curve must stay flat.
+"""
+
+import numpy as np
+
+from repro.core.builders import cluster_constraint, margin_constraints
+from repro.core.equivalence import build_equivalence_classes
+from repro.core.solver import SolverOptions, solve_maxent
+from repro.datasets.synthetic import random_centroid_clusters
+
+
+def _workload(n: int, seed: int = 0):
+    bundle = random_centroid_clusters(n=n, d=8, k=4, seed=seed)
+    constraints = margin_constraints(bundle.data)
+    for c in np.unique(bundle.labels):
+        constraints.extend(
+            cluster_constraint(bundle.data, bundle.rows_with_label(c))
+        )
+    return bundle.data, constraints
+
+
+def test_state_size_independent_of_n(report_sink):
+    """The parameter store covers classes, not rows."""
+    rows = []
+    for n in (200, 800, 3200):
+        data, constraints = _workload(n)
+        classes = build_equivalence_classes(n, constraints)
+        rows.append((n, classes.n_classes))
+        assert classes.n_classes <= 5  # 4 clusters + (possibly) remainder
+    report_sink(
+        "ablation/equivalence: classes per n = "
+        + ", ".join(f"n={n}: {c}" for n, c in rows)
+        + "  (naive storage would be n parameter sets)"
+    )
+
+
+def test_optim_time_flat_in_n(benchmark, report_sink):
+    """OPTIM wall-clock stays flat as n grows 16x."""
+    times = {}
+    for n in (256, 1024, 4096):
+        data, constraints = _workload(n)
+        _, _, report = solve_maxent(
+            data, constraints, options=SolverOptions(time_cutoff=None)
+        )
+        times[n] = report.optim_seconds
+
+    def run_largest():
+        data, constraints = _workload(4096)
+        solve_maxent(data, constraints, options=SolverOptions(time_cutoff=None))
+
+    benchmark.pedantic(run_largest, rounds=1, iterations=1)
+    ratio = times[4096] / max(times[256], 1e-9)
+    report_sink(
+        "ablation/equivalence: OPTIM seconds "
+        + ", ".join(f"n={n}: {t:.3f}" for n, t in times.items())
+        + f"  (16x data -> {ratio:.1f}x time; naive would be ~16x)"
+    )
+    assert ratio < 4.0

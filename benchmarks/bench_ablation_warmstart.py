@@ -1,0 +1,94 @@
+"""Ablation: warm-start incremental refits vs. cold restarts.
+
+The interactive loop appends constraints each round; SIDER refits from
+scratch.  `repro.core.incremental` seeds each refit from the previous
+optimum instead.  This benchmark replays a three-round session both ways
+and compares total sweeps and wall-clock.
+"""
+
+import numpy as np
+
+from repro.core.builders import cluster_constraint
+from repro.core.incremental import incremental_solve
+from repro.core.solver import SolverOptions, solve_maxent
+from repro.datasets import x5
+
+
+def _rounds(bundle):
+    """The constraint lists of a three-round X̂5 session (cumulative)."""
+    labels = bundle.labels
+    labels45 = bundle.metadata["labels45"]
+    data = (bundle.data - bundle.data.mean(0)) / bundle.data.std(0)
+    lists = []
+    acc = []
+    for name in ("A", "B", "C", "D"):
+        acc = acc + cluster_constraint(data, np.flatnonzero(labels == name))
+    lists.append(list(acc))
+    for name in ("E", "F"):
+        acc = acc + cluster_constraint(data, np.flatnonzero(labels45 == name))
+    lists.append(list(acc))
+    acc = acc + cluster_constraint(data, np.flatnonzero(labels45 == "G"))
+    lists.append(list(acc))
+    return data, lists
+
+
+def test_warmstart_beats_cold_restart(benchmark, report_sink):
+    """Warm starts spend fewer total sweeps than cold restarts."""
+    bundle = x5(seed=0)
+    data, constraint_lists = _rounds(bundle)
+    options = SolverOptions(time_cutoff=None)
+
+    def run_cold():
+        sweeps = 0
+        for constraints in constraint_lists:
+            _, _, report = solve_maxent(data, constraints, options=options)
+            sweeps += report.sweeps
+        return sweeps
+
+    def run_warm():
+        sweeps = 0
+        state = None
+        for constraints in constraint_lists:
+            _, _, report, state = incremental_solve(
+                data, constraints, previous=state, options=options
+            )
+            sweeps += report.sweeps
+        return sweeps
+
+    cold_sweeps = run_cold()
+    warm_sweeps = benchmark.pedantic(run_warm, rounds=1, iterations=1)
+    report_sink(
+        f"ablation/warmstart: total sweeps cold={cold_sweeps} "
+        f"warm={warm_sweeps} over 3 incremental rounds"
+    )
+    assert warm_sweeps <= cold_sweeps
+
+
+def test_warmstart_same_solution(report_sink):
+    """Warm and cold starts land on the same optimum (convexity).
+
+    The X̂5 constraints overlap (the A-D and E-G groupings share rows), so
+    both runs stop on the slow tail of the coordinate ascent (cf. Fig. 5
+    Case B) at slightly different near-optimal points — hence the loose
+    tolerance; convexity guarantees a common limit.
+    """
+    bundle = x5(n=500, seed=1)
+    data, constraint_lists = _rounds(bundle)
+    options = SolverOptions(time_cutoff=None, lambda_tolerance=1e-4)
+
+    cold_params, cold_classes, _ = solve_maxent(
+        data, constraint_lists[-1], options=options
+    )
+    state = None
+    for constraints in constraint_lists:
+        warm_params, warm_classes, _, state = incremental_solve(
+            data, constraints, previous=state, options=options
+        )
+    np.testing.assert_array_equal(
+        cold_classes.class_of_row, warm_classes.class_of_row
+    )
+    np.testing.assert_allclose(warm_params.mean, cold_params.mean, atol=0.05)
+    diag_warm = np.einsum("cii->ci", warm_params.sigma)
+    diag_cold = np.einsum("cii->ci", cold_params.sigma)
+    np.testing.assert_allclose(diag_warm, diag_cold, atol=0.05)
+    report_sink("ablation/warmstart: warm == cold optimum (within tolerance)")

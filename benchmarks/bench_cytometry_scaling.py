@@ -1,0 +1,66 @@
+"""Conclusion-claim benchmark: SIDER-scale flow cytometry.
+
+The paper's conclusion: "Initial experiments with samples up to tens of
+thousands rows from flow-cytometry data has shown the computations in
+SIDER to scale up well".  This benchmark fits cluster constraints for the
+dominant populations at n = 5k/20k/40k events and checks that the OPTIM
+phase stays flat (equivalence classes) while the end-to-end loop remains
+interactive.
+"""
+
+import numpy as np
+
+from repro.core.background import BackgroundModel
+from repro.core.solver import SolverOptions
+from repro.datasets import cytometry_surrogate
+
+
+def _fit_panel(n_events: int, seed: int = 0):
+    bundle = cytometry_surrogate(n_events=n_events, seed=seed)
+    model = BackgroundModel(
+        bundle.data,
+        standardize=True,
+        solver_options=SolverOptions(time_cutoff=None),
+    )
+    for name in ("t-helper", "t-cytotoxic", "b-cells", "nk-cells", "monocytes"):
+        model.add_cluster_constraint(bundle.rows_with_label(name), label=name)
+    report = model.fit()
+    return model, report
+
+
+def test_cytometry_optim_flat_in_events(benchmark, report_sink):
+    """OPTIM seconds stay flat from 5k to 40k events."""
+    times = {}
+    for n in (5000, 20000, 40000):
+        _, report = _fit_panel(n)
+        times[n] = report.optim_seconds
+
+    benchmark.pedantic(_fit_panel, args=(40000,), rounds=1, iterations=1)
+    ratio = times[40000] / max(times[5000], 1e-9)
+    report_sink(
+        "cytometry scaling: OPTIM seconds "
+        + ", ".join(f"n={n}: {t:.3f}" for n, t in times.items())
+        + f" (8x events -> {ratio:.1f}x time)"
+    )
+    assert ratio < 4.0
+
+
+def test_cytometry_loop_stays_interactive(report_sink):
+    """Whiten + sample at 40k events complete in interactive time."""
+    import time
+
+    model, _ = _fit_panel(40000)
+    start = time.perf_counter()
+    whitened = model.whiten()
+    whiten_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    model.sample(rng=np.random.default_rng(0))
+    sample_seconds = time.perf_counter() - start
+    report_sink(
+        f"cytometry scaling: whiten {whiten_seconds:.2f}s, "
+        f"ghost sample {sample_seconds:.2f}s at 40k events"
+    )
+    assert whitened.shape == (40000, 8)
+    # "Interactive" in SIDER terms: well under the 10 s budget.
+    assert whiten_seconds < 10.0
+    assert sample_seconds < 10.0

@@ -1,0 +1,11 @@
+"""Fig. 1 benchmark: the interaction loop's monotone trends."""
+
+from repro.experiments import fig1_loop
+
+
+def test_fig1_loop(benchmark, report_sink):
+    """Replay the loop on three datasets; scores fall, knowledge grows."""
+    result = benchmark.pedantic(fig1_loop.run, rounds=1, iterations=1)
+    report_sink(result.format_table())
+    assert result.all_scores_decrease()
+    assert result.all_knowledge_increases()

@@ -1,0 +1,11 @@
+"""Fig. 2 benchmark: 3-D synthetic walkthrough (and its runtime)."""
+
+from repro.experiments import fig2_synthetic3d
+
+
+def test_fig2_walkthrough(benchmark, report_sink):
+    """Regenerate Fig. 2 and time the full three-panel walkthrough."""
+    result = benchmark.pedantic(fig2_synthetic3d.run, rounds=1, iterations=1)
+    report_sink(result.format_table())
+    assert result.visible_clusters_first == 3
+    assert result.x3_weight_next > 0.8

@@ -1,0 +1,11 @@
+"""Fig. 3 benchmark: structure of the X̂5 running example."""
+
+from repro.experiments import fig3_x5_structure
+
+
+def test_fig3_structure(benchmark, report_sink):
+    """Regenerate the Fig. 3 pairplot facts and time the generator."""
+    result = benchmark.pedantic(fig3_x5_structure.run, rounds=1, iterations=1)
+    report_sink(result.format_table())
+    assert set(result.overlap_per_panel.values()) == {"B", "C", "D"}
+    assert result.separable_45

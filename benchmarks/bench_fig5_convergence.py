@@ -1,0 +1,13 @@
+"""Fig. 5 benchmark: adversarial convergence of the MaxEnt solver."""
+
+import pytest
+
+from repro.experiments import fig5_convergence
+
+
+def test_fig5_convergence(benchmark, report_sink):
+    """Regenerate the Fig. 5 convergence traces and time them."""
+    result = benchmark.pedantic(fig5_convergence.run, rounds=1, iterations=1)
+    report_sink(result.format_table())
+    assert result.final_a == pytest.approx(0.25, abs=1e-3)
+    assert result.decay_exponent_b == pytest.approx(-1.0, abs=0.3)

@@ -1,0 +1,13 @@
+"""Fig. 6 benchmark: whitening quality across constraint stages."""
+
+import numpy as np
+
+from repro.experiments import fig6_whitening
+
+
+def test_fig6_whitening(benchmark, report_sink):
+    """Regenerate the Fig. 6 gaussianity table and time the pipeline."""
+    result = benchmark.pedantic(fig6_whitening.run, rounds=1, iterations=1)
+    report_sink(result.format_table())
+    assert result.identity_max_error < 1e-10
+    assert bool(np.all(result.explained_after_stage2))

@@ -1,0 +1,13 @@
+"""Fig. 7 benchmark: first BNC view and selection."""
+
+from repro.experiments import fig7_bnc_first_view
+
+
+def test_fig7_bnc_first_view(benchmark, report_sink):
+    """Regenerate the Fig. 7 first-round Jaccard table and time it."""
+    result, _app = benchmark.pedantic(
+        fig7_bnc_first_view.run, rounds=1, iterations=1
+    )
+    report_sink(result.format_table())
+    assert result.best_class == "transcribed conversations"
+    assert result.best_jaccard > 0.8

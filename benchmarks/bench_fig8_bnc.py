@@ -1,0 +1,12 @@
+"""Fig. 8 benchmark: BNC iterations two and three."""
+
+from repro.experiments import fig8_bnc_iterations
+
+
+def test_fig8_bnc_iterations(benchmark, report_sink):
+    """Regenerate the Fig. 8 round table and time the full session."""
+    result = benchmark.pedantic(fig8_bnc_iterations.run, rounds=1, iterations=1)
+    report_sink(result.format_table())
+    s0, s1, s2 = result.top_scores
+    assert s0 > s1 > s2
+    assert result.combined_jaccard > 0.8

@@ -1,0 +1,12 @@
+"""Fig. 9 benchmark: Image Segmentation use case."""
+
+from repro.experiments import fig9_segmentation
+
+
+def test_fig9_segmentation(benchmark, report_sink):
+    """Regenerate the Fig. 9 panel summary and time the full session."""
+    result = benchmark.pedantic(fig9_segmentation.run, rounds=1, iterations=1)
+    report_sink(result.format_table())
+    assert result.sky_jaccard > 0.9
+    assert result.grass_jaccard > 0.9
+    assert result.top_extreme_is_outlier

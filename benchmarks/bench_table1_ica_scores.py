@@ -1,0 +1,11 @@
+"""Table I benchmark: iterative ICA scores on X̂5 (covers Fig. 4)."""
+
+from repro.experiments import table1_ica_scores
+
+
+def test_table1_ica_scores(benchmark, report_sink):
+    """Regenerate Table I and time the three-stage exploration."""
+    result = benchmark.pedantic(table1_ica_scores.run, rounds=1, iterations=1)
+    report_sink(result.format_table())
+    tops = result.top_abs_scores
+    assert tops[0] > tops[1] > tops[2]

@@ -1,0 +1,24 @@
+"""Table II benchmark: OPTIM / ICA runtime scaling.
+
+Runs the trimmed grid by default; set REPRO_FULL_GRID=1 to run the paper's
+full n/d/k grid (minutes, not seconds).
+"""
+
+from repro.experiments import table2_runtime
+
+
+def test_table2_runtime(benchmark, report_sink):
+    """Regenerate Table II and record the total sweep time."""
+    result = benchmark.pedantic(
+        table2_runtime.run, kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    report_sink(result.format_table())
+    report_sink(
+        "shape checks: OPTIM max/min across n = "
+        f"{result.optim_n_dependence():.2f} (paper: ~1); "
+        f"OPTIM ~ d^{result.optim_d_exponent():.2f} on this grid "
+        "(paper: -> d^3 for d >= 64); "
+        f"ICA ~ n^{result.ica_n_exponent():.2f} (paper: ~n^1)"
+    )
+    assert result.optim_n_dependence() < 3.0
+    assert result.optim_d_exponent() > 0.5

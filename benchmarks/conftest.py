@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Benchmarks both *time* the pipeline pieces (pytest-benchmark) and *print*
+the regenerated tables/series of the paper, so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every table and figure of the evaluation section on this
+machine.  The printed output is also what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; make sure running
+    # `pytest benchmarks/` without --benchmark-only still works.
+    config.addinivalue_line("markers", "paper_figure(name): reproduces a figure")
+
+
+@pytest.fixture
+def report_sink(capsys):
+    """Print an experiment report so it lands in the pytest output."""
+
+    def _sink(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _sink

@@ -1,0 +1,105 @@
+"""BNC exploration: driving the headless SIDER app on corpus data.
+
+Reproduces the Fig. 7/8 use case on the surrogate British National Corpus:
+1335 documents x 100 most-frequent-word counts, four genres.  The analyst
+never sees the genre labels — they select on-screen blobs geometrically and
+the labels are used only afterwards to score the selections (Jaccard), just
+like the paper does.
+
+Run with:  python examples/bnc_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import bnc_surrogate
+from repro.eval import jaccard_to_classes
+from repro.ui import SiderApp
+
+
+def grow_blob(projected: np.ndarray, seed_point: int) -> np.ndarray:
+    """Lasso stand-in: grow a neighbourhood to the largest density gap."""
+    dist = np.linalg.norm(projected - projected[seed_point], axis=1)
+    order = np.argsort(dist)
+    sorted_dist = dist[order]
+    n = projected.shape[0]
+    lo, hi = max(5, n // 100), int(0.8 * n)
+    gaps = sorted_dist[lo + 1 : hi] - sorted_dist[lo : hi - 1]
+    rel = gaps / np.maximum(sorted_dist[lo : hi - 1], 1e-12)
+    return np.sort(order[: lo + int(np.argmax(rel)) + 1])
+
+
+def main() -> None:
+    bundle = bnc_surrogate(seed=0)
+    print(f"corpus: {bundle.n_rows} documents, {bundle.dim} word features")
+
+    app = SiderApp(
+        bundle.data,
+        feature_names=bundle.feature_names,
+        objective="pca",
+        standardize=True,
+        seed=0,
+    )
+    frame = app.render()
+    print("\nround 0 — first view:")
+    print(" ", frame.scatterplot.x_label)
+    print(" ", frame.scatterplot.y_label)
+
+    # Select the isolated blob (farthest dense point from the centre).
+    projected = frame.view.project(app.session.data)
+    centre = projected.mean(axis=0)
+    seed_point = int(np.argmax(np.linalg.norm(projected - centre, axis=1)))
+    blob = grow_blob(projected, seed_point)
+    app.select_rows(blob)
+    frame = app.render()
+
+    print(f"\nselected {blob.size} points; Jaccard to genres:")
+    for genre, value in jaccard_to_classes(blob, bundle.labels).items():
+        print(f"  {genre:<28} {value:.3f}")
+    print("top separating words:", ", ".join(frame.pairplot.attribute_names))
+
+    # Mark it as a cluster, update, look again.
+    app.add_cluster_constraint(label="conversations-blob")
+    app.update_background()
+    frame = app.render()
+    print(
+        "\nround 1 — after the cluster constraint, top view scores: "
+        + " ".join(f"{s:.2f}" for s in frame.view.scores)
+    )
+
+    # Second selection: the tight formal-register blob.
+    projected = frame.view.project(app.session.data)
+    remaining = np.setdiff1d(np.arange(projected.shape[0]), blob)
+    axis_coord = projected[:, 0]
+    candidates = []
+    for seed_point in (
+        int(remaining[np.argmin(axis_coord[remaining])]),
+        int(remaining[np.argmax(axis_coord[remaining])]),
+    ):
+        candidate = np.setdiff1d(grow_blob(projected, seed_point), blob)
+        if candidate.size >= 10:
+            tightness = float(np.mean(np.std(projected[candidate], axis=0)))
+            candidates.append((tightness, candidate))
+    candidates.sort(key=lambda item: item[0])
+    blob2 = candidates[0][1]
+    app.select_rows(blob2)
+    print(f"\nselected {blob2.size} more points; Jaccard to genres:")
+    for genre, value in jaccard_to_classes(blob2, bundle.labels).items():
+        print(f"  {genre:<28} {value:.3f}")
+
+    app.add_cluster_constraint(label="academic-news-blob")
+    app.update_background()
+    frame = app.render()
+    print(
+        "\nround 2 — top view scores now: "
+        + " ".join(f"{s:.2f}" for s in frame.view.scores)
+    )
+    print(
+        "two cluster constraints explain the corpus's most-frequent-word "
+        "variation, as in the paper's Fig. 8."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Flow cytometry: the forward-looking application named in the paper.
+
+The paper's conclusion reports that SIDER scales to flow-cytometry samples
+of tens of thousands of rows and that its projections "reveal structure in
+the data potentially interesting to the application specialist".  This
+example runs the loop on a synthetic immunophenotyping panel:
+
+1. the first views show the dominant cell populations (T cells,
+   monocytes, ...);
+2. the analyst marks them as clusters;
+3. after the dominant populations are absorbed into the background, the
+   remaining views surface the *rare* planted population (~1 % NKT-like
+   cells) — structure a static projection never ranks first.
+
+Run with:  python examples/cytometry_exploration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ExplorationSession
+from repro.datasets import cytometry_surrogate, downsample
+from repro.eval import jaccard_to_classes
+
+
+def main() -> None:
+    bundle = cytometry_surrogate(n_events=20000, seed=0)
+    counts = bundle.metadata["population_counts"]
+    print(f"panel: {bundle.n_rows} events x {bundle.dim} channels")
+    print("populations:", {k: v for k, v in counts.items()})
+
+    # Interactive practice (Sec. IV of the paper): downsample large files
+    # first.  Selections found on the sample lift back to the full data.
+    sample = downsample(bundle, 5000, rng=np.random.default_rng(0), stratify=True)
+    print(f"\nexploring a stratified sample of {sample.n_rows} events")
+
+    session = ExplorationSession(
+        sample.data, objective="ica", standardize=True, seed=0
+    )
+    start = time.perf_counter()
+    view = session.current_view()
+    print(
+        f"first view in {time.perf_counter() - start:.2f}s; "
+        "top |scores| " + " ".join(f"{abs(s):.3f}" for s in view.scores)
+    )
+
+    # Mark the dominant populations (the analyst recognises them from
+    # their marker signature; we script that with labels).  Debris is
+    # gated out first in any real cytometry workflow, so it is marked too.
+    dominant = (
+        "t-helper", "t-cytotoxic", "b-cells", "nk-cells", "monocytes", "debris",
+    )
+    for name in dominant:
+        session.mark_cluster(sample.rows_with_label(name), label=name)
+    start = time.perf_counter()
+    view = session.current_view()
+    print(
+        f"\nafter marking {len(dominant)} dominant populations "
+        f"(refit + view in {time.perf_counter() - start:.2f}s):"
+    )
+    print("top |scores| " + " ".join(f"{abs(s):.3f}" for s in view.scores))
+
+    # What stands out now?  Rows that deviate most from the belief state —
+    # largest whitened norm, the per-row "surprise" the ghost-point
+    # displacement visualises.  On screen these are the points farthest
+    # from their gray ghosts; the analyst selects that fringe.
+    whitened = session.whitened()
+    surprise = np.linalg.norm(whitened, axis=1)
+    blob = np.argsort(surprise)[::-1][:60]
+    table = jaccard_to_classes(blob, sample.labels)
+    best = next(iter(table.items()))
+    print(
+        f"\nmost deviating blob of the new view: best match {best[0]!r} "
+        f"(Jaccard {best[1]:.2f}) — the planted ~1% population is "
+        f"{bundle.metadata['rare_population']!r}"
+    )
+
+    # The marks were made on the sample; lift them back to the full data.
+    from repro.datasets import lift_selection
+
+    lifted = lift_selection(sample, blob)
+    print(
+        f"selection lifts to {lifted.size} rows of the full "
+        f"{bundle.n_rows}-event file"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Runtime scaling: regenerate (a trimmed) Table II on this machine.
+
+Times the OPTIM phase of the MaxEnt solver and the FastICA run across a
+grid of dataset sizes, printing the same rows as the paper's Table II.  Set
+REPRO_FULL_GRID=1 to run the paper's full grid (n up to 8192, d up to 128 —
+takes minutes).
+
+Run with:  python examples/runtime_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_runtime
+
+
+def main() -> None:
+    result = table2_runtime.run(repeats=3)
+    print(result.format_table())
+    print()
+    print("scaling shape on this machine:")
+    print(
+        f"  OPTIM max/min across n (fixed d,k): {result.optim_n_dependence():.2f}"
+        "  (paper: ~1, independent of n)"
+    )
+    print(
+        f"  OPTIM ~ d^{result.optim_d_exponent():.2f}"
+        "  (paper: approaches d^3 once d^2 matrix work dominates)"
+    )
+    print(
+        f"  ICA   ~ n^{result.ica_n_exponent():.2f}"
+        "  (paper: ~n^1 at fixed d)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""X̂5 walkthrough: the paper's running example with the ICA objective.
+
+Reproduces the Fig. 4 / Table I storyline on the 5-D synthetic dataset:
+
+* the first ICA view shows the four clusters living in dimensions 1-3;
+* after cluster constraints for them, the next view switches to the three
+  clusters of dimensions 4-5 — structure a static method would never
+  surface because it is subordinate to the dominant variance;
+* after marking those too, all ICA scores collapse: the background
+  distribution has become a faithful model of the data.
+
+Run with:  python examples/x5_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExplorationSession
+from repro.datasets import x5
+
+
+def print_score_row(stage: str, scores: np.ndarray) -> None:
+    row = " ".join(f"{s:+.3f}" for s in scores)
+    print(f"  {stage:<42} {row}")
+
+
+def main() -> None:
+    bundle = x5(seed=0)
+    labels = bundle.labels
+    labels45 = bundle.metadata["labels45"]
+    print(f"dataset: {bundle.name}, shape {bundle.data.shape}")
+    print("groupings: A-D in dims 1-3, E-G in dims 4-5 (75% coupled)")
+
+    session = ExplorationSession(
+        bundle.data, objective="ica", standardize=True, seed=0
+    )
+
+    print("\nICA scores per stage (the rows of Table I):")
+    view0 = session.current_view()
+    print_score_row("no constraints", view0.all_scores)
+
+    for name in ("A", "B", "C", "D"):
+        session.mark_cluster(np.flatnonzero(labels == name), label=f"cluster-{name}")
+    view1 = session.current_view()
+    print_score_row("after 4 cluster constraints", view1.all_scores)
+
+    for name in ("E", "F", "G"):
+        session.mark_cluster(
+            np.flatnonzero(labels45 == name), label=f"cluster-{name}"
+        )
+    view2 = session.current_view()
+    print_score_row("after 3 more cluster constraints", view2.all_scores)
+
+    print("\nwhere each stage's top axis points:")
+    for stage, view in (("stage 0", view0), ("stage 1", view1), ("stage 2", view2)):
+        axis = view.axes[0]
+        load123 = float(np.sum(np.abs(axis[:3])))
+        load45 = float(np.sum(np.abs(axis[3:])))
+        print(f"  {stage}: |loading| dims1-3 = {load123:.2f}, dims4-5 = {load45:.2f}")
+
+    print(
+        "\nthe view moves from the dominant dims 1-3 structure to the "
+        "subordinate dims 4-5 structure after feedback — the core claim "
+        "of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — a Python reproduction of the SIDER interactive EDA system.
+
+Implements Puolamäki, Oikarinen, Kang, Lijffijt & De Bie:
+"Interactive Visual Data Exploration with Subjective Feedback: An
+Information-Theoretic Approach" (ICDE 2018).
+
+Quick start
+-----------
+>>> from repro import ExplorationSession
+>>> from repro.datasets import three_d_clusters
+>>> bundle = three_d_clusters(seed=0)
+>>> session = ExplorationSession(bundle.data, objective="pca")
+>>> view = session.current_view()          # most informative 2-D projection
+>>> session.mark_cluster(range(0, 50))     # "these points form a cluster"
+>>> next_view = session.current_view()     # belief state updated
+
+Package map
+-----------
+``repro.core``        MaxEnt background distribution + interaction loop
+``repro.projection``  PCA / FastICA projection pursuit and view scores
+``repro.linalg``      Woodbury updates, eigen helpers, root finding
+``repro.datasets``    paper datasets and surrogates
+``repro.ui``          headless SIDER user-interface computations
+``repro.eval``        Jaccard / gaussianity metrics
+``repro.baselines``   static projection pursuit and randomization baselines
+``repro.experiments`` one harness per table/figure of the paper
+"""
+
+from repro.core import (
+    BackgroundModel,
+    Constraint,
+    ConstraintKind,
+    ExplorationSession,
+    SolverOptions,
+    SolverReport,
+)
+from repro.errors import (
+    ConstraintError,
+    ConvergenceError,
+    DataShapeError,
+    NotFittedError,
+    ReproError,
+    RootFindError,
+)
+from repro.projection import Projection2D, most_informative_view
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackgroundModel",
+    "Constraint",
+    "ConstraintKind",
+    "ExplorationSession",
+    "SolverOptions",
+    "SolverReport",
+    "Projection2D",
+    "most_informative_view",
+    "ReproError",
+    "ConstraintError",
+    "ConvergenceError",
+    "DataShapeError",
+    "NotFittedError",
+    "RootFindError",
+    "__version__",
+]

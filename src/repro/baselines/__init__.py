@@ -1,0 +1,18 @@
+"""Baselines: static projection pursuit, random views, randomization."""
+
+from repro.baselines.random_projection import best_of_random_views, random_view
+from repro.baselines.randomization import ConstrainedRandomization
+from repro.baselines.static_projection import (
+    repeated_static_views,
+    static_ica_view,
+    static_pca_view,
+)
+
+__all__ = [
+    "static_pca_view",
+    "static_ica_view",
+    "repeated_static_views",
+    "random_view",
+    "best_of_random_views",
+    "ConstrainedRandomization",
+]

@@ -1,0 +1,76 @@
+"""Random 2-D projections: the weakest sensible view-selection baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataShapeError
+from repro.projection.scores import ica_scores, pca_scores
+from repro.projection.view import Projection2D
+
+
+def random_view(
+    dim: int, rng: np.random.Generator | None = None, data: np.ndarray | None = None
+) -> Projection2D:
+    """A uniformly random orthonormal 2-D projection of R^dim.
+
+    Parameters
+    ----------
+    dim:
+        Ambient dimensionality.
+    rng:
+        Randomness source.
+    data:
+        Optional data to score the random axes on (PCA + ICA scores); when
+        omitted scores are reported as zero.
+    """
+    if dim < 2:
+        raise DataShapeError("random 2-D projection needs dim >= 2")
+    rng = rng or np.random.default_rng()
+    gaussian = rng.standard_normal((dim, 2))
+    # QR gives an orthonormal basis of the column span.
+    q, _ = np.linalg.qr(gaussian)
+    axes = q.T[:2]
+    if data is not None:
+        scores = pca_scores(data, axes)
+    else:
+        scores = np.zeros(2)
+    return Projection2D(
+        axes=axes.copy(), scores=scores, objective="pca", all_scores=scores.copy()
+    )
+
+
+def best_of_random_views(
+    data: np.ndarray,
+    n_candidates: int = 50,
+    objective: str = "pca",
+    rng: np.random.Generator | None = None,
+) -> Projection2D:
+    """Pick the best of many random views — a cheap projection-pursuit proxy.
+
+    Useful as a middle baseline between a single random view and the exact
+    PCA/ICA optimisation.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    rng = rng or np.random.default_rng(0)
+    best: Projection2D | None = None
+    best_score = -np.inf
+    for _ in range(n_candidates):
+        candidate = random_view(arr.shape[1], rng=rng)
+        if objective == "pca":
+            scores = pca_scores(arr, candidate.axes)
+        elif objective == "ica":
+            scores = ica_scores(arr, candidate.axes)
+        else:
+            raise ValueError(f"unknown objective {objective!r}")
+        top = float(np.max(np.abs(scores)))
+        if top > best_score:
+            best_score = top
+            best = Projection2D(
+                axes=candidate.axes,
+                scores=scores,
+                objective=objective,
+                all_scores=scores.copy(),
+            )
+    assert best is not None  # n_candidates >= 1 guarantees assignment
+    return best

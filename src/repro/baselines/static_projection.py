@@ -1,0 +1,66 @@
+"""Static (non-interactive) projection pursuit baselines.
+
+These are the methods the paper positions itself against: PCA/ICA with a
+fixed objective, computed once on the raw data, with no way to incorporate
+what the user has already learned.  Running them alongside the interactive
+loop quantifies the paper's claim that static views keep showing the most
+prominent (already-known) structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.projection.fastica import fit_fastica
+from repro.projection.pca import fit_pca
+from repro.projection.scores import ica_scores, pca_scores
+from repro.projection.view import Projection2D
+
+
+def static_pca_view(data: np.ndarray) -> Projection2D:
+    """Plain PCA view of the raw data (top-2 variance directions).
+
+    Note the ranking difference from the interactive pipeline: static PCA
+    ranks by raw variance, not by deviation-from-unit variance, because
+    without a background model there is no notion of "expected" variance.
+    """
+    result = fit_pca(np.asarray(data, dtype=np.float64))
+    directions = result.components
+    scores = pca_scores(data, directions)
+    return Projection2D(
+        axes=directions[:2].copy(),
+        scores=scores[:2].copy(),
+        objective="pca",
+        all_scores=scores.copy(),
+    )
+
+
+def static_ica_view(
+    data: np.ndarray, rng: np.random.Generator | None = None
+) -> Projection2D:
+    """Plain FastICA view of the raw data (top-2 |non-gaussianity|)."""
+    result = fit_fastica(np.asarray(data, dtype=np.float64), rng=rng)
+    scores = ica_scores(data, result.components)
+    order = np.argsort(np.abs(scores))[::-1]
+    directions = result.components[order]
+    scores = scores[order]
+    if directions.shape[0] < 2:
+        directions = np.vstack([directions, directions])
+        scores = np.concatenate([scores, scores])
+    return Projection2D(
+        axes=directions[:2].copy(),
+        scores=scores[:2].copy(),
+        objective="ica",
+        all_scores=scores.copy(),
+    )
+
+
+def repeated_static_views(data: np.ndarray, n_views: int = 3) -> list[Projection2D]:
+    """What a static tool shows across 'iterations': the same view.
+
+    Static methods have no interaction channel, so asking again yields the
+    same projection; returned as a list to make baseline-vs-interactive
+    comparisons structurally parallel.
+    """
+    view = static_pca_view(data)
+    return [view for _ in range(n_views)]

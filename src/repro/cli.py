@@ -1,0 +1,168 @@
+"""Command-line interface: run experiments and inspect datasets.
+
+Usage (after install)::
+
+    python -m repro list                       # what can be run
+    python -m repro experiment table1         # regenerate one table/figure
+    python -m repro experiment all            # regenerate everything
+    python -m repro dataset x5                 # describe a dataset
+    python -m repro explore x5 --rounds 2      # scripted exploration demo
+
+The CLI is a thin veneer over :mod:`repro.experiments` and
+:mod:`repro.datasets`; everything it prints is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import numpy as np
+
+from repro.core.session import ExplorationSession
+from repro.datasets import (
+    bnc_surrogate,
+    cytometry_surrogate,
+    segmentation_surrogate,
+    three_d_clusters,
+    x5,
+)
+from repro.experiments import (
+    fig1_loop,
+    fig2_synthetic3d,
+    fig3_x5_structure,
+    fig5_convergence,
+    fig6_whitening,
+    fig7_bnc_first_view,
+    fig8_bnc_iterations,
+    fig9_segmentation,
+    table1_ica_scores,
+    table2_runtime,
+)
+
+#: Experiment registry: name -> callable returning an object with
+#: ``format_table()``.
+EXPERIMENTS: dict[str, Callable[[], object]] = {
+    "fig1": lambda: fig1_loop.run(),
+    "fig2": lambda: fig2_synthetic3d.run(),
+    "fig3": lambda: fig3_x5_structure.run(),
+    "table1": lambda: table1_ica_scores.run(),
+    "fig5": lambda: fig5_convergence.run(),
+    "fig6": lambda: fig6_whitening.run(),
+    "table2": lambda: table2_runtime.run(),
+    "fig7": lambda: fig7_bnc_first_view.run()[0],
+    "fig8": lambda: fig8_bnc_iterations.run(),
+    "fig9": lambda: fig9_segmentation.run(),
+}
+
+#: Dataset registry: name -> zero-argument constructor.
+DATASETS: dict[str, Callable[[], object]] = {
+    "three-d": lambda: three_d_clusters(seed=0),
+    "x5": lambda: x5(seed=0),
+    "bnc": lambda: bnc_surrogate(seed=0),
+    "segmentation": lambda: segmentation_surrogate(seed=0),
+    "cytometry": lambda: cytometry_surrogate(seed=0),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIDER reproduction: experiments, datasets, exploration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and datasets")
+
+    exp = sub.add_parser("experiment", help="run an experiment harness")
+    exp.add_argument(
+        "name", choices=sorted(EXPERIMENTS) + ["all"], help="which experiment"
+    )
+
+    data = sub.add_parser("dataset", help="describe a dataset")
+    data.add_argument("name", choices=sorted(DATASETS))
+
+    explore = sub.add_parser("explore", help="scripted exploration demo")
+    explore.add_argument("name", choices=sorted(DATASETS))
+    explore.add_argument("--rounds", type=int, default=2)
+    explore.add_argument("--objective", choices=("pca", "ica"), default="pca")
+    explore.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_list() -> int:
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)), "(or: all)")
+    print("datasets:   ", ", ".join(sorted(DATASETS)))
+    return 0
+
+
+def cmd_experiment(name: str) -> int:
+    names = sorted(EXPERIMENTS) if name == "all" else [name]
+    for item in names:
+        result = EXPERIMENTS[item]()
+        print(result.format_table())  # type: ignore[attr-defined]
+        print()
+    return 0
+
+
+def cmd_dataset(name: str) -> int:
+    bundle = DATASETS[name]()
+    print(f"name:     {bundle.name}")
+    print(f"shape:    {bundle.data.shape}")
+    print(f"features: {', '.join(bundle.feature_names[:10])}"
+          + (" ..." if bundle.dim > 10 else ""))
+    if bundle.labels is not None:
+        classes = bundle.class_names()
+        counts = {c: int(np.sum(bundle.labels == c)) for c in classes}
+        print(f"classes:  {counts}")
+    keys = [k for k in bundle.metadata if k != "seed"]
+    if keys:
+        print(f"metadata: {', '.join(keys)}")
+    return 0
+
+
+def cmd_explore(name: str, rounds: int, objective: str, seed: int) -> int:
+    bundle = DATASETS[name]()
+    if bundle.labels is None:
+        print("dataset has no labels to script the feedback with", file=sys.stderr)
+        return 1
+    session = ExplorationSession(
+        bundle.data, objective=objective, standardize=True, seed=seed
+    )
+    print(f"exploring {bundle.name} ({bundle.data.shape}) with {objective}")
+    classes = bundle.class_names()
+    for round_index in range(rounds):
+        view = session.current_view()
+        top = float(np.max(np.abs(view.scores)))
+        print(f"round {round_index}: top |score| {top:.4f}")
+        print("  " + view.axis_label(0, feature_names=list(bundle.feature_names)))
+        if round_index < len(classes):
+            rows = bundle.rows_with_label(classes[round_index])
+            session.mark_cluster(rows, label=str(classes[round_index]))
+            print(
+                f"  marked class {classes[round_index]!r} "
+                f"({rows.size} points) as a cluster"
+            )
+    final = session.current_view()
+    print(f"final top |score| {float(np.max(np.abs(final.scores))):.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` and the console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "experiment":
+        return cmd_experiment(args.name)
+    if args.command == "dataset":
+        return cmd_dataset(args.name)
+    if args.command == "explore":
+        return cmd_explore(args.name, args.rounds, args.objective, args.seed)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Core contribution: the MaxEnt background distribution and interaction loop."""
+
+from repro.core.background import BackgroundModel
+from repro.core.builders import (
+    cluster_constraint,
+    margin_constraints,
+    one_cluster_constraint,
+    projection_constraints,
+)
+from repro.core.constraint import Constraint, ConstraintKind
+from repro.core.equivalence import EquivalenceClasses, build_equivalence_classes
+from repro.core.parameters import ClassParameters
+from repro.core.sampling import sample_background
+from repro.core.session import ExplorationSession, IterationRecord
+from repro.core.solver import SolverOptions, SolverReport, solve_maxent
+from repro.core.whitening import whiten, whitening_transforms
+
+__all__ = [
+    "BackgroundModel",
+    "Constraint",
+    "ConstraintKind",
+    "margin_constraints",
+    "cluster_constraint",
+    "one_cluster_constraint",
+    "projection_constraints",
+    "EquivalenceClasses",
+    "build_equivalence_classes",
+    "ClassParameters",
+    "SolverOptions",
+    "SolverReport",
+    "solve_maxent",
+    "whiten",
+    "whitening_transforms",
+    "sample_background",
+    "ExplorationSession",
+    "IterationRecord",
+]

@@ -1,0 +1,107 @@
+"""Row equivalence classes: the n-independence trick of the paper.
+
+Two rows affected by exactly the same set of constraints have identical
+natural and dual parameters throughout the optimisation, so parameters only
+need to be stored once per *equivalence class* of rows.  The number of
+classes depends on how constraints overlap, not on n, which is why the
+OPTIM phase of Table II is independent of the number of data points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constraint import Constraint
+
+
+@dataclass(frozen=True)
+class EquivalenceClasses:
+    """Partition of rows by constraint-membership pattern.
+
+    Attributes
+    ----------
+    n_rows:
+        Total number of data rows.
+    class_of_row:
+        Array of length n mapping each row to its class index.
+    class_counts:
+        Array of length C: number of rows in each class.
+    members:
+        For each constraint t, the array of class indices whose rows are all
+        inside ``I_t`` (by construction a class is either fully inside or
+        fully outside any constraint's row set).
+    representative_rows:
+        One row index per class (useful for whitening/sampling loops that
+        need a concrete row of the class).
+    """
+
+    n_rows: int
+    class_of_row: np.ndarray
+    class_counts: np.ndarray
+    members: tuple[np.ndarray, ...]
+    representative_rows: np.ndarray
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct equivalence classes."""
+        return int(self.class_counts.size)
+
+    def count_in_constraint(self, t: int) -> int:
+        """Number of rows involved in constraint ``t`` (i.e. ``|I_t|``)."""
+        return int(np.sum(self.class_counts[self.members[t]]))
+
+
+def build_equivalence_classes(
+    n_rows: int, constraints: list[Constraint]
+) -> EquivalenceClasses:
+    """Group rows by which constraints involve them.
+
+    The membership pattern of a row is the set of constraint indices whose
+    row set contains it.  Rows sharing a pattern form one class.  The
+    unconstrained rows (empty pattern) form a class of their own, which
+    keeps the prior parameters ``(0, I)`` for the whole run.
+
+    Complexity: O(k·|I_t| + n) time, O(n) memory — the membership signature
+    is built incrementally as a hash over constraint indices.
+    """
+    # Incremental signature: for each row keep a tuple key built from the
+    # constraints that touch it.  Using a per-row list of constraint ids and
+    # converting to tuple keys is O(total membership size).
+    touching: list[list[int]] = [[] for _ in range(n_rows)]
+    for t, constraint in enumerate(constraints):
+        for row in constraint.rows:
+            touching[int(row)].append(t)
+
+    class_index_by_key: dict[tuple[int, ...], int] = {}
+    class_of_row = np.empty(n_rows, dtype=np.intp)
+    representatives: list[int] = []
+    for row in range(n_rows):
+        key = tuple(touching[row])
+        idx = class_index_by_key.get(key)
+        if idx is None:
+            idx = len(class_index_by_key)
+            class_index_by_key[key] = idx
+            representatives.append(row)
+        class_of_row[row] = idx
+
+    n_classes = len(class_index_by_key)
+    class_counts = np.bincount(class_of_row, minlength=n_classes).astype(np.intp)
+
+    # For each constraint, the classes fully contained in its row set.
+    members_sets: list[set[int]] = [set() for _ in constraints]
+    for key, idx in class_index_by_key.items():
+        for t in key:
+            members_sets[t].add(idx)
+    members = tuple(
+        np.array(sorted(s), dtype=np.intp) for s in members_sets
+    )
+
+    return EquivalenceClasses(
+        n_rows=n_rows,
+        class_of_row=class_of_row,
+        class_counts=class_counts,
+        members=members,
+        representative_rows=np.array(representatives, dtype=np.intp),
+    )

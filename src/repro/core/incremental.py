@@ -1,0 +1,118 @@
+"""Incremental (warm-start) refitting of the background distribution.
+
+The interactive loop appends constraints monotonically: each round of
+feedback extends the constraint list.  A cold restart re-finds every
+previous multiplier; a *warm start* reuses the previous solution whenever
+the new constraints do not change the equivalence-class structure of the
+rows already constrained — and falls back to a cold start when they do.
+
+This is an engineering extension beyond the paper (SIDER recomputes from
+scratch inside its 10 s budget); the ablation benchmark
+``bench_ablation_warmstart.py`` measures what it buys.
+
+Warm-start rule
+---------------
+Appending constraints refines the row partition: every *new* class is a
+subset of exactly one *old* class.  Seeding each new class with its parent
+class's fitted ``(theta1, Sigma, mean)`` therefore starts the coordinate
+ascent from the previous optimum restricted to the old constraints, which
+is feasible and typically already close to the new optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constraint import Constraint
+from repro.core.equivalence import EquivalenceClasses, build_equivalence_classes
+from repro.core.parameters import ClassParameters
+from repro.core.solver import SolverOptions, SolverReport, solve_maxent
+
+
+@dataclass
+class WarmStartState:
+    """Previous solve state carried between incremental refits.
+
+    Attributes
+    ----------
+    constraints:
+        The constraint list the state was fitted for (a prefix of the next
+        call's list).
+    params, classes:
+        The fitted parameters and the matching row partition.
+    """
+
+    constraints: list
+    params: ClassParameters
+    classes: EquivalenceClasses
+
+
+def incremental_solve(
+    data: np.ndarray,
+    constraints: list[Constraint],
+    previous: WarmStartState | None = None,
+    options: SolverOptions | None = None,
+) -> tuple[ClassParameters, EquivalenceClasses, SolverReport, WarmStartState]:
+    """Solve the MaxEnt problem, warm-starting from a previous solution.
+
+    Parameters
+    ----------
+    data:
+        Observed data matrix.
+    constraints:
+        Full current constraint list.
+    previous:
+        State returned by an earlier call.  Used only when its constraint
+        list is a *prefix* of ``constraints`` (the interactive append-only
+        pattern); otherwise a cold start happens silently.
+    options:
+        Solver options.
+
+    Returns
+    -------
+    (params, classes, report, state)
+        ``state`` should be passed as ``previous`` to the next call.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n, d = data.shape
+    classes = build_equivalence_classes(n, constraints)
+
+    params: ClassParameters | None = None
+    if previous is not None and _is_prefix(previous.constraints, constraints):
+        params = _seed_from_previous(previous, classes, d)
+
+    fitted, classes, report = solve_maxent(
+        data, constraints, options=options, params=params, classes=classes
+    )
+    state = WarmStartState(
+        constraints=list(constraints), params=fitted, classes=classes
+    )
+    return fitted, classes, report, state
+
+
+def _is_prefix(old: list, new: list) -> bool:
+    """True when ``old`` is exactly the first ``len(old)`` items of ``new``."""
+    if len(old) > len(new):
+        return False
+    return all(o is n for o, n in zip(old, new))
+
+
+def _seed_from_previous(
+    previous: WarmStartState, classes: EquivalenceClasses, dim: int
+) -> ClassParameters:
+    """Initialise new-class parameters from their old parent classes.
+
+    Every new equivalence class is contained in one old class (appending
+    constraints only refines the partition), so the parent lookup via any
+    representative row is well defined.
+    """
+    params = ClassParameters.prior(classes.n_classes, dim)
+    for c in range(classes.n_classes):
+        rep = int(classes.representative_rows[c])
+        parent = int(previous.classes.class_of_row[rep])
+        params.theta1[c] = previous.params.theta1[parent]
+        params.sigma[c] = previous.params.sigma[parent]
+        params.mean[c] = previous.params.mean[parent]
+    return params

@@ -1,0 +1,135 @@
+"""Natural and dual Gaussian parameters per equivalence class.
+
+The background distribution factorises over rows (Eq. 8):
+
+    p(X | theta) = prod_i N(x_i | m_i, Sigma_i)
+
+with natural parameters ``theta_i = (Sigma_i^-1 m_i, Sigma_i^-1)`` and dual
+parameters ``mu_i = (m_i, Sigma_i)``.  Rows in the same equivalence class
+share parameters, so only one copy per class is stored.
+
+Both representations are kept in sync at every step: the natural side is
+where constraint updates are additive, while expectations (and hence the
+lambda equations) are evaluated on the dual side.  Keeping both avoids any
+O(d^3) inversion in the hot loop — dual updates go through the Woodbury
+rank-1 identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataShapeError
+from repro.linalg import woodbury_rank1_inverse
+
+
+@dataclass
+class ClassParameters:
+    """Parameter store for all equivalence classes.
+
+    Attributes
+    ----------
+    theta1:
+        (C, d) array — natural location parameters ``Sigma^-1 m`` per class.
+    sigma:
+        (C, d, d) array — dual covariance matrices per class.
+    mean:
+        (C, d) array — dual means per class (always ``sigma @ theta1``).
+
+    Notes
+    -----
+    ``Sigma^-1`` itself (the natural precision) is never materialised: every
+    quadratic update touches it only through the Woodbury identity applied to
+    ``sigma``, and ``theta1`` is enough to recover the mean afterwards.
+    """
+
+    theta1: np.ndarray
+    sigma: np.ndarray
+    mean: np.ndarray
+
+    @classmethod
+    def prior(cls, n_classes: int, dim: int) -> "ClassParameters":
+        """Spherical standard-normal prior ``(m, Sigma) = (0, I)`` (Eq. 1)."""
+        if n_classes <= 0 or dim <= 0:
+            raise DataShapeError(
+                f"need positive n_classes and dim, got {n_classes}, {dim}"
+            )
+        theta1 = np.zeros((n_classes, dim))
+        sigma = np.broadcast_to(np.eye(dim), (n_classes, dim, dim)).copy()
+        mean = np.zeros((n_classes, dim))
+        return cls(theta1=theta1, sigma=sigma, mean=mean)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of equivalence classes covered."""
+        return int(self.theta1.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality d of the data space."""
+        return int(self.theta1.shape[1])
+
+    def apply_linear_update(
+        self, classes: np.ndarray, w: np.ndarray, lam: float
+    ) -> None:
+        """Linear-constraint update: ``theta1 += lam * w`` for the classes.
+
+        The covariance is untouched; means are refreshed from the natural
+        side (``m = Sigma theta1``).
+        """
+        self.theta1[classes] += lam * w
+        # einsum over the small class subset only.
+        self.mean[classes] = np.einsum(
+            "cij,cj->ci", self.sigma[classes], self.theta1[classes]
+        )
+
+    def apply_quadratic_update(
+        self, classes: np.ndarray, w: np.ndarray, lam: float, delta: float
+    ) -> None:
+        """Quadratic-constraint update with multiplier change ``lam``.
+
+        Natural side:  ``Sigma^-1 += lam w w^T`` and ``theta1 += lam*delta*w``
+        where ``delta = w^T m̂_I`` (the observed anchor mean projection).
+        Dual side: covariance via Woodbury rank-1 (O(d^2)), then
+        ``m = Sigma theta1``.
+        """
+        self.theta1[classes] += (lam * delta) * w
+        for c in classes:
+            self.sigma[c] = woodbury_rank1_inverse(self.sigma[c], w, lam)
+        self.mean[classes] = np.einsum(
+            "cij,cj->ci", self.sigma[classes], self.theta1[classes]
+        )
+
+    def projected_stats(
+        self, classes: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-class ``(w^T m, w^T Sigma w)`` for the given classes.
+
+        These scalars fully determine the expectation of any linear or
+        quadratic constraint function along ``w``.
+        """
+        means = self.mean[classes] @ w
+        variances = np.einsum(
+            "ci,cij,cj->c", np.broadcast_to(w, (classes.size, w.size)),
+            self.sigma[classes],
+            np.broadcast_to(w, (classes.size, w.size)),
+        )
+        # Numerical floors: variance can dip epsilon-negative after many
+        # rank-1 updates.
+        return means, np.maximum(variances, 0.0)
+
+    def copy(self) -> "ClassParameters":
+        """Deep copy (used by tests and by solver snapshots)."""
+        return ClassParameters(
+            theta1=self.theta1.copy(), sigma=self.sigma.copy(), mean=self.mean.copy()
+        )
+
+    def is_finite(self) -> bool:
+        """True if every stored parameter is finite."""
+        return bool(
+            np.all(np.isfinite(self.theta1))
+            and np.all(np.isfinite(self.sigma))
+            and np.all(np.isfinite(self.mean))
+        )

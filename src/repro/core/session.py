@@ -1,0 +1,238 @@
+"""`ExplorationSession`: the full interactive loop of Fig. 1, headless.
+
+The session glues together the background model, whitening, projection
+pursuit and the constraint vocabulary into exactly the cycle the paper's
+overview figure describes:
+
+1. (re)fit the background distribution,
+2. whiten the data against it,
+3. compute the most informative 2-D view (PCA or ICA objective),
+4. accept user knowledge (cluster / 2-D constraints on selected points),
+5. repeat until the view scores are negligible.
+
+Driving this class programmatically is the scripted analogue of a user
+driving the SIDER web UI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.background import BackgroundModel
+from repro.core.solver import SolverOptions, SolverReport
+from repro.projection.view import Projection2D, most_informative_view
+
+
+@dataclass
+class IterationRecord:
+    """What happened in one loop iteration (for history/reporting).
+
+    Attributes
+    ----------
+    index:
+        Iteration number, starting at 0.
+    view:
+        The projection shown to the (virtual) user.
+    solver_report:
+        Diagnostics of the fit that preceded the view.
+    constraints_added:
+        Labels of the constraint groups added *after* seeing this view.
+    """
+
+    index: int
+    view: Projection2D
+    solver_report: SolverReport
+    constraints_added: list[str] = field(default_factory=list)
+
+
+class ExplorationSession:
+    """Scripted interactive exploration of a dataset.
+
+    Parameters
+    ----------
+    data:
+        Observed data matrix (n x d).
+    objective:
+        Default view objective, ``"pca"`` or ``"ica"``.
+    standardize:
+        Standardise columns before exploring (recommended for raw-scale
+        data; see :class:`~repro.core.background.BackgroundModel`).
+    solver_options:
+        Optimisation options for every refit.
+    seed:
+        Seed for FastICA initialisation and background sampling, making the
+        whole session reproducible.
+
+    Examples
+    --------
+    >>> from repro.datasets import three_d_clusters
+    >>> bundle = three_d_clusters(seed=0)
+    >>> session = ExplorationSession(bundle.data, objective="pca")
+    >>> view = session.current_view()
+    >>> selection = session.select_within(view, corner="auto")   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        objective: str = "pca",
+        standardize: bool = False,
+        solver_options: SolverOptions | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if objective not in ("pca", "ica"):
+            raise ValueError(f"unknown objective {objective!r}; use 'pca' or 'ica'")
+        self.model = BackgroundModel(
+            data, standardize=standardize, solver_options=solver_options
+        )
+        self.objective = objective
+        self._rng = np.random.default_rng(seed)
+        self._history: list[IterationRecord] = []
+        self._current_view: Projection2D | None = None
+        self._pending_labels: list[str] = []
+        # Undo stack: (label, number of primitive constraints) per feedback
+        # action, newest last.
+        self._feedback_groups: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    @property
+    def history(self) -> tuple[IterationRecord, ...]:
+        """All completed iterations, oldest first."""
+        return tuple(self._history)
+
+    @property
+    def data(self) -> np.ndarray:
+        """The (possibly standardised) data being explored."""
+        return self.model.data
+
+    def current_view(self, objective: str | None = None) -> Projection2D:
+        """Fit (if needed) and return the most informative projection.
+
+        Calling this repeatedly without adding knowledge returns the same
+        view; after constraints are added — or when a different objective
+        is requested — a fresh fit/view is computed.
+        """
+        wanted = objective or self.objective
+        stale = (
+            self._current_view is None
+            or not self.model.is_fitted
+            or self._current_view.objective != wanted
+        )
+        if stale:
+            if self.model.is_fitted:
+                report = self.model.last_report
+            else:
+                report = self.model.fit()
+            whitened = self.model.whiten()
+            view = most_informative_view(whitened, objective=wanted, rng=self._rng)
+            record = IterationRecord(
+                index=len(self._history), view=view, solver_report=report
+            )
+            self._history.append(record)
+            self._current_view = view
+            self._pending_labels = record.constraints_added
+        return self._current_view
+
+    def mark_cluster(self, rows: Sequence[int] | np.ndarray, label: str = "") -> None:
+        """User feedback: "these points form a cluster" (cluster constraint)."""
+        name = label or f"cluster[{self.model.n_constraints}]"
+        before = self.model.n_constraints
+        self.model.add_cluster_constraint(rows, label=name)
+        self._note_feedback(name, self.model.n_constraints - before)
+
+    def mark_view_selection(
+        self, rows: Sequence[int] | np.ndarray, label: str = ""
+    ) -> None:
+        """User feedback along the *current view axes* only (2-D constraint)."""
+        view = self.current_view()
+        name = label or f"2d[{self.model.n_constraints}]"
+        before = self.model.n_constraints
+        self.model.add_projection_constraints(rows, view.axes, label=name)
+        self._note_feedback(name, self.model.n_constraints - before)
+
+    def assume_margins(self) -> None:
+        """Declare per-attribute means/variances as known (margin constraint)."""
+        before = self.model.n_constraints
+        self.model.add_margin_constraints()
+        self._note_feedback("margins", self.model.n_constraints - before)
+
+    def assume_overall_covariance(self) -> None:
+        """Declare the overall covariance as known (1-cluster constraint)."""
+        before = self.model.n_constraints
+        self.model.add_one_cluster_constraint()
+        self._note_feedback("1-cluster", self.model.n_constraints - before)
+
+    def undo_last_feedback(self) -> str | None:
+        """Retract the most recent feedback action (all its constraints).
+
+        Returns the undone action's label, or ``None`` when there is
+        nothing to undo.  The belief state reverts on the next fit — the
+        natural "that was not actually a cluster" escape hatch.
+        """
+        if not self._feedback_groups:
+            return None
+        label, count = self._feedback_groups.pop()
+        self.model.remove_last_constraints(count)
+        for record in reversed(self._history):
+            if label in record.constraints_added:
+                record.constraints_added.remove(label)
+                break
+        self._current_view = None
+        return label
+
+    def _note_feedback(self, label: str, n_constraints: int) -> None:
+        if self._history:
+            self._history[-1].constraints_added.append(label)
+        self._feedback_groups.append((label, n_constraints))
+        # Invalidate the cached view: the belief state changed.
+        self._current_view = None
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def whitened(self) -> np.ndarray:
+        """Whitened data under the current belief state (fits if needed)."""
+        self.current_view()
+        return self.model.whiten()
+
+    def background_sample(self) -> np.ndarray:
+        """Ghost points: one background draw per data row (fits if needed)."""
+        self.current_view()
+        return self.model.sample(rng=self._rng)
+
+    def is_explained(self, score_threshold: float = 5e-3) -> bool:
+        """True when the current best view has negligible score.
+
+        This is the natural stopping rule of the loop: no projection shows a
+        notable difference between data and background any more.
+        """
+        view = self.current_view()
+        return bool(np.max(np.abs(view.scores)) < score_threshold)
+
+    def run_steps(self, markings: Sequence[Sequence[int]]) -> list[Projection2D]:
+        """Scripted exploration: mark each given row set as a cluster in turn.
+
+        Parameters
+        ----------
+        markings:
+            A sequence of row-index collections; after each, the background
+            is refit and the next view computed.
+
+        Returns
+        -------
+        list[Projection2D]
+            The view *after* each marking (length = len(markings)).
+        """
+        views: list[Projection2D] = []
+        self.current_view()
+        for rows in markings:
+            self.mark_cluster(rows)
+            views.append(self.current_view())
+        return views

@@ -1,0 +1,170 @@
+"""Coordinate-ascent update rules for the lambda multipliers.
+
+One optimisation step picks a constraint ``t`` and solves for the change in
+its multiplier that makes the model expectation match the observed value
+(Sec. II-A.1).  For a linear constraint the solution is closed-form (Eq. 9);
+for a quadratic constraint it is the root of a monotone 1-D function, which
+we derive here in a numerically convenient form (equivalent to Eq. 10).
+
+Derivation of the quadratic lambda equation
+-------------------------------------------
+Write, per affected class c (all quantities *before* the update):
+
+    s_c = w^T Sigma_c w        (projected variance)
+    e_c = w^T m_c              (projected mean)
+    delta = w^T m̂_I            (projected observed anchor mean)
+
+Applying the natural update ``Sigma^-1 += lam w w^T``,
+``theta1 += lam*delta*w`` and pushing through Sherman–Morrison gives
+
+    w^T Sigma_c(lam) w = s_c / (1 + lam s_c)
+    w^T m_c(lam)       = (e_c + lam*delta*s_c) / (1 + lam s_c)
+
+so the constraint expectation
+
+    v(lam) = sum_c n_c * [ w^T Sigma_c(lam) w + (w^T m_c(lam) - delta)^2 ]
+           = sum_c n_c * [ s_c/(1+lam s_c) + (e_c-delta)^2/(1+lam s_c)^2 ]
+
+(where ``n_c`` is the class size) is strictly decreasing in lam on
+``lam > -1/max_c s_c``, diverges at the lower end and decays to the constant
+contribution of zero-variance classes as lam -> inf.  ``v(lam) = v̂`` is
+therefore solvable by bracketed Brent iteration whenever
+``v̂`` lies strictly between those limits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.constraint import Constraint, ConstraintKind
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.parameters import ClassParameters
+from repro.errors import RootFindError
+from repro.linalg import find_monotone_root
+
+#: Relative margin keeping the root search strictly inside the open domain.
+_DOMAIN_MARGIN = 1e-12
+
+#: Targets closer to the lam->inf asymptote than this (relatively) are
+#: treated as unreachable; the step is skipped instead of chasing a root at
+#: lam = inf.  Mirrors the paper's observation that singular optima are
+#: approached only in the limit (Fig. 5, Case B).
+_ASYMPTOTE_MARGIN = 1e-10
+
+
+def linear_step(
+    constraint: Constraint,
+    target: float,
+    params: ClassParameters,
+    classes: EquivalenceClasses,
+    t: int,
+) -> float:
+    """Solve and apply the exact multiplier change for a linear constraint.
+
+    Closed form (Eq. 9): ``lam = (v̂ - v) / sum_{i in I} w^T Sigma_i w``.
+
+    Returns
+    -------
+    float
+        The applied multiplier change (0.0 if the constraint was already
+        satisfied or is degenerate with zero projected variance).
+    """
+    affected = classes.members[t]
+    counts = classes.class_counts[affected].astype(np.float64)
+    w = constraint.w
+    means, variances = params.projected_stats(affected, w)
+    current = float(np.dot(counts, means))
+    denom = float(np.dot(counts, variances))
+    if denom <= 0.0:
+        # Zero variance along w for every affected row: the mean along w is
+        # pinned; no finite lambda moves it.
+        return 0.0
+    lam = (target - current) / denom
+    if lam != 0.0:
+        params.apply_linear_update(affected, w, lam)
+    return lam
+
+
+def quadratic_step(
+    constraint: Constraint,
+    target: float,
+    anchor_projection: float,
+    params: ClassParameters,
+    classes: EquivalenceClasses,
+    t: int,
+) -> float:
+    """Solve and apply the multiplier change for a quadratic constraint.
+
+    Parameters
+    ----------
+    constraint:
+        The quadratic constraint being updated.
+    target:
+        Observed value ``v̂_t`` of the constraint function.
+    anchor_projection:
+        ``delta = w^T m̂_I`` — projection of the observed anchor mean.
+    params, classes, t:
+        Parameter store, equivalence classes and the constraint's index.
+
+    Returns
+    -------
+    float
+        The applied multiplier change (0.0 when no finite root exists, e.g.
+        the model variance along ``w`` is already exactly zero).
+    """
+    affected = classes.members[t]
+    counts = classes.class_counts[affected].astype(np.float64)
+    w = constraint.w
+    means, variances = params.projected_stats(affected, w)
+    offsets_sq = (means - anchor_projection) ** 2
+
+    s_max = float(np.max(variances))
+    if s_max <= 0.0:
+        # All affected classes already have zero variance along w; the
+        # expectation is a constant and cannot be moved.
+        return 0.0
+
+    # v(lam) with the current parameters; see module docstring.
+    def expectation(lam: float) -> float:
+        denom = 1.0 + lam * variances
+        return float(
+            np.dot(counts, variances / denom + offsets_sq / denom**2)
+        )
+
+    # Asymptote as lam -> inf: only zero-variance classes keep contributing.
+    zero_var = variances <= 0.0
+    asymptote = float(np.dot(counts[zero_var], offsets_sq[zero_var]))
+    if target <= asymptote + _ASYMPTOTE_MARGIN * max(asymptote, 1.0):
+        # Target at or below the reachable infimum: push variance down hard
+        # but finitely.  Take a large fixed step; subsequent sweeps continue
+        # the descent, reproducing the 1/tau convergence of Fig. 5 (Case B).
+        lam = 1.0 / s_max
+        params.apply_quadratic_update(affected, w, lam, anchor_projection)
+        return lam
+
+    lower = -1.0 / s_max
+    lower = lower * (1.0 - _DOMAIN_MARGIN) + _DOMAIN_MARGIN * 0.0
+    current = expectation(0.0)
+    if current == target:
+        return 0.0
+
+    def phi(lam: float) -> float:
+        return expectation(lam) - target
+
+    try:
+        lam = find_monotone_root(
+            phi,
+            lower=lower,
+            upper=math.inf,
+            start=0.0,
+            initial_step=max(1.0 / s_max, 1e-6),
+        )
+    except RootFindError:
+        # Should not happen given the bracketed domain, but never let a
+        # single constraint step kill an interactive session: skip it.
+        return 0.0
+    if lam != 0.0:
+        params.apply_quadratic_update(affected, w, lam, anchor_projection)
+    return lam

@@ -1,0 +1,38 @@
+"""Datasets: the paper's synthetic data and surrogates for its real data."""
+
+from repro.datasets.base import DatasetBundle
+from repro.datasets.bnc import GENRES, bnc_surrogate
+from repro.datasets.cytometry import CHANNELS, POPULATIONS, cytometry_surrogate
+from repro.datasets.downsample import downsample, lift_selection
+from repro.datasets.paper import (
+    adversarial_constraints_case_a,
+    adversarial_constraints_case_b,
+    adversarial_three_points,
+    three_d_clusters,
+    x5,
+)
+from repro.datasets.runtime import runtime_constraints, runtime_dataset
+from repro.datasets.segmentation import CLASSES, segmentation_surrogate
+from repro.datasets.synthetic import gaussian_clusters, random_centroid_clusters
+
+__all__ = [
+    "DatasetBundle",
+    "gaussian_clusters",
+    "random_centroid_clusters",
+    "three_d_clusters",
+    "x5",
+    "adversarial_three_points",
+    "adversarial_constraints_case_a",
+    "adversarial_constraints_case_b",
+    "runtime_dataset",
+    "runtime_constraints",
+    "bnc_surrogate",
+    "GENRES",
+    "segmentation_surrogate",
+    "CLASSES",
+    "cytometry_surrogate",
+    "CHANNELS",
+    "POPULATIONS",
+    "downsample",
+    "lift_selection",
+]

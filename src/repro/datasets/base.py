@@ -1,0 +1,84 @@
+"""Dataset container shared by all generators and loaders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataShapeError
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A dataset plus its side information.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"x5"`` or ``"bnc-surrogate"``.
+    data:
+        The (n x d) data matrix.
+    labels:
+        Optional per-row class labels (length n, any hashable values).
+        Labels are *never* fed to the algorithm — exactly as in the paper,
+        they are only used retrospectively for evaluation (Jaccard indices).
+    feature_names:
+        Column names (length d); defaults to ``X1..Xd`` when omitted.
+    metadata:
+        Free-form extras recorded by the generator (cluster centres, seeds,
+        coupling probabilities, ...).
+    """
+
+    name: str
+    data: np.ndarray
+    labels: np.ndarray | None = None
+    feature_names: tuple[str, ...] = ()
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data, dtype=np.float64)
+        if data.ndim != 2:
+            raise DataShapeError(f"dataset must be 2-D, got shape {data.shape}")
+        object.__setattr__(self, "data", data)
+        if self.labels is not None:
+            labels = np.asarray(self.labels)
+            if labels.shape != (data.shape[0],):
+                raise DataShapeError(
+                    f"labels shape {labels.shape} does not match n={data.shape[0]}"
+                )
+            object.__setattr__(self, "labels", labels)
+        if not self.feature_names:
+            names = tuple(f"X{j + 1}" for j in range(data.shape[1]))
+            object.__setattr__(self, "feature_names", names)
+        elif len(self.feature_names) != data.shape[1]:
+            raise DataShapeError(
+                f"{len(self.feature_names)} feature names for d={data.shape[1]}"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows n."""
+        return int(self.data.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Number of attributes d."""
+        return int(self.data.shape[1])
+
+    def rows_with_label(self, label) -> np.ndarray:
+        """Indices of all rows carrying the given class label."""
+        if self.labels is None:
+            raise DataShapeError(f"dataset {self.name!r} has no labels")
+        return np.flatnonzero(self.labels == label)
+
+    def class_names(self) -> list:
+        """Distinct labels in first-appearance order."""
+        if self.labels is None:
+            return []
+        seen: dict = {}
+        for item in self.labels:
+            key = item.item() if hasattr(item, "item") else item
+            if key not in seen:
+                seen[key] = None
+        return list(seen)

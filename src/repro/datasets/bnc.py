@@ -1,0 +1,183 @@
+"""Surrogate for the British National Corpus use case (Sec. IV-B).
+
+The paper's preprocessing of the BNC yields word counts of the 100 most
+frequent words over the first 2000 words of each of 1335 texts drawn from
+four main genres ('prose fiction', 'transcribed conversations', 'broadsheet
+newspaper', 'academic prose').  The BNC itself is licensed and cannot be
+bundled, so this module synthesises a corpus with the same statistical
+topology:
+
+* a Zipf-like shared base distribution over a 100-word vocabulary,
+* per-genre multiplicative boosts on genre-characteristic word groups
+  (speech markers for conversations, narrative/pronoun words for fiction,
+  formal/nominal words for academic prose and news),
+* multinomial sampling of 2000 tokens per document.
+
+Calibration target (what the use case needs): the dominant variance
+direction separates 'transcribed conversations' sharply from everything
+else (the paper's first selection has Jaccard 0.928 to that class), the
+second round separates academic prose + broadsheet newspaper from prose
+fiction, after which the constrained background explains the data well.
+Spoken language genuinely is this far from written genres in function-word
+statistics, which is why the surrogate reproduces the paper's storyline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DatasetBundle
+
+GENRES = (
+    "prose fiction",
+    "transcribed conversations",
+    "broadsheet newspaper",
+    "academic prose",
+)
+
+#: Documents per genre; totals 1335 like the paper's corpus.
+GENRE_SIZES = {
+    "prose fiction": 476,
+    "transcribed conversations": 153,
+    "broadsheet newspaper": 418,
+    "academic prose": 288,
+}
+
+#: Vocabulary size (the "100 most frequent words").
+VOCABULARY_SIZE = 100
+
+#: Tokens sampled per document (the "first 2000 words").
+TOKENS_PER_DOCUMENT = 2000
+
+# Word-group index ranges used for genre boosts.  The surrogate vocabulary
+# is anonymous (w000..w099); groups play the role of, e.g., first/second
+# person pronouns, discourse markers, determiners, nominalisations.
+_GROUPS = {
+    "speech": slice(0, 15),        # 'I', 'you', 'yeah', 'know', ...
+    "narrative": slice(15, 30),    # past-tense verbs, 3rd person pronouns
+    "formal": slice(30, 45),       # 'of', 'which', nominal style
+    "reporting": slice(45, 55),    # 'said', 'according', news style
+    "common": slice(55, 100),      # genre-neutral filler
+}
+
+#: Multiplicative boosts per genre and word group.  Conversations are set
+#: far from the written genres (strong speech boost, weak formal); academic
+#: prose and broadsheet news share the formal register and form a combined
+#: secondary cluster; prose fiction stays close to the corpus-wide base
+#: distribution (it is the neutral bulk of the corpus, as in the real BNC),
+#: which is what lets two cluster constraints explain the whole dataset in
+#: the Fig. 8 storyline.
+_BOOSTS = {
+    "prose fiction": {"speech": 1.2, "narrative": 1.4, "formal": 0.9, "reporting": 0.9},
+    "transcribed conversations": {
+        "speech": 8.0, "narrative": 0.9, "formal": 0.35, "reporting": 0.4,
+    },
+    "broadsheet newspaper": {
+        "speech": 0.45, "narrative": 0.9, "formal": 2.8, "reporting": 2.6,
+    },
+    "academic prose": {
+        "speech": 0.3, "narrative": 0.7, "formal": 3.2, "reporting": 1.8,
+    },
+}
+
+#: Per-genre document-level dispersion (sigma of the log-normal jitter).
+#: Prose fiction is stylistically the most heterogeneous genre (novels,
+#: short stories, dialogue-heavy and narrative-heavy texts), while academic
+#: prose and news writing are editorially uniform — this is what makes the
+#: formal genres a *tight* on-screen cluster that a user lassos as one
+#: group, while fiction reads as the diffuse bulk of the corpus.
+_JITTER = {
+    "prose fiction": 0.55,
+    "transcribed conversations": 0.30,
+    "broadsheet newspaper": 0.22,
+    "academic prose": 0.22,
+}
+
+
+def bnc_surrogate(
+    seed: int | None = 0,
+    n_documents: int | None = None,
+    normalize: str = "hellinger",
+) -> DatasetBundle:
+    """Synthesise the BNC-like word-count dataset.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed.
+    n_documents:
+        Override the corpus size; genre proportions are kept.  Defaults to
+        the paper's 1335.
+    normalize:
+        ``"hellinger"`` (default) — square-root of relative frequencies, a
+        standard variance-stabilising transform for count data;
+        ``"relative"`` — plain relative frequencies; ``"counts"`` — raw
+        counts.  The paper works on the count vector-space model; the
+        Hellinger option simply stabilises scale so the spherical-prior
+        exploration starts sensibly, and is what the Fig. 7/8 harness uses
+        together with column standardisation.
+
+    Returns
+    -------
+    DatasetBundle
+        Labels are genre names; feature names ``w000..w099``.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = dict(GENRE_SIZES)
+    if n_documents is not None:
+        total = sum(sizes.values())
+        sizes = {
+            g: max(1, round(n_documents * s / total)) for g, s in sizes.items()
+        }
+
+    # Zipf-like base frequencies over the vocabulary.
+    ranks = np.arange(1, VOCABULARY_SIZE + 1, dtype=np.float64)
+    base = 1.0 / ranks
+    base /= base.sum()
+
+    rows = []
+    labels = []
+    for genre in GENRES:
+        boost = np.ones(VOCABULARY_SIZE)
+        for group, factor in _BOOSTS[genre].items():
+            boost[_GROUPS[group]] *= factor
+        genre_freq = base * boost
+        genre_freq /= genre_freq.sum()
+        for _ in range(sizes[genre]):
+            # Per-document topical jitter: documents of one genre are not
+            # identical multinomials (log-normal perturbation of the genre
+            # profile, like document-level topic variation).  The jitter
+            # scale is genre-specific; see _JITTER above.
+            jitter = np.exp(_JITTER[genre] * rng.standard_normal(VOCABULARY_SIZE))
+            doc_freq = genre_freq * jitter
+            doc_freq /= doc_freq.sum()
+            counts = rng.multinomial(TOKENS_PER_DOCUMENT, doc_freq)
+            rows.append(counts)
+            labels.append(genre)
+
+    counts = np.asarray(rows, dtype=np.float64)
+    perm = rng.permutation(counts.shape[0])
+    counts = counts[perm]
+    label_arr = np.asarray(labels)[perm]
+
+    if normalize == "hellinger":
+        data = np.sqrt(counts / TOKENS_PER_DOCUMENT)
+    elif normalize == "relative":
+        data = counts / TOKENS_PER_DOCUMENT
+    elif normalize == "counts":
+        data = counts
+    else:
+        raise ValueError(f"unknown normalize mode {normalize!r}")
+
+    return DatasetBundle(
+        name="bnc-surrogate",
+        data=data,
+        labels=label_arr,
+        feature_names=tuple(f"w{j:03d}" for j in range(VOCABULARY_SIZE)),
+        metadata={
+            "seed": seed,
+            "sizes": sizes,
+            "normalize": normalize,
+            "tokens_per_document": TOKENS_PER_DOCUMENT,
+        },
+    )

@@ -1,0 +1,126 @@
+"""Synthetic flow-cytometry dataset: the paper's forward-looking use case.
+
+The conclusions name computational flow cytometry as a concrete target
+application and report that "initial experiments with samples up to tens
+of thousands rows from flow-cytometry data has shown the computations in
+SIDER to scale up well and the projections to reveal structure in the
+data" (citing Saeys et al. 2016).  Real cytometry data (FCS files) is not
+bundled here, so this module synthesises a realistic stand-in:
+
+* each *event* (row) is a cell measured on fluorescence/scatter channels;
+* cell *populations* (lymphocytes, monocytes, ...) are log-normal-ish
+  blobs in channel space with population-specific marker expression;
+* raw intensities span decades, so the standard arcsinh (asinh) cofactor
+  transform of cytometry pipelines is applied;
+* rare populations (~1 %) exist — exactly the structure an iterative
+  exploration should surface after the dominant populations are marked.
+
+The matching benchmark (``bench_cytometry_scaling.py``) verifies the
+conclusion's scalability claim: the OPTIM phase is flat in the number of
+events and the whole loop stays interactive at tens of thousands of rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DatasetBundle
+
+CHANNELS = (
+    "FSC-A",      # forward scatter: cell size
+    "SSC-A",      # side scatter: granularity
+    "CD3",        # T cells
+    "CD19",       # B cells
+    "CD56",       # NK cells
+    "CD14",       # monocytes
+    "CD4",        # helper T subset
+    "CD8",        # cytotoxic T subset
+)
+
+#: Population fractions and mean marker expression (log10 intensity units)
+#: per channel, loosely following a peripheral-blood immunophenotyping
+#: panel.  Only the *relative* geometry matters for the reproduction.
+POPULATIONS = {
+    "t-helper":   {"fraction": 0.32, "mean": (2.0, 1.2, 3.2, 0.5, 0.6, 0.5, 3.0, 0.7)},
+    "t-cytotoxic": {"fraction": 0.18, "mean": (2.0, 1.2, 3.2, 0.5, 0.6, 0.5, 0.7, 3.0)},
+    "b-cells":    {"fraction": 0.12, "mean": (1.9, 1.1, 0.5, 3.1, 0.5, 0.5, 0.6, 0.6)},
+    "nk-cells":   {"fraction": 0.10, "mean": (2.0, 1.3, 0.6, 0.5, 3.0, 0.5, 0.6, 1.5)},
+    "monocytes":  {"fraction": 0.20, "mean": (2.6, 2.2, 0.6, 0.5, 0.6, 3.2, 1.0, 0.6)},
+    "debris":     {"fraction": 0.07, "mean": (1.0, 0.8, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4)},
+    # The planted rare population is CD3/CD56 double-bright: brighter on
+    # both markers than any dominant population, so it occupies a corner
+    # of channel space nothing else reaches.
+    "nkt-rare":   {"fraction": 0.01, "mean": (2.1, 1.3, 4.1, 0.5, 4.0, 0.5, 0.8, 1.6)},
+}
+
+#: arcsinh cofactor conventionally used for cytometry fluorescence.
+ASINH_COFACTOR = 150.0
+
+
+def cytometry_surrogate(
+    n_events: int = 20000,
+    seed: int | None = 0,
+    transform: bool = True,
+) -> DatasetBundle:
+    """Synthesise a flow-cytometry-like event matrix.
+
+    Parameters
+    ----------
+    n_events:
+        Number of cells (rows).  Tens of thousands is the regime the
+        paper's conclusion mentions.
+    seed:
+        RNG seed.
+    transform:
+        Apply the standard ``asinh(x / cofactor)`` transform (True) or
+        return raw linear intensities (False).
+
+    Returns
+    -------
+    DatasetBundle
+        Labels are population names; ``metadata["rare_population"]`` names
+        the ~1 % population planted for discovery.
+    """
+    rng = np.random.default_rng(seed)
+    names = list(POPULATIONS)
+    fractions = np.array([POPULATIONS[p]["fraction"] for p in names])
+    fractions = fractions / fractions.sum()
+    counts = rng.multinomial(n_events, fractions)
+
+    blocks = []
+    labels = []
+    for name, count in zip(names, counts):
+        mean_log10 = np.asarray(POPULATIONS[name]["mean"])
+        # Log-normal intensities: biological CVs are large and channel
+        # noise is multiplicative.
+        log_intensity = mean_log10 + 0.18 * rng.standard_normal((count, len(CHANNELS)))
+        intensity = 10.0**log_intensity
+        # Additive electronic noise floor.
+        intensity += rng.normal(0.0, 8.0, intensity.shape)
+        blocks.append(intensity)
+        labels.extend([name] * count)
+
+    data = np.vstack(blocks)
+    label_arr = np.asarray(labels)
+    perm = rng.permutation(data.shape[0])
+    data = data[perm]
+    label_arr = label_arr[perm]
+
+    if transform:
+        data = np.arcsinh(data / ASINH_COFACTOR)
+
+    return DatasetBundle(
+        name="cytometry-surrogate",
+        data=data,
+        labels=label_arr,
+        feature_names=CHANNELS,
+        metadata={
+            "seed": seed,
+            "transform": "asinh" if transform else "linear",
+            "cofactor": ASINH_COFACTOR,
+            "rare_population": "nkt-rare",
+            "population_counts": {
+                name: int(c) for name, c in zip(names, counts)
+            },
+        },
+    )

@@ -1,0 +1,112 @@
+"""Downsampling utilities for interactive-scale exploration.
+
+Sec. IV of the paper: interactive systems work with on the order of
+thousands of points — "if there are more data points it often makes sense
+to downsample the data first".  These helpers downsample a
+:class:`~repro.datasets.base.DatasetBundle` while keeping the side
+information (labels, metadata) consistent, and can map selections made on
+the sample back to the full data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DatasetBundle
+from repro.errors import DataShapeError
+
+
+def downsample(
+    bundle: DatasetBundle,
+    n_rows: int,
+    rng: np.random.Generator | None = None,
+    stratify: bool = False,
+) -> DatasetBundle:
+    """Randomly subsample a dataset bundle to ``n_rows`` rows.
+
+    Parameters
+    ----------
+    bundle:
+        The dataset to downsample.
+    n_rows:
+        Target number of rows (must not exceed the bundle's size).
+    rng:
+        Randomness source; defaults to a fresh default generator.
+    stratify:
+        If True (requires labels), sample each class proportionally so
+        small classes are not lost — important when the point of the
+        exploration is finding exactly those classes.
+
+    Returns
+    -------
+    DatasetBundle
+        A new bundle named ``"<name>#<n_rows>"``.  Its metadata carries
+        ``sample_rows``: the row indices into the original bundle, so
+        selections on the sample can be mapped back with
+        :func:`lift_selection`.
+    """
+    if n_rows <= 0 or n_rows > bundle.n_rows:
+        raise DataShapeError(
+            f"cannot downsample {bundle.n_rows} rows to {n_rows}"
+        )
+    rng = rng or np.random.default_rng()
+
+    if stratify:
+        if bundle.labels is None:
+            raise DataShapeError("stratified downsampling requires labels")
+        rows = _stratified_rows(bundle.labels, n_rows, rng)
+    else:
+        rows = np.sort(rng.choice(bundle.n_rows, size=n_rows, replace=False))
+
+    metadata = dict(bundle.metadata)
+    metadata["sample_rows"] = rows
+    metadata["parent_name"] = bundle.name
+    metadata["parent_n_rows"] = bundle.n_rows
+    return DatasetBundle(
+        name=f"{bundle.name}#{n_rows}",
+        data=bundle.data[rows].copy(),
+        labels=None if bundle.labels is None else bundle.labels[rows].copy(),
+        feature_names=bundle.feature_names,
+        metadata=metadata,
+    )
+
+
+def lift_selection(sample: DatasetBundle, rows) -> np.ndarray:
+    """Map a selection on a downsampled bundle back to parent row indices."""
+    if "sample_rows" not in sample.metadata:
+        raise DataShapeError(
+            f"bundle {sample.name!r} is not a downsample (no sample_rows)"
+        )
+    sample_rows = np.asarray(sample.metadata["sample_rows"], dtype=np.intp)
+    idx = np.asarray(rows, dtype=np.intp)
+    if idx.size and (idx.min() < 0 or idx.max() >= sample_rows.size):
+        raise DataShapeError("selection outside the downsampled bundle")
+    return sample_rows[idx]
+
+
+def _stratified_rows(
+    labels: np.ndarray, n_rows: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Proportional per-class sampling (largest-remainder rounding)."""
+    n = labels.shape[0]
+    classes, counts = np.unique(labels, return_counts=True)
+    raw = counts * (n_rows / n)
+    quota = np.floor(raw).astype(int)
+    remainder = n_rows - int(quota.sum())
+    # Distribute leftover rows to the largest fractional parts; classes
+    # rounded to zero get priority so no class disappears entirely.
+    frac_order = np.argsort(raw - quota)[::-1]
+    for j in range(remainder):
+        quota[frac_order[j % classes.size]] += 1
+    for c in np.flatnonzero(quota == 0):
+        donors = np.flatnonzero(quota > 1)
+        if donors.size:
+            quota[donors[0]] -= 1
+            quota[c] += 1
+
+    picked = []
+    for cls, k in zip(classes, quota):
+        members = np.flatnonzero(labels == cls)
+        k = min(k, members.size)
+        picked.append(rng.choice(members, size=k, replace=False))
+    return np.sort(np.concatenate(picked))

@@ -1,0 +1,201 @@
+"""The paper's synthetic datasets, rebuilt from their textual descriptions.
+
+Three datasets drive the method sections and the convergence study:
+
+* :func:`three_d_clusters` — the 3-D, 150-point introduction example
+  (Fig. 2): four clusters of which two partially overlap in the third
+  dimension, so the first two principal components show only three.
+* :func:`x5` — the 5-D, 1000-point running example ``X̂5`` (Fig. 3/4/6,
+  Table I): four clusters in dimensions 1–3 arranged so that in every 2-D
+  coordinate projection cluster A overlaps one of B, C, D; three clusters in
+  dimensions 4–5, loosely coupled (75 %) to membership in B/C/D.
+* :func:`adversarial_three_points` — the 3-point, 2-D dataset of Eq. 11
+  with its two constraint sets C_A / C_B used to demonstrate slow
+  convergence (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builders import cluster_constraint
+from repro.core.constraint import Constraint
+from repro.datasets.base import DatasetBundle
+from repro.datasets.synthetic import gaussian_clusters
+
+
+def three_d_clusters(seed: int | None = 0, spread: float = 0.15) -> DatasetBundle:
+    """The 3-D introduction dataset of Fig. 2.
+
+    150 points: two clusters of 50 and two of 25.  The two 25-point clusters
+    share their location in dimensions 1–2 and separate only along the third
+    dimension (partially overlapping there), so a PCA view of dimensions 1–2
+    shows three blobs of 50 points each.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed.
+    spread:
+        Within-cluster standard deviation.
+
+    Returns
+    -------
+    DatasetBundle
+        Labels 0/1 are the two big clusters, 2/3 the overlapping pair.
+    """
+    # The arrangement is deliberately asymmetric: a symmetric triangle of
+    # clusters leaves every in-plane direction with unit variance after
+    # standardisation, which would starve the PCA view score of signal.
+    centroids = np.array(
+        [
+            [0.0, 0.0, 0.0],    # big cluster 0
+            [2.0, 0.0, 0.0],    # big cluster 1
+            [0.2, 2.2, -0.25],  # small cluster 2 (lower in X3)
+            [0.2, 2.2, 0.25],   # small cluster 3 (higher in X3, overlaps 2)
+        ]
+    )
+    bundle = gaussian_clusters(
+        centroids,
+        sizes=[50, 50, 25, 25],
+        spreads=spread,
+        seed=seed,
+        name="three-d-clusters",
+    )
+    bundle.metadata["description"] = (
+        "Fig. 2 dataset: 4 clusters, two of which overlap in X3 only"
+    )
+    return bundle
+
+
+def x5(
+    n: int = 1000,
+    seed: int | None = 0,
+    spread123: float = 0.2,
+    spread45: float = 0.2,
+    coupling: float = 0.75,
+) -> DatasetBundle:
+    """The running example ``X̂5``: 5-D data with two coupled groupings.
+
+    Construction (Sec. II-A, Fig. 3):
+
+    * Dimensions 1–3 hold four clusters A, B, C, D.  B, C, D sit at the
+      cube corners ``(0,1,1)``, ``(1,0,1)``, ``(1,1,0)`` and A at
+      ``(1,1,1)``, so in each 2-D coordinate projection of dims 1–3, A
+      coincides with exactly one of B/C/D — no axis-aligned pairplot panel
+      can separate all four.
+    * Dimensions 4–5 hold three clusters E, F, G.  A point from B/C/D joins
+      E or F (equal odds) with probability ``coupling`` and G otherwise;
+      points from A always join G.
+
+    Returns
+    -------
+    DatasetBundle
+        ``labels`` carries the A–D grouping; ``metadata["labels45"]`` the
+        E–G grouping; ``metadata["cluster123"]``/``metadata["cluster45"]``
+        the integer ids.
+    """
+    rng = np.random.default_rng(seed)
+    centres123 = {
+        "A": np.array([1.0, 1.0, 1.0]),
+        "B": np.array([0.0, 1.0, 1.0]),
+        "C": np.array([1.0, 0.0, 1.0]),
+        "D": np.array([1.0, 1.0, 0.0]),
+    }
+    centres45 = {
+        "E": np.array([0.0, 0.0]),
+        "F": np.array([1.2, 0.0]),
+        "G": np.array([0.6, 1.2]),
+    }
+    names123 = list(centres123)
+    sizes = [n // 4 + (1 if c < n % 4 else 0) for c in range(4)]
+
+    rows = []
+    labels123 = []
+    labels45 = []
+    for name, size in zip(names123, sizes):
+        base = centres123[name]
+        block123 = base + spread123 * rng.standard_normal((size, 3))
+        for point123 in block123:
+            if name == "A":
+                group45 = "G"
+            elif rng.random() < coupling:
+                group45 = "E" if rng.random() < 0.5 else "F"
+            else:
+                group45 = "G"
+            point45 = centres45[group45] + spread45 * rng.standard_normal(2)
+            rows.append(np.concatenate([point123, point45]))
+            labels123.append(name)
+            labels45.append(group45)
+
+    data = np.asarray(rows)
+    labels123_arr = np.asarray(labels123)
+    labels45_arr = np.asarray(labels45)
+    perm = rng.permutation(n)
+    bundle = DatasetBundle(
+        name="x5",
+        data=data[perm],
+        labels=labels123_arr[perm],
+        metadata={
+            "labels45": labels45_arr[perm],
+            "centres123": centres123,
+            "centres45": centres45,
+            "coupling": coupling,
+            "seed": seed,
+        },
+    )
+    return bundle
+
+
+def adversarial_three_points() -> DatasetBundle:
+    """The 3-point, 2-D adversarial dataset of Eq. 11 (Fig. 5)."""
+    data = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+    return DatasetBundle(
+        name="adversarial-three-points",
+        data=data,
+        metadata={"description": "Eq. 11: slow-convergence toy example"},
+    )
+
+
+def adversarial_constraints_case_a(data: np.ndarray) -> list[Constraint]:
+    """Constraint set C_A: one cluster constraint on rows {0, 2}.
+
+    The paper writes C_A as axis-aligned linear+quadratic constraints on
+    rows 1 and 3 (1-based) along e1 and e2; since those rows' SVD axes are
+    axis-aligned this equals a cluster constraint on the pair.  We build the
+    explicit axis-aligned form to match the paper exactly.
+    """
+    return _axis_pair_constraints(data, rows=(0, 2), label="case-a")
+
+
+def adversarial_constraints_case_b(data: np.ndarray) -> list[Constraint]:
+    """Constraint set C_B: C_A plus the overlapping pair {1, 2}.
+
+    The overlap through row 2 combined with near-zero variances makes
+    coordinate ascent converge only as (Sigma_1)_11 ∝ 1/tau (Fig. 5b).
+    """
+    return adversarial_constraints_case_a(data) + _axis_pair_constraints(
+        data, rows=(1, 2), label="case-b-extra"
+    )
+
+
+def _axis_pair_constraints(
+    data: np.ndarray, rows: tuple[int, int], label: str
+) -> list[Constraint]:
+    """Linear+quadratic constraints along e1 and e2 for a row pair."""
+    from repro.core.constraint import ConstraintKind
+
+    idx = np.asarray(rows, dtype=np.intp)
+    out: list[Constraint] = []
+    for k in range(2):
+        w = np.zeros(2)
+        w[k] = 1.0
+        out.append(
+            Constraint(ConstraintKind.LINEAR, idx, w, label=f"{label}/e{k + 1}/lin")
+        )
+        out.append(
+            Constraint(
+                ConstraintKind.QUADRATIC, idx, w, label=f"{label}/e{k + 1}/quad"
+            )
+        )
+    return out

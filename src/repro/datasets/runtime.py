@@ -1,0 +1,47 @@
+"""Workload generator for the runtime experiment (Table II).
+
+The paper parametrises datasets by the number of points (n), dimensionality
+(d) and the number of clusters (k): k centroids are sampled at random and
+points allocated around them.  Column (margin) constraints are added for
+every dataset, plus cluster constraints for each of the k clusters when
+k > 1 — 2d + 2dk primitive constraints in total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builders import cluster_constraint, margin_constraints
+from repro.core.constraint import Constraint
+from repro.datasets.base import DatasetBundle
+from repro.datasets.synthetic import random_centroid_clusters
+
+
+def runtime_dataset(
+    n: int, d: int, k: int, seed: int | None = 0
+) -> DatasetBundle:
+    """One runtime-experiment dataset: k random-centroid Gaussian clusters."""
+    return random_centroid_clusters(
+        n=n, d=d, k=k, centroid_scale=4.0, spread=1.0, seed=seed,
+        name=f"runtime(n={n},d={d},k={k})",
+    )
+
+
+def runtime_constraints(bundle: DatasetBundle) -> list[Constraint]:
+    """The Table II constraint set for a runtime dataset.
+
+    Margin constraints (2d) always; cluster constraints (2d per cluster)
+    for each generated cluster when k > 1, using the true generator labels
+    as the selections — mimicking a user who marks every cluster.
+    """
+    constraints = margin_constraints(bundle.data)
+    k = len(bundle.metadata.get("sizes", ())) or (
+        len(np.unique(bundle.labels)) if bundle.labels is not None else 1
+    )
+    if k > 1 and bundle.labels is not None:
+        for c in np.unique(bundle.labels):
+            rows = bundle.rows_with_label(c)
+            constraints.extend(
+                cluster_constraint(bundle.data, rows, label=f"cluster[{c}]")
+            )
+    return constraints

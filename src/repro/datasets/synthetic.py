@@ -1,0 +1,112 @@
+"""Generic synthetic Gaussian-cluster generator.
+
+All the paper's synthetic workloads are built on the same primitive: sample
+cluster centroids, then scatter points around them.  This module provides
+that primitive with explicit control over sizes, spreads and seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.base import DatasetBundle
+from repro.errors import DataShapeError
+
+
+def gaussian_clusters(
+    centroids: np.ndarray,
+    sizes: Sequence[int],
+    spreads: Sequence[float] | float = 1.0,
+    seed: int | None = 0,
+    name: str = "gaussian-clusters",
+    shuffle: bool = True,
+) -> DatasetBundle:
+    """Sample isotropic Gaussian clusters around given centroids.
+
+    Parameters
+    ----------
+    centroids:
+        (k, d) array of cluster centres.
+    sizes:
+        Points per cluster (length k).
+    spreads:
+        Per-cluster standard deviation(s); a scalar applies to all clusters.
+    seed:
+        RNG seed; ``None`` for non-deterministic output.
+    name:
+        Bundle name.
+    shuffle:
+        Shuffle rows so cluster membership is not a function of row order
+        (labels follow the shuffle).
+
+    Returns
+    -------
+    DatasetBundle
+        With integer labels 0..k-1 identifying the generating cluster.
+    """
+    centres = np.atleast_2d(np.asarray(centroids, dtype=np.float64))
+    k, d = centres.shape
+    if len(sizes) != k:
+        raise DataShapeError(f"{len(sizes)} sizes for {k} centroids")
+    if np.isscalar(spreads):
+        spread_arr = np.full(k, float(spreads))
+    else:
+        spread_arr = np.asarray(spreads, dtype=np.float64)
+        if spread_arr.shape != (k,):
+            raise DataShapeError(f"spreads shape {spread_arr.shape} != ({k},)")
+
+    rng = np.random.default_rng(seed)
+    blocks = []
+    labels = []
+    for c in range(k):
+        blocks.append(centres[c] + spread_arr[c] * rng.standard_normal((sizes[c], d)))
+        labels.extend([c] * sizes[c])
+    data = np.vstack(blocks)
+    label_arr = np.asarray(labels)
+    if shuffle:
+        perm = rng.permutation(data.shape[0])
+        data = data[perm]
+        label_arr = label_arr[perm]
+    return DatasetBundle(
+        name=name,
+        data=data,
+        labels=label_arr,
+        metadata={
+            "centroids": centres,
+            "sizes": tuple(int(s) for s in sizes),
+            "spreads": spread_arr,
+            "seed": seed,
+        },
+    )
+
+
+def random_centroid_clusters(
+    n: int,
+    d: int,
+    k: int,
+    centroid_scale: float = 4.0,
+    spread: float = 1.0,
+    seed: int | None = 0,
+    name: str = "random-clusters",
+) -> DatasetBundle:
+    """Clusters around k random centroids — the Table II runtime workload.
+
+    Centroids are drawn from ``N(0, centroid_scale^2 I)`` and points split
+    as evenly as possible across clusters (remainders to the first ones),
+    mirroring "first randomly sampling k cluster centroids and then
+    allocating data points around each of the centroids" (Sec. IV-A).
+    """
+    if n < k:
+        raise DataShapeError(f"need n >= k, got n={n}, k={k}")
+    rng = np.random.default_rng(seed)
+    centres = centroid_scale * rng.standard_normal((k, d))
+    base = n // k
+    sizes = [base + (1 if c < n % k else 0) for c in range(k)]
+    # Derive a child seed so the point noise differs from the centroid draw
+    # but the whole dataset is still reproducible from `seed`.
+    child_seed = None if seed is None else seed + 1
+    return gaussian_clusters(
+        centres, sizes, spreads=spread, seed=child_seed, name=name, shuffle=True
+    )

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConstraintError(ReproError):
+    """A constraint definition is invalid (empty row set, bad vector, ...)."""
+
+
+class DataShapeError(ReproError):
+    """Input data does not have the expected shape or dtype."""
+
+
+class ConvergenceError(ReproError):
+    """The MaxEnt optimisation failed in a way that cannot be recovered.
+
+    Note that hitting the time cut-off is *not* an error — the paper's SIDER
+    system deliberately stops after ~10 seconds and uses the partially
+    converged model.  This exception is reserved for genuinely broken states
+    (NaNs in parameters, non-monotone root equations, ...).
+    """
+
+
+class RootFindError(ReproError):
+    """The 1-D root finder could not bracket or locate a root."""
+
+
+class NotFittedError(ReproError):
+    """An operation requiring a fitted model was called before fitting."""

@@ -1,0 +1,29 @@
+"""Evaluation metrics: selection quality and whitened-data gaussianity."""
+
+from repro.eval.gaussianity import (
+    GaussianityReport,
+    dimensions_explained,
+    gaussianity_report,
+)
+from repro.eval.information import (
+    background_kl_from_prior,
+    knowledge_gain,
+    row_negative_log_density,
+)
+from repro.eval.jaccard import best_matching_class, jaccard_index, jaccard_to_classes
+from repro.eval.summaries import ColumnSummary, score_drop, summarize_columns
+
+__all__ = [
+    "jaccard_index",
+    "jaccard_to_classes",
+    "best_matching_class",
+    "GaussianityReport",
+    "gaussianity_report",
+    "dimensions_explained",
+    "ColumnSummary",
+    "summarize_columns",
+    "score_drop",
+    "background_kl_from_prior",
+    "row_negative_log_density",
+    "knowledge_gain",
+]

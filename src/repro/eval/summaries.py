@@ -1,0 +1,61 @@
+"""Aggregate summaries used by experiments and the UI statistics panel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataShapeError
+
+
+@dataclass(frozen=True)
+class ColumnSummary:
+    """Five-number-style summary of one attribute (for the UI panel)."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize_columns(
+    data: np.ndarray, feature_names: list[str] | tuple[str, ...] | None = None
+) -> list[ColumnSummary]:
+    """Per-column summaries of a data matrix."""
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataShapeError(f"expected 2-D data, got shape {arr.shape}")
+    d = arr.shape[1]
+    names = list(feature_names) if feature_names else [f"X{j + 1}" for j in range(d)]
+    if len(names) != d:
+        raise DataShapeError(f"{len(names)} names for {d} columns")
+    out = []
+    for j in range(d):
+        col = arr[:, j]
+        out.append(
+            ColumnSummary(
+                name=names[j],
+                mean=float(col.mean()),
+                std=float(col.std(ddof=1)) if col.size > 1 else 0.0,
+                minimum=float(col.min()),
+                median=float(np.median(col)),
+                maximum=float(col.max()),
+            )
+        )
+    return out
+
+
+def score_drop(before: np.ndarray, after: np.ndarray) -> float:
+    """Relative drop of the top |view score| between two iterations.
+
+    1.0 means the new view is fully explained relative to the old one;
+    values near 0 mean the constraint taught the model nothing.
+    """
+    top_before = float(np.max(np.abs(np.asarray(before))))
+    top_after = float(np.max(np.abs(np.asarray(after))))
+    if top_before == 0.0:
+        return 0.0
+    return 1.0 - top_after / top_before

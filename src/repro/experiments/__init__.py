@@ -1,0 +1,32 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning a structured result object with
+a ``format_table()`` method that prints the same rows/series the paper
+reports.  See DESIGN.md §4 for the full experiment index.
+"""
+
+from repro.experiments import (
+    fig1_loop,
+    fig2_synthetic3d,
+    fig3_x5_structure,
+    fig5_convergence,
+    fig6_whitening,
+    fig7_bnc_first_view,
+    fig8_bnc_iterations,
+    fig9_segmentation,
+    table1_ica_scores,
+    table2_runtime,
+)
+
+__all__ = [
+    "fig1_loop",
+    "fig2_synthetic3d",
+    "fig3_x5_structure",
+    "table1_ica_scores",
+    "fig5_convergence",
+    "fig6_whitening",
+    "table2_runtime",
+    "fig7_bnc_first_view",
+    "fig8_bnc_iterations",
+    "fig9_segmentation",
+]

@@ -1,0 +1,128 @@
+"""Fig. 7 reproduction: first PCA view of the BNC (surrogate) corpus.
+
+The paper's first BNC view surfaces a tight group of points that turns out
+to be almost exactly the 'transcribed conversations' genre (Jaccard 0.928),
+and the pairplot shows the selection differing sharply from the rest of the
+data.  This harness:
+
+1. builds the surrogate corpus (1335 docs, 100 word features, 4 genres),
+2. fits the (empty) background and takes the most informative PCA view,
+3. selects the on-screen blob *geometrically* (no labels used),
+4. measures the Jaccard of the selection against all genres,
+5. assembles the full UI frame (scatterplot + pairplot + statistics),
+   exactly what Fig. 7's screenshot displays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.bnc import bnc_surrogate
+from repro.eval.jaccard import best_matching_class, jaccard_to_classes
+from repro.experiments.report import format_table
+from repro.ui.app import Frame, SiderApp
+from repro.ui.selection import select_knn_blob
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Outcome of the first BNC exploration round.
+
+    Attributes
+    ----------
+    frame:
+        The rendered UI frame after the selection.
+    selection:
+        The geometrically selected rows.
+    best_class, best_jaccard:
+        The genre best matching the selection and its Jaccard index
+        (paper: 'transcribed conversations', 0.928).
+    jaccard_by_class:
+        Jaccard against every genre.
+    top_separating_attributes:
+        The pairplot's attribute ranking (names).
+    """
+
+    frame: Frame
+    selection: np.ndarray
+    best_class: str
+    best_jaccard: float
+    jaccard_by_class: dict
+    top_separating_attributes: tuple
+
+    def format_table(self) -> str:
+        """Render the Jaccard table of the first selection."""
+        rows = [
+            (genre, f"{value:.3f}")
+            for genre, value in self.jaccard_by_class.items()
+        ]
+        return format_table(
+            ["genre", "Jaccard to selection"],
+            rows,
+            title="Fig. 7 — first BNC view: selection vs. genres",
+        )
+
+
+def run(seed: int = 0, n_documents: int | None = None) -> tuple[Fig7Result, SiderApp]:
+    """Run the first BNC round; returns the result and the live app.
+
+    The app is returned so the Fig. 8 harness can continue the session.
+    """
+    bundle = bnc_surrogate(seed=seed, n_documents=n_documents)
+    app = SiderApp(
+        bundle.data,
+        feature_names=bundle.feature_names,
+        objective="pca",
+        standardize=True,
+        seed=seed,
+    )
+    frame = app.render()
+
+    # Geometric selection of the most isolated on-screen blob: find the
+    # projected point farthest from the overall centre and grow a
+    # neighbourhood of the expected blob size around it.  No labels used.
+    projected = frame.view.project(app.session.data)
+    centre = projected.mean(axis=0)
+    distances = np.linalg.norm(projected - centre, axis=1)
+    seed_point = int(np.argmax(distances))
+    blob = _grow_blob(projected, seed_point)
+    app.select_rows(blob)
+    frame = app.render()
+
+    labels = bundle.labels
+    best_class, best_jaccard = best_matching_class(blob, labels)
+    table = jaccard_to_classes(blob, labels)
+    top_attrs = frame.pairplot.attribute_names if frame.pairplot else ()
+
+    result = Fig7Result(
+        frame=frame,
+        selection=blob,
+        best_class=str(best_class),
+        best_jaccard=float(best_jaccard),
+        jaccard_by_class=table,
+        top_separating_attributes=tuple(top_attrs),
+    )
+    # Stash the bundle for follow-up harnesses.
+    app.bundle = bundle  # type: ignore[attr-defined]
+    return result, app
+
+
+def _grow_blob(projected: np.ndarray, seed_point: int) -> np.ndarray:
+    """Grow a selection around a seed by the largest density gap.
+
+    Sort all points by distance to the seed and cut at the largest relative
+    jump in consecutive distances within the first 80 % — a scale-free
+    stand-in for "lasso around the visually isolated blob".
+    """
+    dist = np.linalg.norm(projected - projected[seed_point], axis=1)
+    order = np.argsort(dist)
+    sorted_dist = dist[order]
+    n = projected.shape[0]
+    lo, hi = max(5, n // 100), int(0.8 * n)
+    gaps = sorted_dist[lo + 1 : hi] - sorted_dist[lo : hi - 1]
+    # Relative gap: jump size vs. distance scale at that radius.
+    rel = gaps / np.maximum(sorted_dist[lo : hi - 1], 1e-12)
+    cut = lo + int(np.argmax(rel)) + 1
+    return np.sort(order[:cut])

@@ -1,0 +1,128 @@
+"""Fig. 8 reproduction: second and third BNC exploration rounds.
+
+Continuing from the Fig. 7 state (cluster constraint on the conversations
+blob):
+
+(a) the next most informative PCA view shows another coherent group —
+    mainly 'academic prose' + 'broadsheet newspaper' (paper Jaccards 0.63
+    and 0.35) — which the user also marks as a cluster;
+(b) after that second constraint and a background update, the PCA view no
+    longer shows striking differences (low PCA scores): the conversations
+    cluster plus the academic/news cluster explain the count variation of
+    the most frequent words.
+
+Shape checks: the second selection is dominated by the two formal written
+genres, and the top PCA score decays strongly across the three rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.jaccard import jaccard_index, jaccard_to_classes
+from repro.experiments import fig7_bnc_first_view
+from repro.experiments.report import format_table
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Outcome of BNC rounds two and three.
+
+    Attributes
+    ----------
+    first_round:
+        The Fig. 7 result this run continued from.
+    second_selection:
+        Rows selected in the second view.
+    second_jaccards:
+        Jaccard of the second selection against each genre.
+    combined_jaccard:
+        Jaccard of the second selection against the *union* of academic
+        prose + broadsheet newspaper (the paper's combined cluster).
+    top_scores:
+        Top |PCA score| at rounds 0, 1, 2 — expected to decay.
+    """
+
+    first_round: fig7_bnc_first_view.Fig7Result
+    second_selection: np.ndarray
+    second_jaccards: dict
+    combined_jaccard: float
+    top_scores: tuple
+
+    def format_table(self) -> str:
+        """Render the per-round score decay and second-round Jaccards."""
+        rows = [
+            ("round 0 (initial view)", f"{self.top_scores[0]:.4f}", "-"),
+            (
+                "round 1 (after conversations cluster)",
+                f"{self.top_scores[1]:.4f}",
+                ", ".join(
+                    f"{g}: {v:.2f}" for g, v in list(self.second_jaccards.items())[:2]
+                ),
+            ),
+            (
+                "round 2 (after academic+news cluster)",
+                f"{self.top_scores[2]:.4f}",
+                f"combined Jaccard {self.combined_jaccard:.2f}",
+            ),
+        ]
+        return format_table(
+            ["round", "top |PCA score|", "selection identity"],
+            rows,
+            title="Fig. 8 — BNC iterations",
+        )
+
+
+def run(seed: int = 0, n_documents: int | None = None) -> Fig8Result:
+    """Run BNC rounds two and three on top of the Fig. 7 state."""
+    first, app = fig7_bnc_first_view.run(seed=seed, n_documents=n_documents)
+    bundle = app.bundle  # type: ignore[attr-defined]
+    score_round0 = float(np.max(np.abs(first.frame.view.scores)))
+
+    # Round 1: constrain the conversations blob, update, take the new view.
+    app.add_cluster_constraint(label="bnc-conversations")
+    app.update_background()
+    frame1 = app.render()
+    score_round1 = float(np.max(np.abs(frame1.view.scores)))
+
+    # Geometric selection of the next coherent group.  The round-1 view
+    # stretches along its first axis; candidate blobs grow from both
+    # extremes (excluding already-constrained points), and the user picks
+    # the *tight* one — a visually crisp cluster — over the diffuse bulk.
+    projected = frame1.view.project(app.session.data)
+    remaining = np.setdiff1d(np.arange(projected.shape[0]), first.selection)
+    axis_coord = projected[:, 0]
+    seed_low = int(remaining[np.argmin(axis_coord[remaining])])
+    seed_high = int(remaining[np.argmax(axis_coord[remaining])])
+    candidates = []
+    for seed_point in (seed_low, seed_high):
+        blob = fig7_bnc_first_view._grow_blob(projected, seed_point)
+        blob = np.setdiff1d(blob, first.selection)
+        if blob.size >= 10:
+            tightness = float(np.mean(np.std(projected[blob], axis=0)))
+            candidates.append((tightness, blob))
+    candidates.sort(key=lambda item: item[0])
+    blob = candidates[0][1]
+    app.select_rows(blob)
+
+    labels = bundle.labels
+    jaccards = jaccard_to_classes(blob, labels)
+    academic = np.flatnonzero(labels == "academic prose")
+    news = np.flatnonzero(labels == "broadsheet newspaper")
+    combined = jaccard_index(blob, np.concatenate([academic, news]))
+
+    # Round 2: constrain it, update; scores should now be small.
+    app.add_cluster_constraint(label="bnc-academic-news")
+    app.update_background()
+    frame2 = app.render()
+    score_round2 = float(np.max(np.abs(frame2.view.scores)))
+
+    return Fig8Result(
+        first_round=first,
+        second_selection=blob,
+        second_jaccards=jaccards,
+        combined_jaccard=float(combined),
+        top_scores=(score_round0, score_round1, score_round2),
+    )

@@ -1,0 +1,258 @@
+"""Fig. 9 reproduction: the UCI Image Segmentation (surrogate) use case.
+
+Storyline being reproduced (panels a-f of Fig. 9):
+
+(a) the initial PCA view shows a gross scale mismatch between the raw-scale
+    data and the unit spherical background;
+(b) after a 1-cluster constraint (overall covariance) the view shows at
+    least three separated groups; the first selected group is pure 'sky'
+    (paper: selection contains solely 'sky' points);
+(c) the central blob selection mixes the five man-made-surface classes
+    (paper: Jaccard ≈ 0.2 each);
+(d) the third selection is mainly 'grass' (paper: Jaccard 0.964);
+(e) with the three cluster constraints added, data and background match
+    except for some outliers;
+(f) the next PCA view is dominated by outlier points.
+
+Selections are geometric (grown around view-extreme seeds); class labels
+are only used retrospectively for Jaccard scoring, exactly as in the paper.
+
+Deviation from the paper's figure: the paper labels panels (b)-(f) as PCA
+projections.  After a 1-cluster constraint the model covariance equals the
+sample covariance *exactly*, so every direction of the whitened data has
+unit variance and the PCA view score carries no signal — a situation the
+paper itself notes in Sec. II-C ("it may happen that the variance is
+already taken into account in the variance constraints, in which case PCA
+is not informative... we can for example use Independent Component
+Analysis").  Our solver converges to machine precision (the R original
+stops at a 1e-2 tolerance, leaving residual variance structure for PCA to
+latch onto), so this harness follows the paper's own remedy and uses the
+ICA objective for the post-constraint views.  The storyline and all
+quantitative targets are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.segmentation import segmentation_surrogate
+from repro.eval.jaccard import best_matching_class, jaccard_to_classes
+from repro.experiments.report import format_table
+from repro.ui.app import SiderApp
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Outcome of the segmentation use case.
+
+    Attributes
+    ----------
+    initial_scale_mismatch:
+        Ratio of background-ghost spread to data spread in the initial
+        view (expected >> 1 or << 1 — a gross mismatch).
+    sky_jaccard, grass_jaccard:
+        Jaccard of the sky / grass selections to their classes
+        (paper: 1.0 and 0.964).
+    middle_jaccards:
+        Jaccard of the central-blob selection to each of the five
+        overlapping classes (paper: ≈ 0.2 each).
+    score_before_constraints, score_after_constraints:
+        Top |PCA score| after the 1-cluster constraint vs. after the three
+        cluster constraints (expected: strong decay).
+    outlier_fraction_in_final_view:
+        Fraction of the five most extreme points of the final (whitened)
+        view that are *injected* outliers — the paper's "the next
+        projection reveals that indeed there are outliers" claim; expected
+        to be the majority.
+    top_extreme_is_outlier:
+        Whether the single most extreme point of the final view is an
+        injected outlier.
+    """
+
+    initial_scale_mismatch: float
+    sky_jaccard: float
+    grass_jaccard: float
+    middle_jaccards: dict
+    score_before_constraints: float
+    score_after_constraints: float
+    outlier_fraction_in_final_view: float
+    top_extreme_is_outlier: bool
+
+    def format_table(self) -> str:
+        """Render the panel-by-panel summary."""
+        middle = ", ".join(
+            f"{name}: {value:.2f}" for name, value in self.middle_jaccards.items()
+        )
+        rows = [
+            ("a: initial view", f"scale mismatch x{self.initial_scale_mismatch:.1f}"),
+            ("b: sky selection", f"Jaccard {self.sky_jaccard:.3f}"),
+            ("c: middle blob", middle),
+            ("d: grass selection", f"Jaccard {self.grass_jaccard:.3f}"),
+            (
+                "e: after 3 cluster constraints",
+                f"top score {self.score_before_constraints:.3f} -> "
+                f"{self.score_after_constraints:.3f}",
+            ),
+            (
+                "f: next view",
+                f"injected outliers {100 * self.outlier_fraction_in_final_view:.0f}% "
+                f"of top-5 extremes (most extreme point is outlier: "
+                f"{self.top_extreme_is_outlier})",
+            ),
+        ]
+        return format_table(
+            ["panel", "observation"],
+            rows,
+            title="Fig. 9 — Image Segmentation use case",
+        )
+
+
+def run(seed: int = 0, samples_per_class: int = 330) -> Fig9Result:
+    """Execute the full Fig. 9 walkthrough."""
+    bundle = segmentation_surrogate(seed=seed, samples_per_class=samples_per_class)
+    labels = bundle.labels
+    app = SiderApp(
+        bundle.data,
+        feature_names=bundle.feature_names,
+        objective="pca",
+        standardize=False,  # the raw scales ARE the panel-(a) insight
+        seed=seed,
+    )
+    frame = app.render()
+
+    # Panel a: spread of ghosts vs. data in the initial view.
+    pts = frame.scatterplot.points
+    ghosts = frame.scatterplot.ghost_points
+    data_spread = float(np.mean(np.std(pts, axis=0)))
+    ghost_spread = float(np.mean(np.std(ghosts, axis=0)))
+    ratio = max(ghost_spread, data_spread) / max(min(ghost_spread, data_spread), 1e-12)
+
+    # Panel b: 1-cluster constraint, update.  The covariance is now fully
+    # constrained, so switch to the ICA objective (see module docstring).
+    app.add_one_cluster_constraint()
+    app.toggle_objective()  # pca -> ica
+    app.update_background()
+    frame_b = app.render()
+    score_before = float(np.max(np.abs(frame_b.view.scores)))
+
+    # Panels b-d: all three selections happen in this one projection, as in
+    # the paper — two extreme tight blobs (sky and grass, in whichever
+    # order the view surfaces them) plus the dense central mass.
+    projected = frame_b.view.project(app.session.data)
+    centre = np.median(projected, axis=0)
+    dist = np.linalg.norm(projected - centre, axis=1)
+    seed1 = _extreme_dense_seed(projected, dist)
+    blob1 = _grow_blob(projected, seed1)
+    dist_masked = dist.copy()
+    dist_masked[blob1] = -np.inf
+    seed2 = _extreme_dense_seed(projected, dist_masked)
+    blob2 = np.setdiff1d(_grow_blob(projected, seed2), blob1)
+
+    class1, j1 = best_matching_class(blob1, labels)
+    class2, j2 = best_matching_class(blob2, labels)
+    if class1 == "sky":
+        sky_j, grass_j = j1, j2
+    else:
+        sky_j, grass_j = j2, j1
+
+    # Middle blob: the dense core of everything else.
+    taken = np.union1d(blob1, blob2)
+    middle_rows = _dense_core(
+        app.session.data, np.setdiff1d(np.arange(labels.size), taken)
+    )
+    middle_j = jaccard_to_classes(middle_rows, labels)
+    overlapping = ("brickface", "cement", "foliage", "path", "window")
+    middle_jaccards = {name: middle_j.get(name, 0.0) for name in overlapping}
+
+    # Panel e: add the three cluster constraints, update once.
+    for rows, label in (
+        (blob1, "seg-blob1"),
+        (blob2, "seg-blob2"),
+        (middle_rows, "seg-middle"),
+    ):
+        app.select_rows(rows)
+        app.add_cluster_constraint(label=label)
+    app.update_background()
+    frame_e = app.render()
+    score_after = float(np.max(np.abs(frame_e.view.scores)))
+
+    # Panel f: the most extreme points of the new view should be outliers.
+    # Extremeness is measured in the *whitened* view: "stands out" means
+    # "differs from the background distribution", and the constrained
+    # classes (sky, grass) remain remote in raw coordinates even though the
+    # belief state now fully explains them.
+    whitened = app.session.whitened()
+    proj_f = whitened @ frame_e.view.axes.T
+    centre = np.median(proj_f, axis=0)
+    dist = np.linalg.norm(proj_f - centre, axis=1)
+    outliers = set(int(i) for i in bundle.metadata["outlier_rows"])
+    n_extreme = 5
+    extreme = np.argsort(dist)[::-1][:n_extreme]
+    hit = sum(1 for i in extreme if int(i) in outliers) / n_extreme
+    top_is_outlier = int(extreme[0]) in outliers
+
+    return Fig9Result(
+        initial_scale_mismatch=float(ratio),
+        sky_jaccard=float(sky_j),
+        grass_jaccard=float(grass_j),
+        middle_jaccards=middle_jaccards,
+        score_before_constraints=score_before,
+        score_after_constraints=score_after,
+        outlier_fraction_in_final_view=float(hit),
+        top_extreme_is_outlier=bool(top_is_outlier),
+    )
+
+
+def _extreme_dense_seed(
+    projected: np.ndarray, masked_dist: np.ndarray, min_neighbours: int = 10
+) -> int:
+    """The farthest point from the view centre that sits inside a blob.
+
+    A user lassoing a remote cluster aims at a *group* of points, not a
+    stray outlier.  Candidates are scanned from the most remote inwards;
+    the first one whose ``min_neighbours``-th nearest neighbour is close
+    (relative to the view's overall scale) wins.
+    """
+    scale = float(np.mean(np.std(projected, axis=0)))
+    order = np.argsort(masked_dist)[::-1]
+    for candidate in order[: max(50, projected.shape[0] // 10)]:
+        if masked_dist[candidate] == -np.inf:
+            break
+        neighbour_dist = np.sort(
+            np.linalg.norm(projected - projected[candidate], axis=1)
+        )[min_neighbours]
+        if neighbour_dist < 0.15 * scale:
+            return int(candidate)
+    # Fallback: plain farthest point.
+    return int(order[0])
+
+
+def _dense_core(data: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """The dense core of a row set: drop the 2 % most remote points.
+
+    Mimics a user lassoing the central mass while leaving stray outliers
+    outside the selection.  Distances are measured in standardised data
+    space so no single raw-scale attribute dominates.
+    """
+    sub = data[rows]
+    scale = sub.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    standardised = (sub - sub.mean(axis=0)) / scale
+    dist = np.linalg.norm(standardised, axis=1)
+    cutoff = np.quantile(dist, 0.98)
+    return rows[dist <= cutoff]
+
+
+def _grow_blob(projected: np.ndarray, seed_point: int) -> np.ndarray:
+    """Largest-relative-gap neighbourhood growth (same idea as Fig. 7)."""
+    dist = np.linalg.norm(projected - projected[seed_point], axis=1)
+    order = np.argsort(dist)
+    sorted_dist = dist[order]
+    n = projected.shape[0]
+    lo, hi = max(5, n // 100), n // 2
+    gaps = sorted_dist[lo + 1 : hi] - sorted_dist[lo : hi - 1]
+    rel = gaps / np.maximum(sorted_dist[lo : hi - 1], 1e-12)
+    cut = lo + int(np.argmax(rel)) + 1
+    return np.sort(order[:cut])

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment harnesses.
+
+Every experiment module renders its result as rows comparable to the
+paper's tables/figures; this module holds the shared formatting helpers so
+the outputs stay visually consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; formatted with ``str`` (pre-format floats yourself).
+    title:
+        Optional heading line.
+    """
+    cells = [[str(h) for h in headers]] + [[str(v) for v in row] for row in rows]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_floats(values: Sequence[float], precision: int = 3) -> str:
+    """Space-separated fixed-precision floats, e.g. for score rows."""
+    return " ".join(f"{v:.{precision}f}" for v in values)
+
+
+def format_seconds(values: Sequence[float]) -> str:
+    """Brace-grouped seconds like the paper's Table II cells."""
+    return "{" + ", ".join(f"{v:.1f}" for v in values) + "}"

@@ -1,0 +1,211 @@
+"""Table II reproduction: runtime scaling of OPTIM and ICA.
+
+The paper measures median wall-clock times over 10 runs for the parameter
+grid n ∈ {2048, 4096, 8192}, d ∈ {16, 32, 64, 128}, k ∈ {1, 2, 4, 8}:
+margin constraints for every dataset plus cluster constraints per cluster
+when k > 1, optimised without any time cut-off, followed by FastICA on the
+whitened data.
+
+Shape targets (absolute numbers depend on hardware/runtime):
+
+* OPTIM time is independent of n (equivalence classes);
+* OPTIM scales roughly as O(k d^3) — each step is O(d^2) per constraint
+  and there are O(kd) constraints;
+* ICA scales roughly as O(n d^2).
+
+The default grid is trimmed so the harness stays interactive; set
+``REPRO_FULL_GRID=1`` (or pass ``full_grid=True``) for the paper's grid.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.solver import SolverOptions, solve_maxent
+from repro.core.whitening import whiten
+from repro.datasets.runtime import runtime_constraints, runtime_dataset
+from repro.experiments.report import format_seconds, format_table
+from repro.projection.fastica import fit_fastica
+
+#: Trimmed grid: same shape checks, laptop-friendly runtime.  The d range
+#: reaches 64 so the O(d^3) regime of OPTIM is visible above the
+#: per-constraint Python overhead.
+DEFAULT_GRID = {
+    "n": (512, 1024, 2048),
+    "d": (16, 32, 64),
+    "k": (1, 2, 4),
+}
+
+#: The paper's grid.
+FULL_GRID = {
+    "n": (2048, 4096, 8192),
+    "d": (16, 32, 64, 128),
+    "k": (1, 2, 4, 8),
+}
+
+
+@dataclass(frozen=True)
+class RuntimeCell:
+    """Median timings for one (n, d) row of the table.
+
+    Attributes
+    ----------
+    n, d:
+        Dataset shape.
+    optim_by_k:
+        Median OPTIM seconds per k (ordered like the grid's k values).
+    ica_by_k:
+        Median ICA seconds per k.
+    """
+
+    n: int
+    d: int
+    optim_by_k: tuple
+    ica_by_k: tuple
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All cells of the runtime table plus the grid used.
+
+    Attributes
+    ----------
+    cells:
+        One :class:`RuntimeCell` per (n, d) pair, row-major like Table II.
+    grid:
+        The parameter grid that was run.
+    repeats:
+        Runs per cell (paper: 10; default here: 3).
+    """
+
+    cells: list
+    grid: dict
+    repeats: int
+
+    def format_table(self) -> str:
+        """Render rows like the paper's Table II."""
+        rows = [
+            (
+                cell.n,
+                cell.d,
+                format_seconds(cell.optim_by_k),
+                format_seconds(cell.ica_by_k),
+            )
+            for cell in self.cells
+        ]
+        ks = ", ".join(str(k) for k in self.grid["k"])
+        return format_table(
+            ["n", "d", "OPTIM (s)", "ICA (s)"],
+            rows,
+            title=f"Table II — median wall-clock seconds, k in {{{ks}}}",
+        )
+
+    # ------------------------------------------------------------------
+    # Scaling shape extractors (used by tests and EXPERIMENTS.md)
+    # ------------------------------------------------------------------
+
+    def optim_n_dependence(self) -> float:
+        """Ratio max/min of OPTIM time across n at fixed (d, k).
+
+        Expected ≈ 1 (independent of n).  Uses the largest (d, k) cell
+        where timings are biggest and noise relatively smallest.
+        """
+        d_max = max(self.grid["d"])
+        times = [
+            cell.optim_by_k[-1] for cell in self.cells if cell.d == d_max
+        ]
+        low = max(min(times), 1e-9)
+        return max(times) / low
+
+    def optim_d_exponent(self) -> float:
+        """Fitted exponent of OPTIM time vs d at the largest n and k."""
+        n_max = max(self.grid["n"])
+        pairs = [
+            (cell.d, cell.optim_by_k[-1])
+            for cell in self.cells
+            if cell.n == n_max
+        ]
+        return _fit_exponent(pairs)
+
+    def ica_n_exponent(self) -> float:
+        """Fitted exponent of ICA time vs n at the largest d."""
+        d_max = max(self.grid["d"])
+        pairs = [
+            (cell.n, np.median(cell.ica_by_k))
+            for cell in self.cells
+            if cell.d == d_max
+        ]
+        return _fit_exponent(pairs)
+
+
+def run(
+    full_grid: bool | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> Table2Result:
+    """Execute the runtime sweep.
+
+    Parameters
+    ----------
+    full_grid:
+        Use the paper's grid; defaults to the ``REPRO_FULL_GRID`` env var.
+    repeats:
+        Runs per cell; the median is reported.
+    seed:
+        Base RNG seed (varied per repeat).
+    """
+    if full_grid is None:
+        full_grid = os.environ.get("REPRO_FULL_GRID", "") == "1"
+    grid = FULL_GRID if full_grid else DEFAULT_GRID
+
+    cells = []
+    for n in grid["n"]:
+        for d in grid["d"]:
+            optim_by_k = []
+            ica_by_k = []
+            for k in grid["k"]:
+                optim_times = []
+                ica_times = []
+                for r in range(repeats):
+                    optim_s, ica_s = _time_one(n, d, k, seed=seed + r)
+                    optim_times.append(optim_s)
+                    ica_times.append(ica_s)
+                optim_by_k.append(float(np.median(optim_times)))
+                ica_by_k.append(float(np.median(ica_times)))
+            cells.append(
+                RuntimeCell(
+                    n=n, d=d, optim_by_k=tuple(optim_by_k), ica_by_k=tuple(ica_by_k)
+                )
+            )
+    return Table2Result(cells=cells, grid=dict(grid), repeats=repeats)
+
+
+def _time_one(n: int, d: int, k: int, seed: int) -> tuple[float, float]:
+    """Time OPTIM and ICA for one parameter combination."""
+    bundle = runtime_dataset(n=n, d=d, k=k, seed=seed)
+    constraints = runtime_constraints(bundle)
+    options = SolverOptions(time_cutoff=None, max_sweeps=200)
+
+    params, classes, report = solve_maxent(bundle.data, constraints, options=options)
+    # The paper's OPTIM phase excludes INIT (observed-value evaluation,
+    # which is the only O(n) part of the solve).
+    optim_seconds = report.optim_seconds
+
+    whitened = whiten(bundle.data, params, classes)
+    start = time.perf_counter()
+    fit_fastica(whitened, rng=np.random.default_rng(seed))
+    ica_seconds = time.perf_counter() - start
+    return optim_seconds, ica_seconds
+
+
+def _fit_exponent(pairs: list) -> float:
+    """Least-squares slope of log(time) vs log(size)."""
+    sizes = np.array([max(p[0], 1) for p in pairs], dtype=np.float64)
+    times = np.array([max(p[1], 1e-9) for p in pairs], dtype=np.float64)
+    if sizes.size < 2:
+        return 0.0
+    return float(np.polyfit(np.log(sizes), np.log(times), 1)[0])

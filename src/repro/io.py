@@ -1,0 +1,211 @@
+"""Serialization: save and restore exploration state.
+
+A real analysis session accumulates valuable state — the constraint set
+(the user's externalised knowledge) and the saved selections.  This module
+persists both to a single JSON file so a session can be resumed, shared,
+or replayed against the same dataset.
+
+The data itself is *not* stored (it can be large and usually already lives
+somewhere); a content fingerprint is stored instead, and restoring against
+different data fails loudly rather than silently misapplying row indices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.background import BackgroundModel
+from repro.core.constraint import Constraint, ConstraintKind
+from repro.core.session import ExplorationSession
+from repro.errors import DataShapeError
+
+#: Format marker written into every file; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def data_fingerprint(data: np.ndarray) -> str:
+    """Stable content hash of a data matrix (shape + bytes)."""
+    arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+    digest = hashlib.sha256()
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()[:32]
+
+
+def constraint_to_dict(constraint: Constraint) -> dict:
+    """JSON-serialisable form of one constraint."""
+    return {
+        "kind": constraint.kind.value,
+        "rows": constraint.rows.tolist(),
+        "w": constraint.w.tolist(),
+        "label": constraint.label,
+    }
+
+
+def constraint_from_dict(payload: dict) -> Constraint:
+    """Rebuild a constraint from its JSON form."""
+    try:
+        kind = ConstraintKind(payload["kind"])
+        rows = np.asarray(payload["rows"], dtype=np.intp)
+        w = np.asarray(payload["w"], dtype=np.float64)
+        label = str(payload.get("label", ""))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataShapeError(f"malformed constraint payload: {exc}") from exc
+    return Constraint(kind, rows, w, label=label)
+
+
+def save_session(session: ExplorationSession, path: str | Path) -> None:
+    """Persist a session's knowledge state to a JSON file.
+
+    Stored: data fingerprint, objective, all constraints, and the history's
+    feedback labels.  Not stored: the data, fitted parameters (cheap to
+    refit), or RNG state.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "fingerprint": data_fingerprint(session.model.data),
+        "objective": session.objective,
+        "constraints": [
+            constraint_to_dict(c) for c in session.model.constraints
+        ],
+        "history": [
+            {
+                "index": record.index,
+                "constraints_added": list(record.constraints_added),
+                "top_score": float(np.max(np.abs(record.view.scores))),
+            }
+            for record in session.history
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_session(
+    data: np.ndarray,
+    path: str | Path,
+    standardize: bool = False,
+    seed: int | None = 0,
+) -> ExplorationSession:
+    """Restore a session against the same dataset.
+
+    Parameters
+    ----------
+    data:
+        The *same* data matrix the session was saved from.  Pass the raw
+        (pre-standardisation) matrix and the same ``standardize`` flag used
+        originally.
+    path:
+        File written by :func:`save_session`.
+    standardize, seed:
+        Session construction parameters (not stored in the file because
+        they belong to the caller's environment, not the knowledge state).
+
+    Raises
+    ------
+    DataShapeError
+        If the file is malformed or the data fingerprint does not match —
+        constraints are row-indexed, so applying them to different data
+        would be silently wrong.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DataShapeError(f"cannot read session file {path}: {exc}") from exc
+    if payload.get("format") != FORMAT_VERSION:
+        raise DataShapeError(
+            f"unsupported session format {payload.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+
+    session = ExplorationSession(
+        data,
+        objective=payload.get("objective", "pca"),
+        standardize=standardize,
+        seed=seed,
+    )
+    fingerprint = data_fingerprint(session.model.data)
+    if payload.get("fingerprint") != fingerprint:
+        raise DataShapeError(
+            "session file was saved from different data "
+            f"(fingerprint {payload.get('fingerprint')!r} != {fingerprint!r})"
+        )
+    constraints = [constraint_from_dict(c) for c in payload.get("constraints", [])]
+    session.model.add_constraints(constraints)
+    return session
+
+
+def constraint_set_fingerprint(constraints) -> str:
+    """Stable hash of a constraint list (kinds, rows, vectors, order)."""
+    digest = hashlib.sha256()
+    for c in constraints:
+        digest.update(c.kind.value.encode())
+        digest.update(np.ascontiguousarray(c.rows).tobytes())
+        digest.update(np.ascontiguousarray(c.w).tobytes())
+    return digest.hexdigest()[:32]
+
+
+def save_model_parameters(model: BackgroundModel, path: str | Path) -> None:
+    """Persist fitted per-class parameters to an .npz file.
+
+    Useful for caching expensive fits of large constraint sets; restore
+    with :func:`load_model_parameters`.
+    """
+    params, classes = model._require_fit()  # noqa: SLF001 — intentional
+    np.savez_compressed(
+        Path(path),
+        fingerprint=np.frombuffer(
+            data_fingerprint(model.data).encode(), dtype=np.uint8
+        ),
+        constraint_fingerprint=np.frombuffer(
+            constraint_set_fingerprint(model.constraints).encode(), dtype=np.uint8
+        ),
+        theta1=params.theta1,
+        sigma=params.sigma,
+        mean=params.mean,
+        class_of_row=classes.class_of_row,
+    )
+
+
+def load_model_parameters(model: BackgroundModel, path: str | Path) -> None:
+    """Restore fitted parameters saved by :func:`save_model_parameters`.
+
+    The model must carry the same data and an equivalent constraint set
+    (same row partition); the fingerprint and partition are verified.
+    """
+    from repro.core.equivalence import build_equivalence_classes
+    from repro.core.parameters import ClassParameters
+    from repro.core.solver import SolverReport
+
+    with np.load(Path(path)) as blob:
+        stored_fp = bytes(blob["fingerprint"]).decode()
+        if stored_fp != data_fingerprint(model.data):
+            raise DataShapeError(
+                "parameter file was saved from different data"
+            )
+        stored_cfp = bytes(blob["constraint_fingerprint"]).decode()
+        if stored_cfp != constraint_set_fingerprint(model.constraints):
+            raise DataShapeError(
+                "parameter file does not match the model's constraint set"
+            )
+        classes = build_equivalence_classes(
+            model.n_rows, list(model.constraints)
+        )
+        if not np.array_equal(classes.class_of_row, blob["class_of_row"]):
+            raise DataShapeError(
+                "parameter file does not match the model's row partition"
+            )
+        params = ClassParameters(
+            theta1=blob["theta1"].copy(),
+            sigma=blob["sigma"].copy(),
+            mean=blob["mean"].copy(),
+        )
+    model._params = params          # noqa: SLF001 — intentional restore
+    model._classes = classes        # noqa: SLF001
+    model._report = SolverReport(
+        converged=True, sweeps=0, steps=0, elapsed=0.0, max_lambda_change=0.0
+    )
+    model._dirty = False            # noqa: SLF001

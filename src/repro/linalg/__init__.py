@@ -1,0 +1,23 @@
+"""Numerical substrate: Woodbury updates, eigen utilities, root finding.
+
+These are the low-level building blocks of the MaxEnt solver.  They are kept
+separate from :mod:`repro.core` so that they can be tested (and reasoned
+about) in isolation.
+"""
+
+from repro.linalg.woodbury import woodbury_rank1_downdate, woodbury_rank1_inverse
+from repro.linalg.eig import (
+    inverse_sqrt_psd,
+    sqrt_psd,
+    symmetric_eig,
+)
+from repro.linalg.rootfind import find_monotone_root
+
+__all__ = [
+    "woodbury_rank1_downdate",
+    "woodbury_rank1_inverse",
+    "symmetric_eig",
+    "sqrt_psd",
+    "inverse_sqrt_psd",
+    "find_monotone_root",
+]

@@ -1,0 +1,65 @@
+"""Symmetric eigendecomposition helpers for PSD matrices.
+
+The whitening transformation of the paper (Eq. 14) needs the symmetric
+inverse square root of each per-row covariance matrix.  Covariances produced
+by the MaxEnt solver can be (numerically) singular — e.g. a cluster
+constraint on fewer points than dimensions pins whole subspaces to zero
+variance (Sec. II-A.2) — so every routine here clamps eigenvalues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataShapeError
+
+#: Relative eigenvalue floor: eigenvalues below ``_EIG_FLOOR * max(eig, 1)``
+#: are treated as this floor when inverting, which regularises directions of
+#: (near-)zero variance instead of producing infinities.
+_EIG_FLOOR = 1e-12
+
+
+def symmetric_eig(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecompose a symmetric matrix, clamping tiny negative noise.
+
+    Returns
+    -------
+    (eigenvalues, eigenvectors):
+        ``eigenvalues`` ascending (length d), ``eigenvectors`` with columns
+        matching, such that ``matrix ≈ V diag(vals) V^T``.  Negative
+        eigenvalues caused by floating point noise are clamped to zero.
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DataShapeError(f"expected a square matrix, got shape {matrix.shape}")
+    vals, vecs = np.linalg.eigh(0.5 * (matrix + matrix.T))
+    vals = np.maximum(vals, 0.0)
+    return vals, vecs
+
+
+def sqrt_psd(matrix: np.ndarray) -> np.ndarray:
+    """Symmetric PSD square root: returns S with ``S @ S = matrix``."""
+    vals, vecs = symmetric_eig(matrix)
+    return (vecs * np.sqrt(vals)) @ vecs.T
+
+
+def inverse_sqrt_psd(matrix: np.ndarray, floor: float | None = None) -> np.ndarray:
+    """Symmetric inverse square root of a PSD matrix with eigenvalue clamping.
+
+    This is the per-row whitening matrix of Eq. 14: with
+    ``Sigma = U S U^T`` it returns ``U S^{-1/2} U^T``, except that
+    eigenvalues below the floor are clamped so that zero-variance directions
+    map to a large-but-finite scaling instead of infinity.
+
+    Parameters
+    ----------
+    matrix:
+        Covariance matrix (symmetric PSD).
+    floor:
+        Absolute eigenvalue floor.  Defaults to
+        ``_EIG_FLOOR * max(largest eigenvalue, 1)``.
+    """
+    vals, vecs = symmetric_eig(matrix)
+    if floor is None:
+        floor = _EIG_FLOOR * max(float(vals[-1]) if vals.size else 1.0, 1.0)
+    clamped = np.maximum(vals, floor)
+    return (vecs / np.sqrt(clamped)) @ vecs.T

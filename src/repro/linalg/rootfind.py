@@ -1,0 +1,124 @@
+"""Bracketed root finding for monotone 1-D functions.
+
+The quadratic-constraint update of the MaxEnt solver reduces to solving
+``phi(lam) = 0`` where ``phi`` is strictly monotone on an open half-line
+(Sec. II-A.1, Eq. 10).  SciPy's Brent method does the heavy lifting once the
+root is bracketed; the work here is robust bracket expansion against a
+possibly one-sided domain, e.g. ``lam > lower`` with ``phi -> +inf`` at the
+lower end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from scipy.optimize import brentq
+
+from repro.errors import RootFindError
+
+#: Hard cap on bracket expansion iterations.  Steps double each round, so a
+#: root at any realistic scale is bracketed long before this triggers.
+_MAX_EXPANSIONS = 200
+
+
+def find_monotone_root(
+    func: Callable[[float], float],
+    lower: float = -math.inf,
+    upper: float = math.inf,
+    start: float = 0.0,
+    initial_step: float = 1.0,
+    tolerance: float = 1e-12,
+) -> float:
+    """Find the root of a monotone function on an open interval.
+
+    The function is probed outwards from ``start`` on both sides
+    simultaneously, doubling the step each round; when moving towards a
+    finite open bound the step bisects towards the bound instead, so the
+    probes converge to the bound from inside without ever touching it.  Once
+    two probes of opposite sign are seen, Brent's method polishes the root.
+
+    Parameters
+    ----------
+    func:
+        Monotone (increasing or decreasing) callable, finite on the open
+        interval ``(lower, upper)``.  The end points are never evaluated.
+    lower, upper:
+        Open interval bounds; either may be infinite.
+    start:
+        Point inside the interval to start bracketing from.  If it falls
+        outside it is nudged inside.
+    initial_step:
+        First bracket expansion step.
+    tolerance:
+        Absolute x-tolerance passed to Brent's method.
+
+    Returns
+    -------
+    float
+        A point where ``func`` crosses zero.
+
+    Raises
+    ------
+    RootFindError
+        If no sign change can be bracketed (typically: the target value is
+        unreachable inside the interval).
+    """
+    if not lower < upper:
+        raise RootFindError(f"empty interval: ({lower}, {upper})")
+
+    x0 = _clip_into_open_interval(start, lower, upper, initial_step)
+    f0 = func(x0)
+    if f0 == 0.0:
+        return x0
+
+    step = initial_step
+    right, f_right = x0, f0
+    left, f_left = x0, f0
+    for _ in range(_MAX_EXPANSIONS):
+        # Expand right.
+        nxt = right + step
+        if nxt >= upper:
+            nxt = 0.5 * (right + upper)
+        if nxt > right:
+            f_nxt = func(nxt)
+            if f_nxt == 0.0:
+                return nxt
+            if f_right * f_nxt < 0.0:
+                return float(brentq(func, right, nxt, xtol=tolerance))
+            right, f_right = nxt, f_nxt
+
+        # Expand left.
+        nxt = left - step
+        if nxt <= lower:
+            nxt = 0.5 * (left + lower)
+        if nxt < left:
+            f_nxt = func(nxt)
+            if f_nxt == 0.0:
+                return nxt
+            if f_left * f_nxt < 0.0:
+                return float(brentq(func, nxt, left, xtol=tolerance))
+            left, f_left = nxt, f_nxt
+
+        step *= 2.0
+
+    raise RootFindError(
+        "could not bracket a sign change after "
+        f"{_MAX_EXPANSIONS} expansions (bracket [{left!r}, {right!r}], "
+        f"values [{f_left!r}, {f_right!r}])"
+    )
+
+
+def _clip_into_open_interval(
+    x: float, lower: float, upper: float, margin: float
+) -> float:
+    """Move ``x`` strictly inside ``(lower, upper)`` if necessary."""
+    if lower < x < upper:
+        return x
+    if math.isinf(lower) and math.isinf(upper):
+        return 0.0
+    if math.isinf(upper):
+        return lower + margin
+    if math.isinf(lower):
+        return upper - margin
+    return 0.5 * (lower + upper)

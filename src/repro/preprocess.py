@@ -1,0 +1,231 @@
+"""Preprocessing for non-real-valued data: the paper's extension hook.
+
+The conclusions note that the framework "could be generalized to other
+data types, such as categorical or ordinal data values ... likely in a
+straightforward manner".  The straightforward route implemented here keeps
+the Gaussian MaxEnt machinery intact and adapts the *data* instead:
+
+* **ordinal columns** — rank-based inverse-normal transform (van der
+  Waerden scores): monotone, distribution-free, maps any ordinal scale to
+  a standard-normal-like column so the spherical prior (Eq. 1) is a
+  sensible initial belief;
+* **categorical columns** — centred one-hot indicator blocks scaled by
+  ``1/sqrt(p(1-p))`` per level, so each indicator has unit variance and a
+  cluster constraint over a selection captures its level distribution;
+* **numeric columns** — passed through (standardise at the model instead).
+
+:class:`MixedEncoder` assembles per-column transforms into one matrix and
+keeps the bookkeeping needed to map encoded feature indices back to source
+columns (for axis labels and pairplots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import ndtri
+
+from repro.errors import DataShapeError
+
+
+def rank_gaussianize(values: np.ndarray) -> np.ndarray:
+    """Rank-based inverse normal transform of a 1-D array.
+
+    Ties share their average rank (midrank), so equal ordinal levels map
+    to equal scores.  Uses the Blom-like offset ``(r - 3/8)/(n + 1/4)``
+    before the normal quantile, which keeps extreme ranks finite.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DataShapeError(f"expected 1-D values, got shape {arr.shape}")
+    n = arr.size
+    order = np.argsort(arr, kind="mergesort")
+    ranks = np.empty(n, dtype=np.float64)
+    ranks[order] = np.arange(1, n + 1)
+    # Midranks for ties.
+    sorted_vals = arr[order]
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = 0.5 * (i + 1 + j + 1)
+        i = j + 1
+    return ndtri((ranks - 0.375) / (n + 0.25))
+
+
+def one_hot_encode(
+    values: np.ndarray,
+    drop_last: bool = False,
+) -> tuple[np.ndarray, list]:
+    """Centred, variance-scaled one-hot encoding of a categorical column.
+
+    Each level's indicator is centred by its frequency ``p`` and scaled by
+    ``1/sqrt(p(1-p))`` so every output column has zero mean and unit
+    variance — matching the scale the spherical prior expects.
+
+    Parameters
+    ----------
+    values:
+        1-D categorical column.
+    drop_last:
+        Drop the last level's indicator.  The full indicator set is
+        linearly dependent (the raw indicators sum to 1), which leaves a
+        zero-variance direction in the encoded data — poison for whitening
+        and for the unit-deviation PCA score.  :class:`MixedEncoder` always
+        encodes with ``drop_last=True`` for exactly this reason; the full
+        set is available here for callers who handle the degeneracy
+        themselves.
+
+    Returns
+    -------
+    (matrix, levels):
+        ``matrix`` with one column per *kept* level (first-appearance
+        order); ``levels`` the corresponding level values.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise DataShapeError(f"expected 1-D values, got shape {arr.shape}")
+    levels: list = []
+    seen = set()
+    for item in arr:
+        key = item.item() if hasattr(item, "item") else item
+        if key not in seen:
+            seen.add(key)
+            levels.append(key)
+    if len(levels) < 2:
+        raise DataShapeError("categorical column needs at least 2 levels")
+    if drop_last:
+        levels = levels[:-1]
+    n = arr.size
+    out = np.empty((n, len(levels)))
+    for j, level in enumerate(levels):
+        indicator = (arr == level).astype(np.float64)
+        p = float(indicator.mean())
+        scale = np.sqrt(p * (1.0 - p))
+        out[:, j] = (indicator - p) / scale
+    return out, levels
+
+
+@dataclass
+class ColumnSpec:
+    """How one source column was encoded.
+
+    Attributes
+    ----------
+    name:
+        Source column name.
+    kind:
+        ``"numeric"`` / ``"ordinal"`` / ``"categorical"``.
+    output_slice:
+        Columns of the encoded matrix this source column produced.
+    levels:
+        Category levels (categorical columns only).
+    """
+
+    name: str
+    kind: str
+    output_slice: slice
+    levels: list = field(default_factory=list)
+
+
+class MixedEncoder:
+    """Encode a mixed-type table into one real matrix for the MaxEnt loop.
+
+    Parameters
+    ----------
+    kinds:
+        Mapping column-name -> ``"numeric" | "ordinal" | "categorical"``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.preprocess import MixedEncoder
+    >>> encoder = MixedEncoder({"age": "numeric", "grade": "ordinal",
+    ...                         "colour": "categorical"})
+    >>> table = {
+    ...     "age": np.array([30.0, 40.0, 50.0, 35.0]),
+    ...     "grade": np.array([1, 3, 2, 3]),
+    ...     "colour": np.array(["r", "g", "r", "b"]),
+    ... }
+    >>> encoded = encoder.fit_transform(table)
+    >>> encoded.shape[0]
+    4
+    """
+
+    def __init__(self, kinds: dict) -> None:
+        valid = {"numeric", "ordinal", "categorical"}
+        for name, kind in kinds.items():
+            if kind not in valid:
+                raise DataShapeError(
+                    f"column {name!r}: unknown kind {kind!r}; use one of {valid}"
+                )
+        if not kinds:
+            raise DataShapeError("encoder needs at least one column")
+        self._kinds = dict(kinds)
+        self._specs: list[ColumnSpec] = []
+        self._fitted = False
+
+    @property
+    def specs(self) -> list[ColumnSpec]:
+        """Per-source-column encoding records (after fit_transform)."""
+        return list(self._specs)
+
+    def fit_transform(self, table: dict) -> np.ndarray:
+        """Encode a column-name -> 1-D-array mapping into one matrix."""
+        missing = [name for name in self._kinds if name not in table]
+        if missing:
+            raise DataShapeError(f"table is missing columns: {missing}")
+        lengths = {name: np.asarray(table[name]).shape[0] for name in self._kinds}
+        if len(set(lengths.values())) != 1:
+            raise DataShapeError(f"column lengths differ: {lengths}")
+
+        blocks = []
+        self._specs = []
+        start = 0
+        for name, kind in self._kinds.items():
+            column = np.asarray(table[name])
+            if kind == "numeric":
+                block = column.astype(np.float64)[:, None]
+                levels: list = []
+            elif kind == "ordinal":
+                block = rank_gaussianize(column.astype(np.float64))[:, None]
+                levels = []
+            else:
+                # drop_last: the full indicator set is rank-deficient; see
+                # one_hot_encode.
+                block, levels = one_hot_encode(column, drop_last=True)
+            stop = start + block.shape[1]
+            self._specs.append(
+                ColumnSpec(
+                    name=name, kind=kind, output_slice=slice(start, stop),
+                    levels=levels,
+                )
+            )
+            blocks.append(block)
+            start = stop
+        self._fitted = True
+        return np.hstack(blocks)
+
+    def feature_names(self) -> list[str]:
+        """Names of the encoded columns, e.g. ``colour=r`` for indicators."""
+        if not self._fitted:
+            raise DataShapeError("call fit_transform first")
+        names: list[str] = []
+        for spec in self._specs:
+            if spec.kind == "categorical":
+                names.extend(f"{spec.name}={level}" for level in spec.levels)
+            else:
+                names.append(spec.name)
+        return names
+
+    def source_of_feature(self, index: int) -> str:
+        """Source column name of one encoded feature index."""
+        if not self._fitted:
+            raise DataShapeError("call fit_transform first")
+        for spec in self._specs:
+            if spec.output_slice.start <= index < spec.output_slice.stop:
+                return spec.name
+        raise DataShapeError(f"feature index {index} out of range")

@@ -1,0 +1,25 @@
+"""Projection-pursuit substrate: PCA, FastICA and view scoring."""
+
+from repro.projection.fastica import ICAResult, fit_fastica
+from repro.projection.pca import PCAResult, fit_pca, unit_deviation_score
+from repro.projection.scores import (
+    GAUSSIAN_LOGCOSH_MEAN,
+    ica_scores,
+    pca_scores,
+    view_score_summary,
+)
+from repro.projection.view import Projection2D, most_informative_view
+
+__all__ = [
+    "PCAResult",
+    "fit_pca",
+    "unit_deviation_score",
+    "ICAResult",
+    "fit_fastica",
+    "GAUSSIAN_LOGCOSH_MEAN",
+    "pca_scores",
+    "ica_scores",
+    "view_score_summary",
+    "Projection2D",
+    "most_informative_view",
+]

@@ -1,0 +1,166 @@
+"""2-D view objects: the scatterplot axes SIDER shows the user.
+
+A :class:`Projection2D` bundles the two direction vectors, their scores, and
+the axis-label formatting used in the paper's figures, e.g.::
+
+    ICA1[0.041] = +0.69 (X3) +0.69 (X2) +0.17 (X5) -0.14 (X1) -0.05 (X4)
+
+The view also knows how to project data matrices (both the data and the
+background ghost sample are displayed with the same axes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataShapeError
+from repro.projection.fastica import fit_fastica
+from repro.projection.pca import fit_pca
+from repro.projection.scores import ica_scores, pca_scores
+
+
+@dataclass(frozen=True)
+class Projection2D:
+    """A ranked 2-D projection of the data.
+
+    Attributes
+    ----------
+    axes:
+        (2, d) array of unit direction vectors (the view's x and y axes).
+    scores:
+        Score of each axis under the view objective (PCA or ICA score).
+    objective:
+        Which objective ranked the axes: ``"pca"`` or ``"ica"``.
+    all_scores:
+        Scores of *all* candidate directions sorted by |score| descending —
+        the full rows of Table I.
+    """
+
+    axes: np.ndarray
+    scores: np.ndarray
+    objective: str
+    all_scores: np.ndarray
+
+    def project(self, data: np.ndarray) -> np.ndarray:
+        """Project an (n x d) matrix onto the two view axes -> (n, 2)."""
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.axes.shape[1]:
+            raise DataShapeError(
+                f"cannot project shape {arr.shape} onto axes of "
+                f"dimension {self.axes.shape[1]}"
+            )
+        return arr @ self.axes.T
+
+    def axis_label(
+        self, which: int, feature_names: list[str] | None = None, top: int = 5
+    ) -> str:
+        """Format one axis like the paper's figure labels.
+
+        Parameters
+        ----------
+        which:
+            0 for the x axis, 1 for the y axis.
+        feature_names:
+            Attribute names; defaults to ``X1..Xd``.
+        top:
+            How many largest-weight attributes to include.
+        """
+        axis = self.axes[which]
+        d = axis.size
+        names = feature_names or [f"X{j + 1}" for j in range(d)]
+        order = np.argsort(np.abs(axis))[::-1][:top]
+        terms = " ".join(f"{axis[j]:+.2f} ({names[j]})" for j in order)
+        prefix = self.objective.upper()
+        return f"{prefix}{which + 1}[{self.scores[which]:.3g}] = {terms}"
+
+    def describe(self, feature_names: list[str] | None = None) -> str:
+        """Two-line description of the full view."""
+        return "\n".join(
+            self.axis_label(k, feature_names=feature_names) for k in (0, 1)
+        )
+
+
+def most_informative_view(
+    whitened: np.ndarray,
+    objective: str = "pca",
+    rng: np.random.Generator | None = None,
+) -> Projection2D:
+    """The 2-D projection in which data and background differ the most.
+
+    Parameters
+    ----------
+    whitened:
+        Background-whitened data Y.  Structure left in Y *is* the
+        not-yet-explained structure, so the best view maximises a
+        non-gaussianity score on Y.
+    objective:
+        ``"pca"`` — directions are principal components of Y ranked by the
+        unit-deviation KL score; appropriate when variance differences carry
+        the signal.
+        ``"ica"`` — directions are FastICA components ranked by |log-cosh
+        non-gaussianity|; finds clustered/multimodal structure even when all
+        variances are already matched.  Both FastICA variants are run
+        (symmetric and deflation) and the basis with the stronger top-2
+        |scores| wins — on cluster mixtures the deflation variant often
+        finds strong discriminating directions the symmetric compromise
+        misses.
+    rng:
+        Randomness for FastICA initialisation (ignored for PCA).
+
+    Returns
+    -------
+    Projection2D
+    """
+    arr = np.asarray(whitened, dtype=np.float64)
+    if objective == "pca":
+        result = fit_pca(arr, rank_by_unit_deviation=True)
+        directions = result.components
+        scores = pca_scores(arr, directions)
+    elif objective == "ica":
+        directions, scores = _best_ica_basis(arr, rng)
+    else:
+        raise ValueError(f"unknown objective {objective!r}; use 'pca' or 'ica'")
+
+    order = np.argsort(np.abs(scores))[::-1]
+    directions = directions[order]
+    scores = scores[order]
+    if directions.shape[0] < 2:
+        # Degenerate rank-1 data: duplicate the single direction so the view
+        # is still well-formed.
+        directions = np.vstack([directions, directions])
+        scores = np.concatenate([scores, scores])
+    return Projection2D(
+        axes=directions[:2].copy(),
+        scores=scores[:2].copy(),
+        objective=objective,
+        all_scores=scores.copy(),
+    )
+
+
+def _best_ica_basis(
+    arr: np.ndarray, rng: np.random.Generator | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run both FastICA variants and keep the stronger basis.
+
+    "Stronger" = larger sum of the top-2 |log-cosh scores|, i.e. the basis
+    that yields the more informative 2-D view.
+    """
+    rng = rng or np.random.default_rng(0)
+    best_directions: np.ndarray | None = None
+    best_scores: np.ndarray | None = None
+    best_strength = -np.inf
+    for algorithm in ("symmetric", "deflation"):
+        # Child generator per variant keeps the two runs independent while
+        # remaining reproducible from the caller's generator.
+        child = np.random.default_rng(rng.integers(0, 2**63))
+        result = fit_fastica(arr, rng=child, algorithm=algorithm)
+        scores = ica_scores(arr, result.components)
+        strength = float(np.sum(np.sort(np.abs(scores))[::-1][:2]))
+        if strength > best_strength:
+            best_strength = strength
+            best_directions = result.components
+            best_scores = scores
+    assert best_directions is not None and best_scores is not None
+    return best_directions, best_scores

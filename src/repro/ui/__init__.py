@@ -1,0 +1,44 @@
+"""Headless SIDER UI: all computations of the web front-end, no pixels."""
+
+from repro.ui.app import Frame, SiderApp
+from repro.ui.ellipse import ConfidenceEllipse, confidence_ellipse
+from repro.ui.render import render_scatterplot, render_score_bar
+from repro.ui.pairplot import PairplotModel, build_pairplot
+from repro.ui.scatterplot import ScatterplotModel, build_scatterplot
+from repro.ui.selection import (
+    SelectionStore,
+    select_by_label,
+    select_ellipse,
+    select_knn_blob,
+    select_rectangle,
+)
+from repro.ui.state import Objective, PendingAction, UIState
+from repro.ui.statistics import (
+    SelectionStatistics,
+    attribute_separation,
+    selection_statistics,
+)
+
+__all__ = [
+    "SiderApp",
+    "Frame",
+    "UIState",
+    "Objective",
+    "PendingAction",
+    "SelectionStore",
+    "select_rectangle",
+    "select_ellipse",
+    "select_by_label",
+    "select_knn_blob",
+    "ConfidenceEllipse",
+    "confidence_ellipse",
+    "ScatterplotModel",
+    "build_scatterplot",
+    "PairplotModel",
+    "build_pairplot",
+    "SelectionStatistics",
+    "selection_statistics",
+    "attribute_separation",
+    "render_scatterplot",
+    "render_score_bar",
+]

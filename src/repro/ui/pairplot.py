@@ -1,0 +1,97 @@
+"""Pairplot model: the lower-right panel of the SIDER UI.
+
+The pairplot directly displays the attributes that are maximally different
+for the current selection compared to the full dataset.  Headlessly this
+means: rank attributes by separation, take the top-k, and expose every
+pairwise panel (pairs of projected coordinates) plus per-panel class
+overlap diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DataShapeError
+from repro.ui.statistics import attribute_separation
+
+
+@dataclass(frozen=True)
+class PairplotModel:
+    """A ranked pairplot over the most-discriminating attributes.
+
+    Attributes
+    ----------
+    attributes:
+        Indices of the displayed attributes, ranked by separation
+        (descending).
+    attribute_names:
+        Matching names.
+    separation:
+        Separation score of every attribute in ``attributes``.
+    panels:
+        Mapping ``(i, j) -> (n, 2)`` arrays of the points of each off-
+        diagonal panel, with ``i``/``j`` *positions* in ``attributes``.
+    selection:
+        The highlighted rows.
+    """
+
+    attributes: np.ndarray
+    attribute_names: tuple[str, ...]
+    separation: np.ndarray
+    panels: dict
+    selection: np.ndarray
+
+
+def build_pairplot(
+    data: np.ndarray,
+    selection: Sequence[int] | np.ndarray,
+    feature_names: Sequence[str] | None = None,
+    max_attributes: int = 5,
+) -> PairplotModel:
+    """Assemble the pairplot of the attributes that best explain a selection.
+
+    Parameters
+    ----------
+    data:
+        Full data matrix (n x d).
+    selection:
+        Highlighted rows (the red points).
+    feature_names:
+        Attribute names; defaults to ``X1..Xd``.
+    max_attributes:
+        Number of top-separating attributes to include.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataShapeError(f"expected 2-D data, got shape {arr.shape}")
+    sel = np.unique(np.asarray(selection, dtype=np.intp))
+    if sel.size == 0:
+        raise DataShapeError("selection is empty")
+    d = arr.shape[1]
+    names = tuple(feature_names) if feature_names else tuple(
+        f"X{j + 1}" for j in range(d)
+    )
+    if len(names) != d:
+        raise DataShapeError(f"{len(names)} names for {d} columns")
+
+    separation = attribute_separation(arr, sel)
+    k = min(max_attributes, d)
+    top = np.argsort(separation)[::-1][:k]
+
+    panels = {}
+    for i in range(k):
+        for j in range(k):
+            if i == j:
+                continue
+            panels[(i, j)] = arr[:, [top[i], top[j]]]
+
+    return PairplotModel(
+        attributes=top,
+        attribute_names=tuple(names[a] for a in top),
+        separation=separation[top],
+        panels=panels,
+        selection=sel,
+    )

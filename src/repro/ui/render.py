@@ -1,0 +1,100 @@
+"""ASCII rendering of scatterplot models: pixels for the headless UI.
+
+SIDER renders its views in a browser; this module renders the same
+:class:`~repro.ui.scatterplot.ScatterplotModel` as a character grid so the
+library is usable from a plain terminal (and so rendering is testable).
+
+Glyph legend (later glyphs overwrite earlier ones in a cell):
+
+* ``.``  background ghost point,
+* ``o``  data point,
+* ``*``  selected data point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataShapeError
+from repro.ui.scatterplot import ScatterplotModel
+
+GHOST_GLYPH = "."
+DATA_GLYPH = "o"
+SELECTED_GLYPH = "*"
+
+
+def render_scatterplot(
+    model: ScatterplotModel,
+    width: int = 72,
+    height: int = 24,
+    show_ghosts: bool = True,
+) -> str:
+    """Render a scatterplot model as an ASCII grid with axis labels.
+
+    Parameters
+    ----------
+    model:
+        The scatterplot model (``SiderApp.render().scatterplot``).
+    width, height:
+        Character-grid size (excluding the frame).
+    show_ghosts:
+        Include the background sample as ``.`` glyphs.
+
+    Returns
+    -------
+    str
+        Multi-line drawing: framed grid, then the x/y axis labels.
+    """
+    if width < 8 or height < 4:
+        raise DataShapeError("grid must be at least 8x4 characters")
+
+    points = model.points
+    ghosts = model.ghost_points
+    everything = np.vstack([points, ghosts]) if show_ghosts else points
+    x_lo, y_lo = everything.min(axis=0)
+    x_hi, y_hi = everything.max(axis=0)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(coords: np.ndarray, glyph: str) -> None:
+        cols = ((coords[:, 0] - x_lo) / x_span * (width - 1)).astype(int)
+        rows = ((coords[:, 1] - y_lo) / y_span * (height - 1)).astype(int)
+        for r, c in zip(rows, cols):
+            grid[height - 1 - r][c] = glyph   # y grows upward
+
+    if show_ghosts:
+        plot(ghosts, GHOST_GLYPH)
+    plot(points, DATA_GLYPH)
+    if model.selection.size:
+        plot(points[model.selection], SELECTED_GLYPH)
+
+    top = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = f"  [{DATA_GLYPH}] data"
+    if show_ghosts:
+        legend += f"  [{GHOST_GLYPH}] background sample"
+    if model.selection.size:
+        legend += f"  [{SELECTED_GLYPH}] selection ({model.selection.size})"
+    return "\n".join(
+        [top, body, top, f"x: {model.x_label}", f"y: {model.y_label}", legend]
+    )
+
+
+def render_score_bar(scores: np.ndarray, width: int = 40) -> str:
+    """Render view scores as a small horizontal bar chart.
+
+    Bars are scaled to the largest |score|; negative scores are marked
+    with ``-`` bars so the sub/super-gaussian signature stays visible.
+    """
+    arr = np.asarray(scores, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise DataShapeError("scores must be a non-empty 1-D array")
+    top = float(np.max(np.abs(arr)))
+    lines = []
+    for k, score in enumerate(arr):
+        frac = 0.0 if top == 0.0 else abs(score) / top
+        bar = ("#" if score >= 0 else "-") * max(1, int(round(frac * width)))
+        lines.append(f"score[{k}] {score:+.4f} {bar}")
+    return "\n".join(lines)

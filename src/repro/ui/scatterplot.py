@@ -1,0 +1,123 @@
+"""Main scatterplot model: the data SIDER draws in its central view.
+
+The upper-right scatterplot of the SIDER UI shows, for the current 2-D
+projection: the data points (black), the selected points (red), one
+background-distribution sample per data point (gray circles), a gray
+segment connecting each data point to its ghost (the displacement the
+belief state implies), and confidence ellipses for the selection and its
+ghosts.  This module computes all of that as plain arrays so that a test
+suite — or any plotting front-end — can consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataShapeError
+from repro.projection.view import Projection2D
+from repro.ui.ellipse import ConfidenceEllipse, confidence_ellipse
+
+
+@dataclass(frozen=True)
+class ScatterplotModel:
+    """Everything needed to render one SIDER scatterplot.
+
+    Attributes
+    ----------
+    points:
+        (n, 2) projected data coordinates.
+    ghost_points:
+        (n, 2) projected background-sample coordinates.
+    segments:
+        (n, 2, 2) displacement segments: ``segments[i] = [point, ghost]``.
+    selection:
+        Row indices currently selected (may be empty).
+    selection_ellipse, ghost_ellipse:
+        95 % confidence ellipses of the selected points and of their ghost
+        points (None when fewer than 3 points are selected).
+    x_label, y_label:
+        Axis labels in the paper's figure format.
+    """
+
+    points: np.ndarray
+    ghost_points: np.ndarray
+    segments: np.ndarray
+    selection: np.ndarray
+    selection_ellipse: ConfidenceEllipse | None
+    ghost_ellipse: ConfidenceEllipse | None
+    x_label: str
+    y_label: str
+
+    @property
+    def mean_displacement(self) -> float:
+        """Average data-to-ghost distance in view coordinates.
+
+        A scalar proxy for "how different are data and belief in this
+        view" that decreases as constraints are added.
+        """
+        return float(
+            np.mean(np.linalg.norm(self.points - self.ghost_points, axis=1))
+        )
+
+
+def build_scatterplot(
+    view: Projection2D,
+    data: np.ndarray,
+    background_sample: np.ndarray,
+    selection: np.ndarray | None = None,
+    feature_names: list[str] | None = None,
+    ellipse_level: float = 0.95,
+) -> ScatterplotModel:
+    """Assemble the scatterplot model for a view.
+
+    Parameters
+    ----------
+    view:
+        The current 2-D projection.
+    data:
+        Observed data (n x d).
+    background_sample:
+        One background draw per row (n x d), e.g. ``model.sample()``.
+    selection:
+        Optional row indices to highlight.
+    feature_names:
+        Attribute names for the axis labels.
+    ellipse_level:
+        Confidence level of the selection/ghost ellipses.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    sample = np.asarray(background_sample, dtype=np.float64)
+    if data.shape != sample.shape:
+        raise DataShapeError(
+            f"data shape {data.shape} != background sample shape {sample.shape}"
+        )
+    points = view.project(data)
+    ghosts = view.project(sample)
+    segments = np.stack([points, ghosts], axis=1)
+
+    sel = (
+        np.unique(np.asarray(selection, dtype=np.intp))
+        if selection is not None
+        else np.empty(0, dtype=np.intp)
+    )
+    if sel.size and sel[-1] >= data.shape[0]:
+        raise DataShapeError("selection references rows outside the data")
+
+    sel_ellipse = None
+    ghost_ellipse = None
+    if sel.size >= 3:
+        sel_ellipse = confidence_ellipse(points[sel], level=ellipse_level)
+        ghost_ellipse = confidence_ellipse(ghosts[sel], level=ellipse_level)
+
+    return ScatterplotModel(
+        points=points,
+        ghost_points=ghosts,
+        segments=segments,
+        selection=sel,
+        selection_ellipse=sel_ellipse,
+        ghost_ellipse=ghost_ellipse,
+        x_label=view.axis_label(0, feature_names=feature_names),
+        y_label=view.axis_label(1, feature_names=feature_names),
+    )

@@ -1,0 +1,102 @@
+"""The SIDER left-hand statistics panel, computed headlessly.
+
+For the full data and the current selection the panel shows per-attribute
+summaries; this module reproduces those numbers plus the selection-vs-rest
+comparison that drives the pairplot attribute ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DataShapeError
+from repro.eval.summaries import ColumnSummary, summarize_columns
+
+
+@dataclass(frozen=True)
+class SelectionStatistics:
+    """Panel contents for one selection.
+
+    Attributes
+    ----------
+    n_selected, n_total:
+        Selection size and dataset size.
+    full_summary, selection_summary:
+        Per-attribute summaries of the full data and of the selection.
+    separation:
+        Per-attribute standardised separation between the selection and the
+        rest (see :func:`attribute_separation`); large values mean the
+        attribute distinguishes the selection.
+    """
+
+    n_selected: int
+    n_total: int
+    full_summary: list[ColumnSummary]
+    selection_summary: list[ColumnSummary]
+    separation: np.ndarray
+
+
+def attribute_separation(
+    data: np.ndarray, rows: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """How strongly each attribute separates a selection from the rest.
+
+    A two-sample, pooled-variance standardised mean difference augmented
+    with a log variance-ratio term::
+
+        sep_j = |mean_S - mean_R| / pooled_std  +  |log(var_S / var_R)| / 2
+
+    The first term captures location shifts, the second scale differences —
+    together they surface the attributes in which the selected points look
+    most unusual, which is what the SIDER pairplot displays.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataShapeError(f"expected 2-D data, got shape {arr.shape}")
+    sel = np.unique(np.asarray(rows, dtype=np.intp))
+    if sel.size == 0 or sel.size == arr.shape[0]:
+        return np.zeros(arr.shape[1])
+    mask = np.zeros(arr.shape[0], dtype=bool)
+    mask[sel] = True
+    inside = arr[mask]
+    outside = arr[~mask]
+
+    mean_in = inside.mean(axis=0)
+    mean_out = outside.mean(axis=0)
+    var_in = inside.var(axis=0, ddof=1) if inside.shape[0] > 1 else np.zeros(arr.shape[1])
+    var_out = (
+        outside.var(axis=0, ddof=1) if outside.shape[0] > 1 else np.zeros(arr.shape[1])
+    )
+    pooled = np.sqrt(0.5 * (var_in + var_out))
+    pooled[pooled == 0.0] = np.where(
+        np.abs(mean_in - mean_out)[pooled == 0.0] > 0, 1e-12, 1.0
+    )
+    location = np.abs(mean_in - mean_out) / pooled
+    eps = 1e-12
+    scale = 0.5 * np.abs(np.log((var_in + eps) / (var_out + eps)))
+    return location + scale
+
+
+def selection_statistics(
+    data: np.ndarray,
+    rows: Sequence[int] | np.ndarray,
+    feature_names: Sequence[str] | None = None,
+) -> SelectionStatistics:
+    """Assemble the full statistics panel for one selection."""
+    arr = np.asarray(data, dtype=np.float64)
+    sel = np.unique(np.asarray(rows, dtype=np.intp))
+    if sel.size == 0:
+        raise DataShapeError("selection is empty")
+    if sel[-1] >= arr.shape[0]:
+        raise DataShapeError("selection references rows outside the data")
+    names = list(feature_names) if feature_names else None
+    return SelectionStatistics(
+        n_selected=int(sel.size),
+        n_total=int(arr.shape[0]),
+        full_summary=summarize_columns(arr, names),
+        selection_summary=summarize_columns(arr[sel], names),
+        separation=attribute_separation(arr, sel),
+    )

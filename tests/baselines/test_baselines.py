@@ -1,0 +1,115 @@
+"""Tests for the baseline methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_projection import best_of_random_views, random_view
+from repro.baselines.randomization import ConstrainedRandomization
+from repro.baselines.static_projection import (
+    repeated_static_views,
+    static_ica_view,
+    static_pca_view,
+)
+from repro.errors import DataShapeError
+
+
+class TestStaticViews:
+    def test_static_pca_picks_dominant_variance(self, rng):
+        data = rng.standard_normal((500, 3)) * np.array([5.0, 1.0, 1.0])
+        view = static_pca_view(data)
+        assert abs(view.axes[0][0]) > 0.95
+
+    def test_static_ica_runs(self, rng):
+        data = rng.standard_normal((500, 3))
+        data[:250, 0] += 5.0
+        view = static_ica_view(data, rng=np.random.default_rng(0))
+        assert view.axes.shape == (2, 3)
+        assert view.objective == "ica"
+
+    def test_repeated_views_identical(self, rng):
+        data = rng.standard_normal((100, 3))
+        views = repeated_static_views(data, n_views=4)
+        assert len(views) == 4
+        assert all(v is views[0] for v in views)
+
+
+class TestRandomViews:
+    def test_axes_orthonormal(self):
+        view = random_view(6, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(view.axes @ view.axes.T, np.eye(2), atol=1e-10)
+
+    def test_dim_too_small_rejected(self):
+        with pytest.raises(DataShapeError):
+            random_view(1)
+
+    def test_scores_computed_when_data_given(self, rng):
+        data = rng.standard_normal((200, 4)) * np.array([4.0, 1, 1, 1])
+        view = random_view(4, rng=np.random.default_rng(0), data=data)
+        assert np.any(view.scores != 0.0)
+
+    def test_best_of_random_beats_single(self, rng):
+        data = rng.standard_normal((500, 5)) * np.array([6.0, 1, 1, 1, 1])
+        single = random_view(5, rng=np.random.default_rng(1), data=data)
+        best = best_of_random_views(
+            data, n_candidates=100, rng=np.random.default_rng(1)
+        )
+        assert np.max(np.abs(best.scores)) >= np.max(np.abs(single.scores))
+
+    def test_unknown_objective_rejected(self, rng):
+        with pytest.raises(ValueError):
+            best_of_random_views(rng.standard_normal((50, 3)), objective="x")
+
+
+class TestConstrainedRandomization:
+    def test_sample_preserves_group_marginals(self, rng):
+        data = rng.standard_normal((100, 3))
+        data[:50] += 5.0
+        model = ConstrainedRandomization(data)
+        model.add_group(range(50))
+        sample = model.sample(rng=np.random.default_rng(0))
+        # Group marginals preserved exactly (values permuted per column).
+        for j in range(3):
+            np.testing.assert_allclose(
+                np.sort(sample[:50, j]), np.sort(data[:50, j])
+            )
+
+    def test_sample_destroys_within_group_correlation(self, rng):
+        # Perfectly correlated columns become uncorrelated after
+        # independent per-column permutation.
+        t = rng.standard_normal(500)
+        data = np.column_stack([t, t])
+        model = ConstrainedRandomization(data)
+        model.add_group(range(500))
+        sample = model.sample(rng=np.random.default_rng(0))
+        corr = np.corrcoef(sample, rowvar=False)[0, 1]
+        assert abs(corr) < 0.2
+
+    def test_overlapping_groups_refined(self, rng):
+        data = rng.standard_normal((30, 2))
+        model = ConstrainedRandomization(data)
+        model.add_group(range(0, 20))
+        model.add_group(range(10, 30))
+        cells = model._partition()
+        assert len(cells) == 3
+        sizes = sorted(len(c) for c in cells)
+        assert sizes == [10, 10, 10]
+
+    def test_estimate_row_means_converges_to_group_mean(self, rng):
+        data = rng.standard_normal((60, 2))
+        data[:30] += 4.0
+        model = ConstrainedRandomization(data)
+        model.add_group(range(30))
+        means = model.estimate_row_means(n_samples=200, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(
+            means[:30].mean(axis=0), data[:30].mean(axis=0), atol=0.15
+        )
+
+    def test_empty_group_rejected(self, rng):
+        model = ConstrainedRandomization(rng.standard_normal((10, 2)))
+        with pytest.raises(DataShapeError):
+            model.add_group([])
+
+    def test_out_of_range_group_rejected(self, rng):
+        model = ConstrainedRandomization(rng.standard_normal((10, 2)))
+        with pytest.raises(DataShapeError):
+            model.add_group([99])

@@ -1,0 +1,114 @@
+"""Unit tests for the constraint builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import (
+    cluster_constraint,
+    margin_constraints,
+    one_cluster_constraint,
+    projection_constraints,
+)
+from repro.core.constraint import ConstraintKind
+from repro.errors import ConstraintError, DataShapeError
+
+
+class TestMarginConstraints:
+    def test_count_is_2d(self, gaussian_data):
+        constraints = margin_constraints(gaussian_data)
+        assert len(constraints) == 2 * gaussian_data.shape[1]
+
+    def test_alternating_kinds(self, gaussian_data):
+        constraints = margin_constraints(gaussian_data)
+        kinds = [c.kind for c in constraints]
+        assert kinds[::2] == [ConstraintKind.LINEAR] * gaussian_data.shape[1]
+        assert kinds[1::2] == [ConstraintKind.QUADRATIC] * gaussian_data.shape[1]
+
+    def test_axis_aligned_unit_vectors(self, gaussian_data):
+        constraints = margin_constraints(gaussian_data)
+        d = gaussian_data.shape[1]
+        for j in range(d):
+            w = constraints[2 * j].w
+            assert w[j] == 1.0
+            assert np.count_nonzero(w) == 1
+
+    def test_all_rows_included(self, gaussian_data):
+        constraints = margin_constraints(gaussian_data)
+        for c in constraints:
+            assert c.n_rows == gaussian_data.shape[0]
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(DataShapeError):
+            margin_constraints(np.ones(5))
+
+
+class TestClusterConstraint:
+    def test_count_is_2d(self, two_cluster_data):
+        data, labels = two_cluster_data
+        constraints = cluster_constraint(data, np.flatnonzero(labels == 0))
+        assert len(constraints) == 2 * data.shape[1]
+
+    def test_axes_are_orthonormal(self, two_cluster_data):
+        data, labels = two_cluster_data
+        constraints = cluster_constraint(data, np.flatnonzero(labels == 0))
+        axes = np.array([c.w for c in constraints[::2]])
+        np.testing.assert_allclose(axes @ axes.T, np.eye(data.shape[1]), atol=1e-10)
+
+    def test_full_basis_even_for_tiny_cluster(self, rng):
+        data = rng.standard_normal((10, 5))
+        constraints = cluster_constraint(data, [0, 1])  # 2 points, 5 dims
+        assert len(constraints) == 10
+        axes = np.array([c.w for c in constraints[::2]])
+        np.testing.assert_allclose(axes @ axes.T, np.eye(5), atol=1e-10)
+
+    def test_labels_carry_prefix(self, two_cluster_data):
+        data, labels = two_cluster_data
+        constraints = cluster_constraint(
+            data, np.flatnonzero(labels == 1), label="my-cluster"
+        )
+        assert all(c.label.startswith("my-cluster") for c in constraints)
+
+    def test_rows_out_of_range_rejected(self, gaussian_data):
+        with pytest.raises(ConstraintError):
+            cluster_constraint(gaussian_data, [10**6])
+
+    def test_empty_rows_rejected(self, gaussian_data):
+        with pytest.raises(ConstraintError):
+            cluster_constraint(gaussian_data, [])
+
+
+class TestOneClusterConstraint:
+    def test_covers_all_rows(self, gaussian_data):
+        constraints = one_cluster_constraint(gaussian_data)
+        assert all(c.n_rows == gaussian_data.shape[0] for c in constraints)
+        assert len(constraints) == 2 * gaussian_data.shape[1]
+
+    def test_axes_align_with_principal_components(self, rng):
+        # Strongly anisotropic data: first SVD axis must match the dominant
+        # direction.
+        base = rng.standard_normal((300, 1)) * np.array([[5.0, 0.0, 0.0]])
+        data = base + 0.1 * rng.standard_normal((300, 3))
+        constraints = one_cluster_constraint(data)
+        top_axis = constraints[0].w
+        assert abs(top_axis[0]) > 0.99
+
+
+class TestProjectionConstraints:
+    def test_count_is_four(self, gaussian_data):
+        axes = np.zeros((2, 4))
+        axes[0, 0] = 1.0
+        axes[1, 1] = 1.0
+        constraints = projection_constraints(gaussian_data, [0, 1, 2], axes)
+        assert len(constraints) == 4
+
+    def test_wrong_axes_shape_rejected(self, gaussian_data):
+        with pytest.raises(DataShapeError):
+            projection_constraints(gaussian_data, [0], np.ones((3, 4)))
+
+    def test_uses_given_axes(self, gaussian_data):
+        axes = np.zeros((2, 4))
+        axes[0, 2] = 1.0
+        axes[1, 3] = 1.0
+        constraints = projection_constraints(gaussian_data, [0, 1], axes)
+        np.testing.assert_array_equal(constraints[0].w, axes[0])
+        np.testing.assert_array_equal(constraints[2].w, axes[1])

@@ -1,0 +1,77 @@
+"""Unit tests for row equivalence classes."""
+
+import numpy as np
+
+from repro.core.builders import cluster_constraint, margin_constraints
+from repro.core.equivalence import build_equivalence_classes
+
+
+class TestBuildEquivalenceClasses:
+    def test_no_constraints_single_class(self):
+        classes = build_equivalence_classes(10, [])
+        assert classes.n_classes == 1
+        assert classes.class_counts[0] == 10
+
+    def test_margin_constraints_single_class(self, gaussian_data):
+        constraints = margin_constraints(gaussian_data)
+        classes = build_equivalence_classes(gaussian_data.shape[0], constraints)
+        # Margins touch every row identically -> one class.
+        assert classes.n_classes == 1
+
+    def test_disjoint_clusters_three_classes(self, rng):
+        data = rng.standard_normal((30, 3))
+        constraints = cluster_constraint(data, range(0, 10)) + cluster_constraint(
+            data, range(10, 20)
+        )
+        classes = build_equivalence_classes(30, constraints)
+        # Cluster 1, cluster 2, untouched remainder.
+        assert classes.n_classes == 3
+        assert sorted(classes.class_counts.tolist()) == [10, 10, 10]
+
+    def test_overlapping_clusters_refine(self, rng):
+        data = rng.standard_normal((30, 3))
+        constraints = cluster_constraint(data, range(0, 20)) + cluster_constraint(
+            data, range(10, 30)
+        )
+        classes = build_equivalence_classes(30, constraints)
+        # {0-9}, {10-19} (both), {20-29} -> 3 classes, no untouched rows.
+        assert classes.n_classes == 3
+        assert sorted(classes.class_counts.tolist()) == [10, 10, 10]
+
+    def test_members_fully_cover_constraints(self, rng):
+        data = rng.standard_normal((30, 3))
+        constraints = cluster_constraint(data, range(0, 20)) + cluster_constraint(
+            data, range(10, 30)
+        )
+        classes = build_equivalence_classes(30, constraints)
+        for t in range(len(constraints)):
+            assert classes.count_in_constraint(t) == constraints[t].n_rows
+
+    def test_class_of_row_consistent_with_members(self, rng):
+        data = rng.standard_normal((20, 2))
+        constraints = cluster_constraint(data, range(0, 5))
+        classes = build_equivalence_classes(20, constraints)
+        member_classes = set(classes.members[0].tolist())
+        for row in range(5):
+            assert int(classes.class_of_row[row]) in member_classes
+        for row in range(5, 20):
+            assert int(classes.class_of_row[row]) not in member_classes
+
+    def test_representatives_belong_to_their_class(self, rng):
+        data = rng.standard_normal((25, 2))
+        constraints = cluster_constraint(data, range(0, 7)) + cluster_constraint(
+            data, range(7, 25)
+        )
+        classes = build_equivalence_classes(25, constraints)
+        for c, rep in enumerate(classes.representative_rows):
+            assert int(classes.class_of_row[rep]) == c
+
+    def test_number_of_classes_independent_of_n(self, rng):
+        # Same constraint topology on 10x the rows -> same class count.
+        small = build_equivalence_classes(
+            100, cluster_constraint(rng.standard_normal((100, 2)), range(0, 50))
+        )
+        big = build_equivalence_classes(
+            1000, cluster_constraint(rng.standard_normal((1000, 2)), range(0, 500))
+        )
+        assert small.n_classes == big.n_classes == 2

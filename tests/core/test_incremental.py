@@ -1,0 +1,106 @@
+"""Tests for warm-start incremental refitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import cluster_constraint
+from repro.core.incremental import WarmStartState, incremental_solve
+from repro.core.solver import SolverOptions, solve_maxent
+
+
+@pytest.fixture
+def three_cluster_data(rng):
+    a = rng.normal([0, 0], 0.3, (40, 2))
+    b = rng.normal([4, 0], 0.3, (40, 2))
+    c = rng.normal([2, 4], 0.3, (40, 2))
+    data = np.vstack([a, b, c])
+    groups = [range(0, 40), range(40, 80), range(80, 120)]
+    return data, groups
+
+
+def _cumulative_lists(data, groups):
+    lists = []
+    acc = []
+    for g in groups:
+        acc = acc + cluster_constraint(data, g)
+        lists.append(list(acc))
+    return lists
+
+
+class TestIncrementalSolve:
+    def test_cold_start_matches_plain_solver(self, three_cluster_data):
+        data, groups = three_cluster_data
+        constraints = _cumulative_lists(data, groups)[-1]
+        plain_params, _, _ = solve_maxent(data, constraints)
+        inc_params, _, _, _ = incremental_solve(data, constraints)
+        np.testing.assert_allclose(inc_params.mean, plain_params.mean, atol=1e-8)
+
+    def test_warm_start_reaches_same_optimum(self, three_cluster_data):
+        data, groups = three_cluster_data
+        lists = _cumulative_lists(data, groups)
+        options = SolverOptions(time_cutoff=None, lambda_tolerance=1e-5)
+
+        cold_params, _, _ = solve_maxent(data, lists[-1], options=options)
+        state = None
+        for constraints in lists:
+            warm_params, _, _, state = incremental_solve(
+                data, constraints, previous=state, options=options
+            )
+        np.testing.assert_allclose(warm_params.mean, cold_params.mean, atol=1e-3)
+        np.testing.assert_allclose(
+            np.einsum("cii->ci", warm_params.sigma),
+            np.einsum("cii->ci", cold_params.sigma),
+            atol=1e-3,
+        )
+
+    def test_warm_start_reuses_converged_state_in_one_sweep(
+        self, three_cluster_data
+    ):
+        data, groups = three_cluster_data
+        lists = _cumulative_lists(data, groups)
+        options = SolverOptions(time_cutoff=None)
+        _, _, _, state = incremental_solve(data, lists[-1], options=options)
+        # Re-solving the identical list warm must converge immediately.
+        _, _, report, _ = incremental_solve(
+            data, lists[-1], previous=state, options=options
+        )
+        assert report.sweeps <= 2
+
+    def test_non_prefix_falls_back_to_cold(self, three_cluster_data):
+        data, groups = three_cluster_data
+        lists = _cumulative_lists(data, groups)
+        _, _, _, state = incremental_solve(data, lists[0])
+        # A *different* (non-prefix) constraint list: silently cold-starts
+        # and still reaches the right answer.
+        other = cluster_constraint(data, groups[2])
+        params, classes, report, _ = incremental_solve(
+            data, other, previous=state
+        )
+        plain_params, _, _ = solve_maxent(data, other)
+        np.testing.assert_allclose(params.mean, plain_params.mean, atol=1e-8)
+
+    def test_state_carries_constraint_list(self, three_cluster_data):
+        data, groups = three_cluster_data
+        constraints = cluster_constraint(data, groups[0])
+        _, _, _, state = incremental_solve(data, constraints)
+        assert isinstance(state, WarmStartState)
+        assert len(state.constraints) == len(constraints)
+
+    def test_new_classes_seeded_from_parents(self, three_cluster_data):
+        data, groups = three_cluster_data
+        # Round 1: one big group covering everything.
+        big = cluster_constraint(data, range(0, 120))
+        _, _, _, state = incremental_solve(
+            data, big, options=SolverOptions(time_cutoff=None)
+        )
+        # Round 2: append a sub-group; its class splits off the big class
+        # and must be seeded from it (not the prior).
+        extended = big + cluster_constraint(data, groups[0])
+        params, classes, report, _ = incremental_solve(
+            data, extended, previous=state, options=SolverOptions(time_cutoff=None)
+        )
+        # Fewer sweeps than a cold start needs.
+        _, _, cold_report = solve_maxent(
+            data, extended, options=SolverOptions(time_cutoff=None)
+        )
+        assert report.sweeps <= cold_report.sweeps

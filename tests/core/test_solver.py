@@ -1,0 +1,221 @@
+"""Unit and behaviour tests for the MaxEnt coordinate-ascent solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import (
+    cluster_constraint,
+    margin_constraints,
+    one_cluster_constraint,
+)
+from repro.core.constraint import Constraint, ConstraintKind
+from repro.core.solver import SolverOptions, solve_maxent
+from repro.datasets.paper import (
+    adversarial_constraints_case_a,
+    adversarial_constraints_case_b,
+    adversarial_three_points,
+)
+from repro.errors import DataShapeError
+
+
+def _expectations(data, constraints, params, classes):
+    """Model expectation of every constraint under fitted parameters."""
+    values = []
+    for t, c in enumerate(constraints):
+        affected = classes.members[t]
+        counts = classes.class_counts[affected].astype(float)
+        means, variances = params.projected_stats(affected, c.w)
+        if c.kind is ConstraintKind.LINEAR:
+            values.append(float(np.dot(counts, means)))
+        else:
+            delta = float(c.anchor_mean(data) @ c.w)
+            values.append(float(np.dot(counts, variances + (means - delta) ** 2)))
+    return np.asarray(values)
+
+
+class TestSolveMaxentBasics:
+    def test_no_constraints_returns_prior(self, gaussian_data):
+        params, classes, report = solve_maxent(gaussian_data, [])
+        assert report.converged
+        assert classes.n_classes == 1
+        np.testing.assert_array_equal(params.mean[0], np.zeros(4))
+        np.testing.assert_array_equal(params.sigma[0], np.eye(4))
+
+    def test_margin_constraints_match_observed(self, two_cluster_data):
+        data, _ = two_cluster_data
+        constraints = margin_constraints(data)
+        params, classes, report = solve_maxent(data, constraints)
+        assert report.converged
+        got = _expectations(data, constraints, params, classes)
+        want = np.array([c.observed_value(data) for c in constraints])
+        np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-8)
+
+    def test_margin_constraints_set_column_moments(self, two_cluster_data):
+        data, _ = two_cluster_data
+        constraints = margin_constraints(data)
+        params, classes, _ = solve_maxent(data, constraints)
+        # Single class; its mean must equal the column means and the
+        # diagonal variance the (biased, anchored) column variances.
+        np.testing.assert_allclose(params.mean[0], data.mean(axis=0), atol=1e-6)
+
+    def test_cluster_constraints_match_observed(self, two_cluster_data):
+        data, labels = two_cluster_data
+        constraints = cluster_constraint(
+            data, np.flatnonzero(labels == 0)
+        ) + cluster_constraint(data, np.flatnonzero(labels == 1))
+        params, classes, report = solve_maxent(data, constraints)
+        assert report.converged
+        got = _expectations(data, constraints, params, classes)
+        want = np.array([c.observed_value(data) for c in constraints])
+        np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-8)
+
+    def test_cluster_means_move_to_cluster_centres(self, two_cluster_data):
+        data, labels = two_cluster_data
+        rows0 = np.flatnonzero(labels == 0)
+        constraints = cluster_constraint(data, rows0)
+        params, classes, _ = solve_maxent(data, constraints)
+        cls0 = int(classes.class_of_row[rows0[0]])
+        np.testing.assert_allclose(
+            params.mean[cls0], data[rows0].mean(axis=0), atol=1e-6
+        )
+
+    def test_unconstrained_rows_keep_prior(self, two_cluster_data):
+        data, labels = two_cluster_data
+        rows0 = np.flatnonzero(labels == 0)
+        constraints = cluster_constraint(data, rows0)
+        params, classes, _ = solve_maxent(data, constraints)
+        free_row = int(np.flatnonzero(labels == 1)[0])
+        cls = int(classes.class_of_row[free_row])
+        np.testing.assert_array_equal(params.mean[cls], np.zeros(3))
+        np.testing.assert_array_equal(params.sigma[cls], np.eye(3))
+
+    def test_one_cluster_constraint_reproduces_covariance(self, rng):
+        data = rng.standard_normal((400, 3)) @ np.diag([3.0, 1.0, 0.3])
+        constraints = one_cluster_constraint(data)
+        params, classes, _ = solve_maxent(data, constraints)
+        # The anchored covariance of the model must match the data's
+        # (biased) covariance around the observed mean.
+        centred = data - data.mean(axis=0)
+        sample_cov = (centred.T @ centred) / data.shape[0]
+        model_cov = params.sigma[0] + np.outer(
+            params.mean[0] - data.mean(axis=0), params.mean[0] - data.mean(axis=0)
+        )
+        np.testing.assert_allclose(model_cov, sample_cov, rtol=1e-5, atol=1e-7)
+
+
+class TestSolverValidation:
+    def test_dimension_mismatch_rejected(self, gaussian_data):
+        bad = Constraint(
+            ConstraintKind.LINEAR, np.array([0]), np.ones(7)
+        )
+        with pytest.raises(DataShapeError):
+            solve_maxent(gaussian_data, [bad])
+
+    def test_row_out_of_range_rejected(self, gaussian_data):
+        bad = Constraint(
+            ConstraintKind.LINEAR, np.array([10**6]), np.ones(4)
+        )
+        with pytest.raises(DataShapeError):
+            solve_maxent(gaussian_data, [bad])
+
+    def test_1d_data_rejected(self):
+        with pytest.raises(DataShapeError):
+            solve_maxent(np.ones(5), [])
+
+
+class TestSolverControls:
+    def test_max_sweeps_respected(self):
+        bundle = adversarial_three_points()
+        constraints = adversarial_constraints_case_b(bundle.data)
+        options = SolverOptions(
+            lambda_tolerance=0.0,
+            drift_tolerance_factor=0.0,
+            time_cutoff=None,
+            max_sweeps=7,
+        )
+        _, _, report = solve_maxent(bundle.data, constraints, options=options)
+        assert report.sweeps == 7
+        assert not report.converged
+
+    def test_time_cutoff_stops_early(self):
+        bundle = adversarial_three_points()
+        constraints = adversarial_constraints_case_b(bundle.data)
+        options = SolverOptions(
+            lambda_tolerance=0.0,
+            drift_tolerance_factor=0.0,
+            time_cutoff=0.05,
+            max_sweeps=10**6,
+        )
+        _, _, report = solve_maxent(bundle.data, constraints, options=options)
+        assert not report.converged
+        assert report.elapsed < 5.0
+
+    def test_on_step_callback_called_per_constraint(self, two_cluster_data):
+        data, labels = two_cluster_data
+        constraints = cluster_constraint(data, np.flatnonzero(labels == 0))
+        calls = []
+        solve_maxent(
+            data,
+            constraints,
+            on_step=lambda sweep, t, lam, params: calls.append((sweep, t)),
+        )
+        # Every sweep must touch every constraint once, in order.
+        per_sweep = len(constraints)
+        assert len(calls) % per_sweep == 0
+        assert [t for _, t in calls[:per_sweep]] == list(range(per_sweep))
+
+    def test_init_and_optim_seconds_reported(self, two_cluster_data):
+        data, labels = two_cluster_data
+        constraints = cluster_constraint(data, np.flatnonzero(labels == 0))
+        _, _, report = solve_maxent(data, constraints)
+        assert report.init_seconds >= 0.0
+        assert report.optim_seconds >= 0.0
+
+
+class TestAdversarialCases:
+    def test_case_a_reaches_analytic_optimum(self):
+        bundle = adversarial_three_points()
+        constraints = adversarial_constraints_case_a(bundle.data)
+        params, classes, report = solve_maxent(
+            bundle.data,
+            constraints,
+            options=SolverOptions(time_cutoff=None, lambda_tolerance=1e-6),
+        )
+        cls = int(classes.class_of_row[0])
+        # Analytic solution (paper Eq. 12): m = (1/2, 0), Sigma = diag(1/4, 0).
+        # The zero-variance entry is a singular limit point that coordinate
+        # ascent only approaches (each sweep shrinks it geometrically), so
+        # it gets a looser tolerance than the regular entries.
+        np.testing.assert_allclose(params.mean[cls], [0.5, 0.0], atol=1e-3)
+        assert params.sigma[cls][0, 0] == pytest.approx(0.25, abs=1e-4)
+        assert params.sigma[cls][1, 1] == pytest.approx(0.0, abs=5e-3)
+
+    def test_case_a_row2_keeps_prior(self):
+        bundle = adversarial_three_points()
+        constraints = adversarial_constraints_case_a(bundle.data)
+        params, classes, _ = solve_maxent(bundle.data, constraints)
+        cls = int(classes.class_of_row[1])  # row 2 (0-based 1) unconstrained
+        np.testing.assert_array_equal(params.sigma[cls], np.eye(2))
+
+    def test_case_b_variance_decays_like_inverse_steps(self):
+        bundle = adversarial_three_points()
+        constraints = adversarial_constraints_case_b(bundle.data)
+        trace = []
+        options = SolverOptions(
+            lambda_tolerance=0.0,
+            drift_tolerance_factor=0.0,
+            time_cutoff=None,
+            max_sweeps=300,
+        )
+        solve_maxent(
+            bundle.data,
+            constraints,
+            options=options,
+            on_step=lambda s, t, lam, p: trace.append(float(p.sigma[0, 0, 0])),
+        )
+        trace_arr = np.asarray(trace)
+        # Tail decay exponent of (Sigma_1)_11 vs step count ~ -1 (Fig. 5b).
+        tail = trace_arr[len(trace_arr) // 2 :]
+        taus = np.arange(1, trace_arr.size + 1)[len(trace_arr) // 2 :]
+        slope = np.polyfit(np.log(taus), np.log(np.maximum(tail, 1e-300)), 1)[0]
+        assert slope == pytest.approx(-1.0, abs=0.25)

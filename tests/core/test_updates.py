@@ -1,0 +1,131 @@
+"""Direct unit tests for the coordinate-step update rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraint import Constraint, ConstraintKind
+from repro.core.equivalence import build_equivalence_classes
+from repro.core.parameters import ClassParameters
+from repro.core.updates import linear_step, quadratic_step
+
+
+def _setup(data, constraint):
+    classes = build_equivalence_classes(data.shape[0], [constraint])
+    params = ClassParameters.prior(classes.n_classes, data.shape[1])
+    return params, classes
+
+
+def _linear_expectation(constraint, params, classes, t=0):
+    affected = classes.members[t]
+    counts = classes.class_counts[affected].astype(float)
+    means, _ = params.projected_stats(affected, constraint.w)
+    return float(np.dot(counts, means))
+
+
+def _quadratic_expectation(constraint, delta, params, classes, t=0):
+    affected = classes.members[t]
+    counts = classes.class_counts[affected].astype(float)
+    means, variances = params.projected_stats(affected, constraint.w)
+    return float(np.dot(counts, variances + (means - delta) ** 2))
+
+
+class TestLinearStep:
+    def test_single_step_exact(self, rng):
+        data = rng.standard_normal((20, 3)) + 2.0
+        c = Constraint(
+            ConstraintKind.LINEAR, np.arange(10), np.array([1.0, 0.0, 0.0])
+        )
+        params, classes = _setup(data, c)
+        target = c.observed_value(data)
+        lam = linear_step(c, target, params, classes, t=0)
+        assert lam != 0.0
+        got = _linear_expectation(c, params, classes)
+        assert got == pytest.approx(target, rel=1e-12)
+
+    def test_satisfied_constraint_zero_step(self, rng):
+        data = rng.standard_normal((10, 2))
+        c = Constraint(ConstraintKind.LINEAR, np.arange(10), np.array([1.0, 0.0]))
+        params, classes = _setup(data, c)
+        current = _linear_expectation(c, params, classes)
+        lam = linear_step(c, current, params, classes, t=0)
+        assert lam == 0.0
+
+    def test_zero_variance_direction_skipped(self, rng):
+        data = rng.standard_normal((6, 2))
+        c = Constraint(ConstraintKind.LINEAR, np.arange(6), np.array([0.0, 1.0]))
+        params, classes = _setup(data, c)
+        params.sigma[:] = 0.0  # degenerate: nothing can move the mean
+        lam = linear_step(c, 100.0, params, classes, t=0)
+        assert lam == 0.0
+
+    def test_mean_moves_along_w_only(self, rng):
+        data = rng.standard_normal((8, 3))
+        w = np.array([0.0, 1.0, 0.0])
+        c = Constraint(ConstraintKind.LINEAR, np.arange(8), w)
+        params, classes = _setup(data, c)
+        linear_step(c, 16.0, params, classes, t=0)
+        cls = int(classes.class_of_row[0])
+        # Orthogonal coordinates of the mean stay zero (prior Sigma = I).
+        assert params.mean[cls][0] == pytest.approx(0.0)
+        assert params.mean[cls][2] == pytest.approx(0.0)
+        assert params.mean[cls][1] == pytest.approx(2.0)  # 16 / 8 rows
+
+
+class TestQuadraticStep:
+    def test_single_step_exact(self, rng):
+        data = 3.0 * rng.standard_normal((30, 2))
+        w = np.array([1.0, 0.0])
+        c = Constraint(ConstraintKind.QUADRATIC, np.arange(30), w)
+        params, classes = _setup(data, c)
+        target = c.observed_value(data)
+        delta = float(c.anchor_mean(data) @ w)
+        lam = quadratic_step(c, target, delta, params, classes, t=0)
+        assert lam != 0.0
+        got = _quadratic_expectation(c, delta, params, classes)
+        assert got == pytest.approx(target, rel=1e-9)
+
+    def test_inflating_variance_uses_negative_lambda(self, rng):
+        # Target variance above the prior's requires lambda < 0.
+        data = 5.0 * rng.standard_normal((50, 1))
+        c = Constraint(ConstraintKind.QUADRATIC, np.arange(50), np.array([1.0]))
+        params, classes = _setup(data, c)
+        target = c.observed_value(data)  # >> 50 * 1
+        delta = float(c.anchor_mean(data)[0])
+        lam = quadratic_step(c, target, delta, params, classes, t=0)
+        assert lam < 0.0
+        cls = int(classes.class_of_row[0])
+        assert params.sigma[cls][0, 0] > 1.0
+
+    def test_singular_target_takes_bounded_step(self):
+        # Two identical points: observed quadratic value 0 along w — the
+        # singular Fig. 5 situation.  One step must shrink variance but
+        # stay finite.
+        data = np.ones((2, 2))
+        c = Constraint(ConstraintKind.QUADRATIC, np.arange(2), np.array([1.0, 0.0]))
+        params, classes = _setup(data, c)
+        lam = quadratic_step(c, 0.0, 1.0, params, classes, t=0)
+        assert lam > 0.0
+        cls = int(classes.class_of_row[0])
+        var = params.sigma[cls][0, 0]
+        assert 0.0 < var < 1.0
+        assert np.isfinite(var)
+
+    def test_all_zero_variance_skipped(self, rng):
+        data = rng.standard_normal((4, 2))
+        c = Constraint(ConstraintKind.QUADRATIC, np.arange(4), np.array([1.0, 0.0]))
+        params, classes = _setup(data, c)
+        params.sigma[:] = 0.0
+        lam = quadratic_step(c, 5.0, 0.0, params, classes, t=0)
+        assert lam == 0.0
+
+    def test_orthogonal_variance_untouched(self, rng):
+        data = rng.standard_normal((20, 2)) * np.array([4.0, 1.0])
+        w = np.array([1.0, 0.0])
+        c = Constraint(ConstraintKind.QUADRATIC, np.arange(20), w)
+        params, classes = _setup(data, c)
+        target = c.observed_value(data)
+        delta = float(c.anchor_mean(data) @ w)
+        quadratic_step(c, target, delta, params, classes, t=0)
+        cls = int(classes.class_of_row[0])
+        assert params.sigma[cls][1, 1] == pytest.approx(1.0)
+        assert params.sigma[cls][0, 1] == pytest.approx(0.0)

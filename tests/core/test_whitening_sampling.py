@@ -1,0 +1,112 @@
+"""Tests for per-row whitening (Eq. 14) and background sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.background import BackgroundModel
+from repro.core.equivalence import build_equivalence_classes
+from repro.core.parameters import ClassParameters
+from repro.core.sampling import sample_background
+from repro.core.whitening import whiten, whitening_transforms
+from repro.errors import DataShapeError
+
+
+class TestWhiten:
+    def test_prior_whitening_is_identity(self, gaussian_data):
+        classes = build_equivalence_classes(gaussian_data.shape[0], [])
+        params = ClassParameters.prior(1, 4)
+        np.testing.assert_allclose(
+            whiten(gaussian_data, params, classes), gaussian_data, atol=1e-12
+        )
+
+    def test_whitening_standardises_under_true_model(self, rng):
+        # Build a known Gaussian model, sample from it, whiten with it:
+        # the result must look standard normal.
+        n, d = 4000, 3
+        mean = np.array([2.0, -1.0, 0.5])
+        a = rng.standard_normal((d, d))
+        cov = a @ a.T + 0.5 * np.eye(d)
+        data = rng.multivariate_normal(mean, cov, size=n)
+
+        classes = build_equivalence_classes(n, [])
+        params = ClassParameters.prior(1, d)
+        params.sigma[0] = cov
+        params.mean[0] = mean
+        whitened = whiten(data, params, classes)
+        np.testing.assert_allclose(whitened.mean(axis=0), 0.0, atol=0.1)
+        sample_cov = np.cov(whitened, rowvar=False)
+        np.testing.assert_allclose(sample_cov, np.eye(d), atol=0.1)
+
+    def test_symmetric_square_root_used(self, rng):
+        # The transform must be Sigma^{-1/2} (symmetric), not a Cholesky
+        # factor: verify T @ Sigma @ T == I and T == T.T.
+        d = 4
+        a = rng.standard_normal((d, d))
+        cov = a @ a.T + np.eye(d)
+        params = ClassParameters.prior(1, d)
+        params.sigma[0] = cov
+        transforms = whitening_transforms(params)
+        t = transforms[0]
+        np.testing.assert_allclose(t, t.T, atol=1e-10)
+        np.testing.assert_allclose(t @ cov @ t, np.eye(d), atol=1e-8)
+
+    def test_shape_mismatch_rejected(self, gaussian_data):
+        classes = build_equivalence_classes(gaussian_data.shape[0], [])
+        params = ClassParameters.prior(1, 3)  # wrong dim
+        with pytest.raises(DataShapeError):
+            whiten(gaussian_data, params, classes)
+
+    def test_row_count_mismatch_rejected(self, gaussian_data):
+        classes = build_equivalence_classes(7, [])
+        params = ClassParameters.prior(1, 4)
+        with pytest.raises(DataShapeError):
+            whiten(gaussian_data, params, classes)
+
+    def test_singular_covariance_produces_finite_output(self, two_cluster_data):
+        # A cluster of 2 points in 3-D pins directions to zero variance;
+        # whitening must stay finite thanks to eigenvalue clamping.
+        data, _ = two_cluster_data
+        model = BackgroundModel(data)
+        model.add_cluster_constraint([0, 1])
+        model.fit()
+        whitened = model.whiten()
+        assert np.all(np.isfinite(whitened))
+
+
+class TestSampleBackground:
+    def test_shape(self, gaussian_data):
+        classes = build_equivalence_classes(gaussian_data.shape[0], [])
+        params = ClassParameters.prior(1, 4)
+        sample = sample_background(params, classes, rng=np.random.default_rng(0))
+        assert sample.shape == gaussian_data.shape
+
+    def test_prior_sample_is_standard_normal(self):
+        classes = build_equivalence_classes(20000, [])
+        params = ClassParameters.prior(1, 2)
+        sample = sample_background(params, classes, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(sample.mean(axis=0), 0.0, atol=0.05)
+        np.testing.assert_allclose(sample.std(axis=0), 1.0, atol=0.05)
+
+    def test_sample_respects_class_parameters(self):
+        classes = build_equivalence_classes(10000, [])
+        params = ClassParameters.prior(1, 2)
+        params.mean[0] = np.array([5.0, -3.0])
+        params.sigma[0] = np.diag([4.0, 0.25])
+        sample = sample_background(params, classes, rng=np.random.default_rng(2))
+        np.testing.assert_allclose(sample.mean(axis=0), [5.0, -3.0], atol=0.1)
+        np.testing.assert_allclose(sample.std(axis=0), [2.0, 0.5], atol=0.1)
+
+    def test_singular_covariance_sample_in_subspace(self):
+        classes = build_equivalence_classes(1000, [])
+        params = ClassParameters.prior(1, 2)
+        params.sigma[0] = np.diag([1.0, 0.0])
+        sample = sample_background(params, classes, rng=np.random.default_rng(3))
+        # Second coordinate must be exactly pinned to the mean (0).
+        np.testing.assert_allclose(sample[:, 1], 0.0, atol=1e-10)
+
+    def test_deterministic_with_seed(self, gaussian_data):
+        classes = build_equivalence_classes(gaussian_data.shape[0], [])
+        params = ClassParameters.prior(1, 4)
+        s1 = sample_background(params, classes, rng=np.random.default_rng(42))
+        s2 = sample_background(params, classes, rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(s1, s2)

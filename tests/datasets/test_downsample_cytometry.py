@@ -1,0 +1,119 @@
+"""Tests for downsampling utilities and the cytometry surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import cytometry_surrogate, downsample, lift_selection
+from repro.datasets.base import DatasetBundle
+from repro.errors import DataShapeError
+
+
+@pytest.fixture
+def labelled_bundle(rng):
+    labels = np.array(["a"] * 700 + ["b"] * 280 + ["c"] * 20)
+    return DatasetBundle(
+        name="toy", data=rng.standard_normal((1000, 3)), labels=labels
+    )
+
+
+class TestDownsample:
+    def test_shape_and_name(self, labelled_bundle):
+        sample = downsample(labelled_bundle, 100, rng=np.random.default_rng(0))
+        assert sample.n_rows == 100
+        assert sample.name == "toy#100"
+        assert sample.metadata["parent_n_rows"] == 1000
+
+    def test_labels_follow_rows(self, labelled_bundle):
+        sample = downsample(labelled_bundle, 200, rng=np.random.default_rng(1))
+        rows = sample.metadata["sample_rows"]
+        np.testing.assert_array_equal(sample.labels, labelled_bundle.labels[rows])
+        np.testing.assert_array_equal(sample.data, labelled_bundle.data[rows])
+
+    def test_stratified_keeps_small_class(self, labelled_bundle):
+        sample = downsample(
+            labelled_bundle, 100, rng=np.random.default_rng(2), stratify=True
+        )
+        counts = {c: int(np.sum(sample.labels == c)) for c in ("a", "b", "c")}
+        assert counts["a"] == pytest.approx(70, abs=2)
+        assert counts["b"] == pytest.approx(28, abs=2)
+        assert counts["c"] >= 1  # the 2% class survives
+
+    def test_stratified_requires_labels(self, rng):
+        bundle = DatasetBundle(name="t", data=rng.standard_normal((50, 2)))
+        with pytest.raises(DataShapeError):
+            downsample(bundle, 10, stratify=True)
+
+    def test_oversampling_rejected(self, labelled_bundle):
+        with pytest.raises(DataShapeError):
+            downsample(labelled_bundle, 2000)
+
+    def test_zero_rows_rejected(self, labelled_bundle):
+        with pytest.raises(DataShapeError):
+            downsample(labelled_bundle, 0)
+
+    def test_rows_unique_and_sorted(self, labelled_bundle):
+        sample = downsample(labelled_bundle, 500, rng=np.random.default_rng(3))
+        rows = sample.metadata["sample_rows"]
+        assert np.all(np.diff(rows) > 0)
+
+
+class TestLiftSelection:
+    def test_roundtrip(self, labelled_bundle):
+        sample = downsample(labelled_bundle, 100, rng=np.random.default_rng(0))
+        lifted = lift_selection(sample, [0, 5, 7])
+        rows = sample.metadata["sample_rows"]
+        np.testing.assert_array_equal(lifted, rows[[0, 5, 7]])
+        # Lifted rows index the same data values.
+        np.testing.assert_array_equal(
+            labelled_bundle.data[lifted], sample.data[[0, 5, 7]]
+        )
+
+    def test_requires_downsampled_bundle(self, labelled_bundle):
+        with pytest.raises(DataShapeError):
+            lift_selection(labelled_bundle, [0])
+
+    def test_out_of_range_rejected(self, labelled_bundle):
+        sample = downsample(labelled_bundle, 10, rng=np.random.default_rng(0))
+        with pytest.raises(DataShapeError):
+            lift_selection(sample, [10])
+
+
+class TestCytometrySurrogate:
+    def test_shape_and_channels(self):
+        bundle = cytometry_surrogate(n_events=2000, seed=0)
+        assert bundle.data.shape == (2000, 8)
+        assert bundle.feature_names[0] == "FSC-A"
+
+    def test_population_fractions(self):
+        bundle = cytometry_surrogate(n_events=20000, seed=0)
+        counts = bundle.metadata["population_counts"]
+        assert counts["nkt-rare"] == pytest.approx(200, rel=0.5)
+        assert counts["t-helper"] > counts["nkt-rare"] * 10
+
+    def test_asinh_transform_compresses_range(self):
+        raw = cytometry_surrogate(n_events=2000, seed=0, transform=False)
+        cooked = cytometry_surrogate(n_events=2000, seed=0, transform=True)
+        assert raw.data.max() > 1000.0
+        assert cooked.data.max() < 10.0
+
+    def test_populations_separable_in_marker_space(self):
+        bundle = cytometry_surrogate(n_events=5000, seed=0)
+        data, labels = bundle.data, bundle.labels
+        # CD3 separates T cells from B cells.
+        cd3 = data[:, 2]
+        t = cd3[np.isin(labels, ("t-helper", "t-cytotoxic"))]
+        b = cd3[labels == "b-cells"]
+        assert t.mean() - b.mean() > 2.0 * (t.std() + b.std())
+
+    def test_rare_population_is_double_bright(self):
+        bundle = cytometry_surrogate(n_events=20000, seed=0)
+        data, labels = bundle.data, bundle.labels
+        rare = labels == "nkt-rare"
+        # Brighter on CD3 than T cells AND brighter on CD56 than NK cells.
+        assert data[rare, 2].mean() > data[labels == "t-helper", 2].mean()
+        assert data[rare, 4].mean() > data[labels == "nk-cells", 4].mean()
+
+    def test_deterministic(self):
+        b1 = cytometry_surrogate(n_events=1000, seed=7)
+        b2 = cytometry_surrogate(n_events=1000, seed=7)
+        np.testing.assert_array_equal(b1.data, b2.data)

@@ -1,0 +1,173 @@
+"""Tests for the generic and surrogate dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import DatasetBundle
+from repro.datasets.bnc import GENRES, bnc_surrogate
+from repro.datasets.runtime import runtime_constraints, runtime_dataset
+from repro.datasets.segmentation import CLASSES, segmentation_surrogate
+from repro.datasets.synthetic import gaussian_clusters, random_centroid_clusters
+from repro.errors import DataShapeError
+
+
+class TestDatasetBundle:
+    def test_default_feature_names(self, rng):
+        bundle = DatasetBundle(name="t", data=rng.standard_normal((5, 3)))
+        assert bundle.feature_names == ("X1", "X2", "X3")
+
+    def test_label_length_checked(self, rng):
+        with pytest.raises(DataShapeError):
+            DatasetBundle(
+                name="t", data=rng.standard_normal((5, 2)), labels=np.arange(4)
+            )
+
+    def test_rows_with_label(self, rng):
+        bundle = DatasetBundle(
+            name="t",
+            data=rng.standard_normal((6, 2)),
+            labels=np.array(["a", "b", "a", "b", "a", "b"]),
+        )
+        np.testing.assert_array_equal(bundle.rows_with_label("a"), [0, 2, 4])
+
+    def test_rows_with_label_requires_labels(self, rng):
+        bundle = DatasetBundle(name="t", data=rng.standard_normal((5, 2)))
+        with pytest.raises(DataShapeError):
+            bundle.rows_with_label("a")
+
+    def test_class_names_order(self, rng):
+        bundle = DatasetBundle(
+            name="t",
+            data=rng.standard_normal((4, 2)),
+            labels=np.array(["z", "a", "z", "m"]),
+        )
+        assert bundle.class_names() == ["z", "a", "m"]
+
+
+class TestGaussianClusters:
+    def test_sizes_and_labels(self):
+        centres = np.array([[0.0, 0.0], [5.0, 5.0]])
+        bundle = gaussian_clusters(centres, sizes=[30, 20], spreads=0.1, seed=0)
+        assert bundle.n_rows == 50
+        assert int(np.sum(bundle.labels == 0)) == 30
+        assert int(np.sum(bundle.labels == 1)) == 20
+
+    def test_clusters_near_centroids(self):
+        centres = np.array([[0.0, 0.0], [5.0, 5.0]])
+        bundle = gaussian_clusters(centres, sizes=[100, 100], spreads=0.1, seed=0)
+        for c in (0, 1):
+            got = bundle.data[bundle.labels == c].mean(axis=0)
+            np.testing.assert_allclose(got, centres[c], atol=0.05)
+
+    def test_per_cluster_spreads(self):
+        centres = np.zeros((2, 2))
+        bundle = gaussian_clusters(
+            centres, sizes=[2000, 2000], spreads=[0.1, 2.0], seed=0
+        )
+        s0 = bundle.data[bundle.labels == 0].std()
+        s1 = bundle.data[bundle.labels == 1].std()
+        assert s1 / s0 == pytest.approx(20.0, rel=0.15)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(DataShapeError):
+            gaussian_clusters(np.zeros((2, 2)), sizes=[10])
+
+    def test_shuffle_off_keeps_block_order(self):
+        bundle = gaussian_clusters(
+            np.zeros((2, 2)), sizes=[3, 3], seed=0, shuffle=False
+        )
+        np.testing.assert_array_equal(bundle.labels, [0, 0, 0, 1, 1, 1])
+
+
+class TestRuntimeDataset:
+    def test_shape(self):
+        bundle = runtime_dataset(n=100, d=4, k=3, seed=0)
+        assert bundle.data.shape == (100, 4)
+        assert len(np.unique(bundle.labels)) == 3
+
+    def test_constraint_count(self):
+        bundle = runtime_dataset(n=100, d=4, k=3, seed=0)
+        constraints = runtime_constraints(bundle)
+        # 2d margins + 2d per cluster = 2*4 + 3*2*4.
+        assert len(constraints) == 8 + 24
+
+    def test_k1_only_margins(self):
+        bundle = runtime_dataset(n=50, d=3, k=1, seed=0)
+        constraints = runtime_constraints(bundle)
+        assert len(constraints) == 6
+
+    def test_n_smaller_than_k_rejected(self):
+        with pytest.raises(DataShapeError):
+            random_centroid_clusters(n=2, d=3, k=5)
+
+
+class TestBncSurrogate:
+    def test_shape_and_genres(self):
+        bundle = bnc_surrogate(seed=0)
+        assert bundle.data.shape == (1335, 100)
+        assert set(np.unique(bundle.labels)) == set(GENRES)
+
+    def test_counts_normalisation_modes(self):
+        counts = bnc_surrogate(seed=0, normalize="counts")
+        rel = bnc_surrogate(seed=0, normalize="relative")
+        hel = bnc_surrogate(seed=0, normalize="hellinger")
+        np.testing.assert_allclose(counts.data.sum(axis=1), 2000.0)
+        np.testing.assert_allclose(rel.data.sum(axis=1), 1.0, atol=1e-12)
+        np.testing.assert_allclose((hel.data**2).sum(axis=1), 1.0, atol=1e-12)
+
+    def test_unknown_normalize_rejected(self):
+        with pytest.raises(ValueError):
+            bnc_surrogate(normalize="tfidf")
+
+    def test_smaller_corpus(self):
+        bundle = bnc_surrogate(seed=0, n_documents=200)
+        assert 150 <= bundle.n_rows <= 250
+
+    def test_conversations_distinct(self):
+        # The core calibration property: conversations are far from every
+        # written genre in standardised space.
+        bundle = bnc_surrogate(seed=0)
+        data = bundle.data
+        std = (data - data.mean(0)) / data.std(0)
+        conv = std[bundle.labels == "transcribed conversations"].mean(axis=0)
+        for genre in GENRES:
+            if genre == "transcribed conversations":
+                continue
+            other = std[bundle.labels == genre].mean(axis=0)
+            assert np.linalg.norm(conv - other) > 5.0
+
+
+class TestSegmentationSurrogate:
+    def test_shape_and_classes(self):
+        bundle = segmentation_surrogate(seed=0)
+        assert bundle.data.shape == (2310, 19)
+        assert set(np.unique(bundle.labels)) == set(CLASSES)
+
+    def test_scale_anisotropy(self):
+        bundle = segmentation_surrogate(seed=0)
+        stds = bundle.data.std(axis=0)
+        assert stds.max() / stds.min() > 20.0
+
+    def test_outlier_rows_recorded(self):
+        bundle = segmentation_surrogate(seed=0)
+        outliers = bundle.metadata["outlier_rows"]
+        assert len(outliers) >= 3
+        assert np.all(outliers < bundle.n_rows)
+
+    def test_outliers_are_remote_in_mahalanobis(self):
+        bundle = segmentation_surrogate(seed=0)
+        data = bundle.data
+        cov = np.cov(data, rowvar=False)
+        inv = np.linalg.inv(cov + 1e-9 * np.eye(19))
+        centred = data - data.mean(axis=0)
+        maha = np.sqrt(np.einsum("ij,jk,ik->i", centred, inv, centred))
+        # Typical Mahalanobis norm in 19-D is ~sqrt(19) ≈ 4.4; the injected
+        # outliers sit at 6-9, i.e. clearly above the bulk but not by an
+        # arbitrary factor.
+        outliers = bundle.metadata["outlier_rows"]
+        assert np.median(maha[outliers]) > 1.3 * np.median(maha)
+        assert np.median(maha[outliers]) > 5.5
+
+    def test_smaller_classes(self):
+        bundle = segmentation_surrogate(seed=0, samples_per_class=50)
+        assert bundle.n_rows == 350

@@ -1,0 +1,116 @@
+"""Tests for the paper's synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.paper import (
+    adversarial_constraints_case_a,
+    adversarial_constraints_case_b,
+    adversarial_three_points,
+    three_d_clusters,
+    x5,
+)
+
+
+class TestThreeDClusters:
+    def test_shape_and_sizes(self):
+        bundle = three_d_clusters(seed=0)
+        assert bundle.data.shape == (150, 3)
+        counts = {label: int(np.sum(bundle.labels == label)) for label in range(4)}
+        assert counts == {0: 50, 1: 50, 2: 25, 3: 25}
+
+    def test_pair_overlaps_in_first_two_dims(self):
+        bundle = three_d_clusters(seed=0)
+        data, labels = bundle.data, bundle.labels
+        c2 = data[labels == 2][:, :2].mean(axis=0)
+        c3 = data[labels == 3][:, :2].mean(axis=0)
+        spread = data[labels == 2][:, :2].std()
+        assert np.linalg.norm(c2 - c3) < spread  # indistinguishable in 2-D
+
+    def test_pair_separates_in_third_dim(self):
+        bundle = three_d_clusters(seed=0)
+        data, labels = bundle.data, bundle.labels
+        gap = abs(
+            data[labels == 2][:, 2].mean() - data[labels == 3][:, 2].mean()
+        )
+        pooled = 0.5 * (
+            data[labels == 2][:, 2].std() + data[labels == 3][:, 2].std()
+        )
+        assert gap > 2.0 * pooled
+
+    def test_deterministic_with_seed(self):
+        b1 = three_d_clusters(seed=5)
+        b2 = three_d_clusters(seed=5)
+        np.testing.assert_array_equal(b1.data, b2.data)
+
+    def test_different_seed_different_data(self):
+        b1 = three_d_clusters(seed=1)
+        b2 = three_d_clusters(seed=2)
+        assert not np.array_equal(b1.data, b2.data)
+
+
+class TestX5:
+    def test_shape_and_groupings(self):
+        bundle = x5(n=800, seed=0)
+        assert bundle.data.shape == (800, 5)
+        assert set(np.unique(bundle.labels)) == {"A", "B", "C", "D"}
+        assert set(np.unique(bundle.metadata["labels45"])) == {"E", "F", "G"}
+
+    def test_a_overlaps_each_of_bcd_in_some_panel(self):
+        bundle = x5(seed=0)
+        data, labels = bundle.data, bundle.labels
+        overlapped = set()
+        for dims in [(0, 1), (0, 2), (1, 2)]:
+            centre_a = data[labels == "A"][:, dims].mean(axis=0)
+            for name in ("B", "C", "D"):
+                centre = data[labels == name][:, dims].mean(axis=0)
+                if np.linalg.norm(centre - centre_a) < 0.2:
+                    overlapped.add(name)
+        assert overlapped == {"B", "C", "D"}
+
+    def test_coupling_probability(self):
+        bundle = x5(n=4000, seed=1)
+        labels = bundle.labels
+        labels45 = bundle.metadata["labels45"]
+        bcd = np.isin(labels, ("B", "C", "D"))
+        frac = float(np.mean(np.isin(labels45[bcd], ("E", "F"))))
+        assert frac == pytest.approx(0.75, abs=0.03)
+
+    def test_a_always_in_g(self):
+        bundle = x5(seed=2)
+        labels45 = bundle.metadata["labels45"]
+        assert np.all(labels45[bundle.labels == "A"] == "G")
+
+    def test_custom_coupling(self):
+        bundle = x5(n=4000, seed=3, coupling=0.2)
+        labels45 = bundle.metadata["labels45"]
+        bcd = np.isin(bundle.labels, ("B", "C", "D"))
+        frac = float(np.mean(np.isin(labels45[bcd], ("E", "F"))))
+        assert frac == pytest.approx(0.2, abs=0.03)
+
+
+class TestAdversarial:
+    def test_data_matches_eq_11(self):
+        bundle = adversarial_three_points()
+        np.testing.assert_array_equal(
+            bundle.data, [[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]]
+        )
+
+    def test_case_a_has_four_constraints(self):
+        data = adversarial_three_points().data
+        assert len(adversarial_constraints_case_a(data)) == 4
+
+    def test_case_b_extends_case_a(self):
+        data = adversarial_three_points().data
+        ca = adversarial_constraints_case_a(data)
+        cb = adversarial_constraints_case_b(data)
+        assert len(cb) == 8
+        for c_a, c_b in zip(ca, cb[:4]):
+            np.testing.assert_array_equal(c_a.rows, c_b.rows)
+            np.testing.assert_array_equal(c_a.w, c_b.w)
+
+    def test_case_b_second_set_overlaps_row_two(self):
+        data = adversarial_three_points().data
+        cb = adversarial_constraints_case_b(data)
+        for c in cb[4:]:
+            np.testing.assert_array_equal(c.rows, [1, 2])

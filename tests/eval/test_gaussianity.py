@@ -1,0 +1,78 @@
+"""Tests for the whitened-data gaussianity diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.eval.gaussianity import dimensions_explained, gaussianity_report
+from repro.eval.summaries import score_drop, summarize_columns
+
+
+class TestGaussianityReport:
+    def test_standard_normal_low_deviation(self, rng):
+        data = rng.standard_normal((20000, 3))
+        report = gaussianity_report(data)
+        assert report.aggregate < 0.05
+        assert np.all(np.abs(report.excess_kurtosis) < 0.2)
+
+    def test_shifted_mean_detected(self, rng):
+        data = rng.standard_normal((5000, 2))
+        data[:, 1] += 2.0
+        report = gaussianity_report(data)
+        assert report.mean_abs[1] > 1.5
+        assert report.aggregate > 1.5
+
+    def test_inflated_variance_detected(self, rng):
+        data = rng.standard_normal((5000, 2))
+        data[:, 0] *= 3.0
+        report = gaussianity_report(data)
+        assert report.var_deviation[0] > 5.0
+
+    def test_multimodal_negative_kurtosis(self, rng):
+        data = rng.standard_normal((5000, 2))
+        data[:, 0] += rng.choice([-3.0, 3.0], size=5000)
+        report = gaussianity_report(data)
+        assert report.excess_kurtosis[0] < -1.0
+
+    def test_heavy_tails_positive_kurtosis(self, rng):
+        data = rng.standard_normal((5000, 1))
+        data[:, 0] = rng.standard_t(df=3, size=5000)
+        report = gaussianity_report(data)
+        assert report.excess_kurtosis[0] > 1.0
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(DataShapeError):
+            gaussianity_report(np.ones((2, 3)))
+
+
+class TestDimensionsExplained:
+    def test_standard_normal_all_true(self, rng):
+        data = rng.standard_normal((20000, 4))
+        assert np.all(dimensions_explained(data))
+
+    def test_structured_dims_flagged(self, rng):
+        data = rng.standard_normal((20000, 3))
+        data[:, 2] = (
+            rng.choice([-1.0, 1.0], size=20000) + 0.2 * rng.standard_normal(20000)
+        )
+        data[:, 2] /= data[:, 2].std()
+        mask = dimensions_explained(data)
+        assert mask[0] and mask[1]
+        assert not mask[2]
+
+
+class TestSummaries:
+    def test_summarize_columns(self):
+        data = np.array([[1.0, 10.0], [3.0, 20.0]])
+        summaries = summarize_columns(data, ["p", "q"])
+        assert summaries[0].name == "p"
+        assert summaries[0].mean == 2.0
+        assert summaries[1].maximum == 20.0
+
+    def test_summarize_name_count_checked(self, rng):
+        with pytest.raises(DataShapeError):
+            summarize_columns(rng.standard_normal((5, 2)), ["only-one"])
+
+    def test_score_drop(self):
+        assert score_drop(np.array([1.0, 0.5]), np.array([0.1])) == pytest.approx(0.9)
+        assert score_drop(np.array([0.0]), np.array([0.0])) == 0.0

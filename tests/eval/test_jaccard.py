@@ -1,0 +1,58 @@
+"""Tests for Jaccard selection-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.eval.jaccard import best_matching_class, jaccard_index, jaccard_to_classes
+
+
+class TestJaccardIndex:
+    def test_identical_sets(self):
+        assert jaccard_index([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_index([1, 2], [3, 4]) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_index([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_index([], []) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard_index([], [1, 2]) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert jaccard_index([1, 1, 2], [1, 2, 2]) == 1.0
+
+    def test_symmetric(self):
+        a, b = [1, 5, 9], [5, 9, 12, 14]
+        assert jaccard_index(a, b) == jaccard_index(b, a)
+
+
+class TestJaccardToClasses:
+    def test_sorted_descending(self):
+        labels = np.array(["x"] * 10 + ["y"] * 10)
+        table = jaccard_to_classes(range(0, 9), labels)
+        values = list(table.values())
+        assert values == sorted(values, reverse=True)
+        assert list(table)[0] == "x"
+
+    def test_exact_values(self):
+        labels = np.array(["a", "a", "b", "b"])
+        table = jaccard_to_classes([0, 1], labels)
+        assert table["a"] == 1.0
+        assert table["b"] == 0.0
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(DataShapeError):
+            jaccard_to_classes([0], np.ones((2, 2)))
+
+
+class TestBestMatchingClass:
+    def test_best_class(self):
+        labels = np.array([0] * 5 + [1] * 5)
+        cls, value = best_matching_class([5, 6, 7, 8, 9], labels)
+        assert cls == 1
+        assert value == 1.0

@@ -1,0 +1,34 @@
+"""Tests for the shared table formatting helpers."""
+
+from repro.experiments.report import format_floats, format_seconds, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long-header"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows equally wide.
+        assert len(set(len(line.rstrip()) for line in lines[:2])) <= 2
+        assert lines[1].startswith("-")
+
+    def test_title_line(self):
+        text = format_table(["c"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_values_stringified(self):
+        text = format_table(["v"], [[3.14159], [None]])
+        assert "3.14159" in text
+        assert "None" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatHelpers:
+    def test_format_floats_precision(self):
+        assert format_floats([1.23456, -0.5], precision=2) == "1.23 -0.50"
+
+    def test_format_seconds_braces(self):
+        assert format_seconds([0.04, 1.26]) == "{0.0, 1.3}"

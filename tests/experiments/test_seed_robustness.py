@@ -1,0 +1,60 @@
+"""Seed robustness: the reproductions hold beyond the default seed.
+
+Every figure/table harness uses seed 0 by default; these tests replay the
+core shape claims on other seeds with slightly relaxed thresholds, showing
+the results come from the constructions rather than from a lucky draw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig2_synthetic3d,
+    fig3_x5_structure,
+    fig5_convergence,
+    table1_ica_scores,
+)
+
+SEEDS = (1, 7)
+
+
+class TestFig2AcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_storyline(self, seed):
+        result = fig2_synthetic3d.run(seed=seed)
+        assert result.visible_clusters_first == 3
+        assert result.matched_view.scores[0] < 0.2 * result.first_view.scores[0]
+        # The essential claim is the overlapping pair resolving in the next
+        # view; the X3 loading is only a proxy and can share weight with
+        # other axes on some draws.
+        assert result.x3_weight_next > 0.5
+        assert result.split_separation > 2.0
+
+
+class TestFig3AcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_structure(self, seed):
+        result = fig3_x5_structure.run(seed=seed)
+        assert set(result.overlap_per_panel.values()) == {"B", "C", "D"}
+        assert result.separable_45
+        assert result.coupling_measured == pytest.approx(0.75, abs=0.08)
+
+
+class TestTable1AcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_score_decay(self, seed):
+        result = table1_ica_scores.run(seed=seed, n=600)
+        tops = result.top_abs_scores
+        assert tops[2] < tops[0]
+        assert tops[2] < 0.5 * tops[0]
+        # After round 1 the view looks at dims 4-5.
+        assert result.loading_on_dims45[1] > 0.7
+
+
+class TestFig5IsDeterministic:
+    def test_no_randomness_involved(self):
+        # The adversarial dataset is fixed (Eq. 11); two runs agree exactly.
+        a = fig5_convergence.run(max_sweeps_b=100)
+        b = fig5_convergence.run(max_sweeps_b=100)
+        np.testing.assert_array_equal(a.trace_a, b.trace_a)
+        np.testing.assert_array_equal(a.trace_b, b.trace_b)

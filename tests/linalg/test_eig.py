@@ -1,0 +1,63 @@
+"""Unit tests for the symmetric eigen helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.linalg import inverse_sqrt_psd, sqrt_psd, symmetric_eig
+
+
+class TestSymmetricEig:
+    def test_reconstruction(self, rng):
+        a = rng.standard_normal((5, 5))
+        mat = a @ a.T
+        vals, vecs = symmetric_eig(mat)
+        np.testing.assert_allclose((vecs * vals) @ vecs.T, mat, rtol=1e-9, atol=1e-9)
+
+    def test_negative_noise_clamped(self):
+        # A matrix that is PSD up to floating point noise.
+        mat = np.array([[1.0, 1.0], [1.0, 1.0]])
+        vals, _ = symmetric_eig(mat)
+        assert np.all(vals >= 0.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DataShapeError):
+            symmetric_eig(np.ones((2, 3)))
+
+
+class TestSqrtPsd:
+    def test_square_root_property(self, rng):
+        a = rng.standard_normal((4, 4))
+        mat = a @ a.T
+        root = sqrt_psd(mat)
+        np.testing.assert_allclose(root @ root, mat, rtol=1e-8, atol=1e-10)
+
+    def test_singular_matrix_ok(self):
+        mat = np.diag([4.0, 0.0])
+        root = sqrt_psd(mat)
+        np.testing.assert_allclose(root, np.diag([2.0, 0.0]), atol=1e-12)
+
+
+class TestInverseSqrtPsd:
+    def test_whitening_property(self, rng):
+        a = rng.standard_normal((4, 4))
+        mat = a @ a.T + 0.5 * np.eye(4)
+        inv_root = inverse_sqrt_psd(mat)
+        np.testing.assert_allclose(
+            inv_root @ mat @ inv_root, np.eye(4), rtol=1e-8, atol=1e-8
+        )
+
+    def test_identity_maps_to_identity(self):
+        np.testing.assert_allclose(inverse_sqrt_psd(np.eye(3)), np.eye(3), atol=1e-12)
+
+    def test_singular_direction_clamped_not_infinite(self):
+        mat = np.diag([1.0, 0.0])
+        inv_root = inverse_sqrt_psd(mat)
+        assert np.all(np.isfinite(inv_root))
+        # The zero-variance direction gets a large but finite scaling.
+        assert inv_root[1, 1] > 1e3
+
+    def test_custom_floor_respected(self):
+        mat = np.diag([1.0, 1e-20])
+        inv_root = inverse_sqrt_psd(mat, floor=1e-4)
+        assert inv_root[1, 1] == pytest.approx(1.0 / np.sqrt(1e-4))

@@ -1,0 +1,80 @@
+"""Unit tests for the monotone root finder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import RootFindError
+from repro.linalg import find_monotone_root
+
+
+class TestFindMonotoneRoot:
+    def test_linear_function(self):
+        root = find_monotone_root(lambda x: 2.0 * x - 3.0)
+        assert root == pytest.approx(1.5)
+
+    def test_decreasing_function(self):
+        root = find_monotone_root(lambda x: 5.0 - x)
+        assert root == pytest.approx(5.0)
+
+    def test_root_far_from_start(self):
+        root = find_monotone_root(lambda x: x - 1e7, start=0.0, initial_step=1.0)
+        assert root == pytest.approx(1e7, rel=1e-6)
+
+    def test_root_in_negative_direction(self):
+        root = find_monotone_root(lambda x: x + 42.0)
+        assert root == pytest.approx(-42.0)
+
+    def test_exact_root_at_start(self):
+        assert find_monotone_root(lambda x: x, start=0.0) == 0.0
+
+    def test_one_sided_domain_with_pole(self):
+        # f(x) = 1/(1+x) - 0.25 on x > -1: root at x = 3.
+        def f(x):
+            return 1.0 / (1.0 + x) - 0.25
+
+        root = find_monotone_root(f, lower=-1.0, upper=math.inf, start=0.0)
+        assert root == pytest.approx(3.0)
+
+    def test_root_close_to_open_lower_bound(self):
+        # Root at x = -0.999 just inside the open bound at -1.
+        def f(x):
+            return 1.0 / (1.0 + x) - 1000.0
+
+        root = find_monotone_root(f, lower=-1.0, upper=math.inf, start=0.0)
+        assert root == pytest.approx(-0.999, rel=1e-6)
+
+    def test_quadratic_constraint_shape(self):
+        # The real shape from the MaxEnt solver: v(lam) = s/(1+lam s) +
+        # off^2/(1+lam s)^2 with target between asymptote and v(0).
+        s, off, target = 2.0, 1.5, 1.0
+
+        def phi(lam):
+            denom = 1.0 + lam * s
+            return s / denom + off**2 / denom**2 - target
+
+        root = find_monotone_root(phi, lower=-1.0 / s, upper=math.inf, start=0.0)
+        denom = 1.0 + root * s
+        assert s / denom + off**2 / denom**2 == pytest.approx(target, rel=1e-9)
+
+    def test_no_root_raises(self):
+        # Strictly positive function: no root anywhere.
+        with pytest.raises(RootFindError):
+            find_monotone_root(lambda x: 1.0 + np.exp(-abs(x)) * 0.0, start=0.0)
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(RootFindError):
+            find_monotone_root(lambda x: x, lower=2.0, upper=1.0)
+
+    def test_start_outside_interval_is_clipped(self):
+        root = find_monotone_root(
+            lambda x: x - 0.5, lower=0.0, upper=1.0, start=50.0
+        )
+        assert root == pytest.approx(0.5)
+
+    def test_bounded_interval(self):
+        root = find_monotone_root(
+            lambda x: x**3 - 0.2, lower=-1.0, upper=1.0, start=0.0
+        )
+        assert root == pytest.approx(0.2 ** (1.0 / 3.0))

@@ -1,0 +1,85 @@
+"""Unit tests for the Sherman–Morrison rank-1 covariance updates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.linalg import woodbury_rank1_downdate, woodbury_rank1_inverse
+
+
+def _random_spd(rng, d):
+    a = rng.standard_normal((d, d))
+    return a @ a.T + d * np.eye(d)
+
+
+class TestWoodburyRank1Inverse:
+    def test_matches_direct_inverse(self, rng):
+        d = 6
+        sigma = _random_spd(rng, d)
+        w = rng.standard_normal(d)
+        lam = 0.7
+        expected = np.linalg.inv(np.linalg.inv(sigma) + lam * np.outer(w, w))
+        got = woodbury_rank1_inverse(sigma, w, lam)
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
+
+    def test_negative_lambda_inflates_variance(self, rng):
+        sigma = np.eye(3)
+        w = np.array([1.0, 0.0, 0.0])
+        got = woodbury_rank1_inverse(sigma, w, -0.5)
+        assert got[0, 0] == pytest.approx(2.0)
+        assert got[1, 1] == pytest.approx(1.0)
+
+    def test_zero_lambda_is_identity_operation(self, rng):
+        sigma = _random_spd(rng, 4)
+        w = rng.standard_normal(4)
+        got = woodbury_rank1_inverse(sigma, w, 0.0)
+        np.testing.assert_allclose(got, sigma, rtol=1e-12)
+
+    def test_result_is_symmetric(self, rng):
+        sigma = _random_spd(rng, 5)
+        w = rng.standard_normal(5)
+        got = woodbury_rank1_inverse(sigma, w, 2.3)
+        np.testing.assert_array_equal(got, got.T)
+
+    def test_shrinks_variance_along_w(self, rng):
+        sigma = _random_spd(rng, 4)
+        w = rng.standard_normal(4)
+        w /= np.linalg.norm(w)
+        before = float(w @ sigma @ w)
+        after = float(w @ woodbury_rank1_inverse(sigma, w, 1.5) @ w)
+        assert after < before
+
+    def test_orthogonal_directions_untouched(self, rng):
+        sigma = np.diag([1.0, 2.0, 3.0])
+        w = np.array([1.0, 0.0, 0.0])
+        got = woodbury_rank1_inverse(sigma, w, 5.0)
+        assert got[1, 1] == pytest.approx(2.0)
+        assert got[2, 2] == pytest.approx(3.0)
+
+    def test_raises_when_update_not_positive_definite(self):
+        sigma = np.eye(2)
+        w = np.array([1.0, 0.0])
+        # lam = -1 makes the precision singular: 1 + lam*w^T Sigma w = 0.
+        with pytest.raises(ConvergenceError):
+            woodbury_rank1_inverse(sigma, w, -1.0)
+
+    def test_repeated_updates_match_batch_inverse(self, rng):
+        d = 5
+        sigma = np.eye(d)
+        precision = np.eye(d)
+        for _ in range(20):
+            w = rng.standard_normal(d)
+            lam = float(rng.uniform(0.0, 1.0))
+            sigma = woodbury_rank1_inverse(sigma, w, lam)
+            precision = precision + lam * np.outer(w, w)
+        np.testing.assert_allclose(sigma, np.linalg.inv(precision), rtol=1e-8)
+
+
+class TestWoodburyDowndate:
+    def test_downdate_inverts_update(self, rng):
+        sigma = _random_spd(rng, 4)
+        w = rng.standard_normal(4)
+        lam = 0.9
+        up = woodbury_rank1_inverse(sigma, w, lam)
+        back = woodbury_rank1_downdate(up, w, lam)
+        np.testing.assert_allclose(back, sigma, rtol=1e-8, atol=1e-10)

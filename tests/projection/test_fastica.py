@@ -1,0 +1,89 @@
+"""Unit tests for the from-scratch FastICA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, DataShapeError
+from repro.projection.fastica import fit_fastica
+
+
+def _mixed_sources(rng, n=3000):
+    """Two clearly non-Gaussian sources mixed linearly."""
+    s1 = rng.uniform(-np.sqrt(3), np.sqrt(3), n)       # sub-gaussian
+    s2 = rng.laplace(0.0, 1.0 / np.sqrt(2.0), n)       # super-gaussian
+    sources = np.stack([s1, s2], axis=1)
+    mixing = np.array([[1.0, 0.4], [0.3, 1.0]])
+    return sources @ mixing.T, mixing
+
+
+class TestFitFastica:
+    @pytest.mark.parametrize("algorithm", ["symmetric", "deflation"])
+    def test_recovers_mixing_directions(self, rng, algorithm):
+        data, mixing = _mixed_sources(rng)
+        result = fit_fastica(
+            data, rng=np.random.default_rng(0), algorithm=algorithm
+        )
+        assert result.components.shape == (2, 2)
+        # Each unmixing direction must isolate one source: the product of
+        # the component matrix and the mixing matrix should be close to a
+        # scaled permutation.  Check via absolute cosines against the true
+        # unmixing rows.
+        unmixing = np.linalg.inv(mixing)
+        unmixing /= np.linalg.norm(unmixing, axis=1, keepdims=True)
+        cosines = np.abs(result.components @ unmixing.T)
+        # Best match per true direction must be near 1.
+        assert np.all(cosines.max(axis=0) > 0.95)
+
+    def test_components_unit_norm(self, rng):
+        data, _ = _mixed_sources(rng)
+        result = fit_fastica(data, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(
+            np.linalg.norm(result.components, axis=1), 1.0, atol=1e-10
+        )
+
+    def test_n_components_limits_output(self, rng):
+        data = rng.standard_normal((500, 5))
+        result = fit_fastica(data, n_components=2, rng=np.random.default_rng(2))
+        assert result.components.shape == (2, 5)
+
+    def test_rank_deficient_input_handled(self, rng):
+        # Third column is a copy of the first: rank 2 in 3-D.
+        base = rng.standard_normal((400, 2))
+        data = np.column_stack([base[:, 0], base[:, 1], base[:, 0]])
+        result = fit_fastica(data, rng=np.random.default_rng(3))
+        assert result.components.shape[0] <= 2
+
+    def test_deterministic_given_seed(self, rng):
+        data, _ = _mixed_sources(rng)
+        r1 = fit_fastica(data, rng=np.random.default_rng(9))
+        r2 = fit_fastica(data, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(r1.components, r2.components)
+
+    def test_zero_variance_input_raises(self):
+        with pytest.raises(ConvergenceError):
+            fit_fastica(np.ones((100, 3)))
+
+    def test_single_row_rejected(self):
+        with pytest.raises(DataShapeError):
+            fit_fastica(np.ones((1, 3)))
+
+    def test_unknown_algorithm_rejected(self, rng):
+        data, _ = _mixed_sources(rng)
+        with pytest.raises(ValueError):
+            fit_fastica(data, algorithm="banana")
+
+    def test_deflation_finds_strong_discriminant(self, rng):
+        # A tight 10% cluster far from the bulk: the discriminating
+        # direction is strongly non-gaussian and deflation must align a
+        # component with it.
+        bulk = rng.standard_normal((900, 6))
+        offset = np.zeros(6)
+        offset[2] = 8.0
+        blob = rng.standard_normal((100, 6)) * 0.3 + offset
+        data = np.vstack([bulk, blob])
+        result = fit_fastica(
+            data, rng=np.random.default_rng(4), algorithm="deflation"
+        )
+        discriminant = data[900:].mean(axis=0) - data[:900].mean(axis=0)
+        discriminant /= np.linalg.norm(discriminant)
+        assert np.max(np.abs(result.components @ discriminant)) > 0.9

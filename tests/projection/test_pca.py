@@ -1,0 +1,78 @@
+"""Unit tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.projection.pca import PCAResult, fit_pca, unit_deviation_score
+
+
+class TestFitPca:
+    def test_components_orthonormal(self, rng):
+        data = rng.standard_normal((200, 5))
+        result = fit_pca(data)
+        np.testing.assert_allclose(
+            result.components @ result.components.T, np.eye(5), atol=1e-10
+        )
+
+    def test_variance_ordering(self, rng):
+        data = rng.standard_normal((500, 4)) @ np.diag([4.0, 2.0, 1.0, 0.5])
+        result = fit_pca(data)
+        assert np.all(np.diff(result.variances) <= 1e-12)
+
+    def test_finds_dominant_direction(self, rng):
+        direction = np.array([0.6, 0.8, 0.0])
+        data = rng.standard_normal((1000, 1)) * 5.0 @ direction[None, :]
+        data += 0.1 * rng.standard_normal((1000, 3))
+        result = fit_pca(data)
+        assert abs(result.components[0] @ direction) > 0.99
+
+    def test_variances_match_projected_data(self, rng):
+        data = rng.standard_normal((300, 3)) * np.array([3.0, 1.0, 0.2])
+        result = fit_pca(data)
+        projected = result.transform(data)
+        np.testing.assert_allclose(
+            projected.var(axis=0, ddof=1), result.variances, rtol=1e-8
+        )
+
+    def test_transform_centres_data(self, rng):
+        data = rng.standard_normal((100, 3)) + 10.0
+        result = fit_pca(data)
+        projected = result.transform(data, n_components=2)
+        assert projected.shape == (100, 2)
+        np.testing.assert_allclose(projected.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_unit_deviation_ranking(self, rng):
+        # Variances 1.0 (boring), 9.0 and 0.01 (both interesting): the
+        # unit-deviation ranking must put the non-unit ones first.
+        data = rng.standard_normal((2000, 3)) * np.array([1.0, 3.0, 0.1])
+        result = fit_pca(data, rank_by_unit_deviation=True)
+        top_two = {int(np.argmax(np.abs(result.components[k]))) for k in (0, 1)}
+        assert top_two == {1, 2}
+
+    def test_rejects_single_row(self):
+        with pytest.raises(DataShapeError):
+            fit_pca(np.ones((1, 3)))
+
+
+class TestUnitDeviationScore:
+    def test_zero_at_unit_variance(self):
+        assert unit_deviation_score(np.array([1.0]))[0] == pytest.approx(0.0)
+
+    def test_positive_elsewhere(self):
+        scores = unit_deviation_score(np.array([0.5, 2.0, 10.0, 0.01]))
+        assert np.all(scores > 0.0)
+
+    def test_symmetric_in_log_variance(self):
+        # KL(N(0,s)||N(0,1)) at s and 1/s are not equal, but both positive
+        # and the score must grow monotonically away from 1 in either
+        # direction.
+        up = unit_deviation_score(np.array([1.5, 2.0, 3.0]))
+        down = unit_deviation_score(np.array([0.7, 0.5, 0.3]))
+        assert np.all(np.diff(up) > 0)
+        assert np.all(np.diff(down) > 0)
+
+    def test_zero_variance_clamped(self):
+        score = unit_deviation_score(np.array([0.0]))
+        assert np.isfinite(score[0])
+        assert score[0] > 100.0

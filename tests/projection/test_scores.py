@@ -1,0 +1,81 @@
+"""Unit tests for the PCA/ICA view scores."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.projection.scores import (
+    GAUSSIAN_LOGCOSH_MEAN,
+    ica_scores,
+    pca_scores,
+    view_score_summary,
+)
+
+
+class TestGaussianReference:
+    def test_reference_constant_value(self):
+        # E[log cosh nu] for nu ~ N(0,1); cross-checked by Monte Carlo.
+        rng = np.random.default_rng(0)
+        mc = np.mean(np.log(np.cosh(rng.standard_normal(2_000_000))))
+        assert GAUSSIAN_LOGCOSH_MEAN == pytest.approx(mc, abs=2e-3)
+
+
+class TestPcaScores:
+    def test_unit_gaussian_scores_near_zero(self, rng):
+        data = rng.standard_normal((5000, 3))
+        scores = pca_scores(data, np.eye(3))
+        assert np.all(scores < 0.01)
+
+    def test_inflated_direction_scores_high(self, rng):
+        data = rng.standard_normal((2000, 2)) * np.array([3.0, 1.0])
+        scores = pca_scores(data, np.eye(2))
+        assert scores[0] > 1.0
+        assert scores[1] < 0.01
+
+    def test_collapsed_direction_scores_high(self, rng):
+        data = rng.standard_normal((2000, 2)) * np.array([1.0, 0.05])
+        scores = pca_scores(data, np.eye(2))
+        assert scores[1] > 1.0
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            pca_scores(rng.standard_normal((10, 3)), np.eye(4))
+
+
+class TestIcaScores:
+    def test_gaussian_scores_near_zero(self, rng):
+        data = rng.standard_normal((20000, 2))
+        scores = ica_scores(data, np.eye(2))
+        assert np.all(np.abs(scores) < 0.01)
+
+    def test_sign_convention(self, rng):
+        # Log-cosh convention: Laplace (heavy tails, super-gaussian) ->
+        # negative deviation; uniform (flat top, sub-gaussian) -> positive.
+        laplace = rng.laplace(0.0, 1.0, (20000, 1))
+        uniform = rng.uniform(-1.0, 1.0, (20000, 1))
+        assert ica_scores(laplace, np.eye(1))[0] < -0.02
+        assert ica_scores(uniform, np.eye(1))[0] > 0.02
+
+    def test_scale_invariant(self, rng):
+        data = rng.laplace(0.0, 1.0, (10000, 1))
+        s1 = ica_scores(data, np.eye(1))[0]
+        s2 = ica_scores(100.0 * data, np.eye(1))[0]
+        assert s1 == pytest.approx(s2, rel=1e-9)
+
+    def test_symmetric_bimodal_scores_positive(self, rng):
+        # Symmetric two-mode data is sub-gaussian -> positive log-cosh
+        # deviation.
+        modes = rng.choice([-2.0, 2.0], size=(10000, 1))
+        data = modes + 0.3 * rng.standard_normal((10000, 1))
+        assert ica_scores(data, np.eye(1))[0] > 0.03
+
+
+class TestViewScoreSummary:
+    def test_sorted_by_absolute_value(self, rng):
+        data = rng.standard_normal((3000, 3)) * np.array([1.0, 5.0, 0.1])
+        summary = view_score_summary(data, np.eye(3), objective="pca")
+        assert np.all(np.diff(np.abs(summary)) <= 1e-15)
+
+    def test_unknown_objective_rejected(self, rng):
+        with pytest.raises(ValueError):
+            view_score_summary(rng.standard_normal((10, 2)), np.eye(2), "huh")

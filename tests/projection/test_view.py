@@ -1,0 +1,97 @@
+"""Tests for Projection2D and most_informative_view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.projection.view import Projection2D, most_informative_view
+
+
+class TestProjection2D:
+    def _view(self, d=4):
+        axes = np.zeros((2, d))
+        axes[0, 0] = 1.0
+        axes[1, 1] = 1.0
+        return Projection2D(
+            axes=axes,
+            scores=np.array([0.5, 0.25]),
+            objective="pca",
+            all_scores=np.array([0.5, 0.25, 0.0, 0.0]),
+        )
+
+    def test_project_shape(self, rng):
+        view = self._view()
+        out = view.project(rng.standard_normal((30, 4)))
+        assert out.shape == (30, 2)
+
+    def test_project_values(self):
+        view = self._view()
+        data = np.arange(8.0).reshape(2, 4)
+        out = view.project(data)
+        np.testing.assert_array_equal(out, data[:, :2])
+
+    def test_project_dimension_mismatch(self, rng):
+        view = self._view()
+        with pytest.raises(DataShapeError):
+            view.project(rng.standard_normal((5, 3)))
+
+    def test_axis_label_format(self):
+        view = self._view()
+        label = view.axis_label(0)
+        assert label.startswith("PCA1[0.5]")
+        assert "(X1)" in label
+
+    def test_axis_label_custom_names(self):
+        view = self._view()
+        label = view.axis_label(1, feature_names=["a", "b", "c", "d"])
+        assert "(b)" in label
+        assert label.startswith("PCA2")
+
+    def test_axis_label_top_truncates(self):
+        view = self._view()
+        label = view.axis_label(0, top=1)
+        assert label.count("(") == 1
+
+    def test_describe_two_lines(self):
+        assert len(self._view().describe().splitlines()) == 2
+
+
+class TestMostInformativeView:
+    def test_pca_finds_variance_outlier(self, rng):
+        data = rng.standard_normal((1000, 4))
+        data[:, 2] *= 6.0
+        view = most_informative_view(data, objective="pca")
+        assert abs(view.axes[0][2]) > 0.95
+        assert view.scores[0] > 1.0
+
+    def test_ica_finds_cluster_direction(self, rng):
+        data = rng.standard_normal((1000, 3))
+        data[:500, 0] += 6.0  # bimodal along X1
+        data[:, 0] -= data[:, 0].mean()
+        data[:, 0] /= data[:, 0].std()
+        view = most_informative_view(
+            data, objective="ica", rng=np.random.default_rng(0)
+        )
+        assert abs(view.axes[0][0]) > 0.9
+
+    def test_axes_sorted_by_abs_score(self, rng):
+        data = rng.standard_normal((500, 5)) * np.array([1, 1, 3, 0.2, 1])
+        view = most_informative_view(data, objective="pca")
+        assert abs(view.scores[0]) >= abs(view.scores[1])
+        assert np.all(np.diff(np.abs(view.all_scores)) <= 1e-12)
+
+    def test_unknown_objective_rejected(self, rng):
+        with pytest.raises(ValueError):
+            most_informative_view(rng.standard_normal((50, 3)), objective="tsne")
+
+    def test_all_scores_cover_dimension(self, rng):
+        data = rng.standard_normal((300, 4))
+        view = most_informative_view(data, objective="pca")
+        assert view.all_scores.size == 4
+
+    def test_reproducible_with_seed(self, rng):
+        data = rng.standard_normal((400, 3))
+        data[:200, 1] += 4.0
+        v1 = most_informative_view(data, "ica", rng=np.random.default_rng(5))
+        v2 = most_informative_view(data, "ica", rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(v1.axes, v2.axes)

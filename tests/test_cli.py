@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DATASETS, EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig5"])
+        assert args.name == "fig5"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore", "x5"])
+        assert args.rounds == 2
+        assert args.objective == "pca"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "x5" in out
+
+    def test_registries_cover_all_paper_items(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "table1", "fig5", "fig6",
+            "table2", "fig7", "fig8", "fig9",
+        }
+        assert set(DATASETS) == {
+            "three-d", "x5", "bnc", "segmentation", "cytometry",
+        }
+
+    def test_dataset_description(self, capsys):
+        assert main(["dataset", "three-d"]) == 0
+        out = capsys.readouterr().out
+        assert "(150, 3)" in out
+        assert "classes" in out
+
+    def test_experiment_fig5(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "Case A" in out
+
+    def test_explore_three_d(self, capsys):
+        assert main(["explore", "three-d", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "round 0" in out
+        assert "final top |score|" in out

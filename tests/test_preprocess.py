@@ -1,0 +1,155 @@
+"""Tests for the mixed-type preprocessing (ordinal/categorical extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.preprocess import MixedEncoder, one_hot_encode, rank_gaussianize
+
+
+class TestRankGaussianize:
+    def test_monotone(self, rng):
+        values = rng.standard_normal(500) * 7 + 3
+        scores = rank_gaussianize(values)
+        order = np.argsort(values)
+        assert np.all(np.diff(scores[order]) >= 0)
+
+    def test_output_standard_normal_like(self, rng):
+        values = rng.exponential(5.0, 5000)  # heavily skewed input
+        scores = rank_gaussianize(values)
+        assert abs(scores.mean()) < 0.02
+        assert abs(scores.std() - 1.0) < 0.05
+        # Skewness removed.
+        skew = np.mean(((scores - scores.mean()) / scores.std()) ** 3)
+        assert abs(skew) < 0.05
+
+    def test_ties_share_scores(self):
+        scores = rank_gaussianize(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert scores[1] == scores[2]
+        assert scores[0] < scores[1] < scores[3]
+
+    def test_finite_extremes(self, rng):
+        scores = rank_gaussianize(rng.standard_normal(10000))
+        assert np.all(np.isfinite(scores))
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(DataShapeError):
+            rank_gaussianize(rng.standard_normal((5, 2)))
+
+
+class TestOneHotEncode:
+    def test_levels_first_appearance_order(self):
+        matrix, levels = one_hot_encode(np.array(["b", "a", "b", "c"]))
+        assert levels == ["b", "a", "c"]
+        assert matrix.shape == (4, 3)
+
+    def test_drop_last_removes_reference_level(self):
+        matrix, levels = one_hot_encode(
+            np.array(["b", "a", "b", "c"]), drop_last=True
+        )
+        assert levels == ["b", "a"]
+        assert matrix.shape == (4, 2)
+
+    def test_full_one_hot_is_rank_deficient_dropped_is_not(self, rng):
+        values = rng.choice(["x", "y", "z"], size=500)
+        full, _ = one_hot_encode(values)
+        dropped, _ = one_hot_encode(values, drop_last=True)
+        assert np.linalg.matrix_rank(full - full.mean(0)) == 2
+        assert np.linalg.matrix_rank(dropped - dropped.mean(0)) == 2
+        assert dropped.shape[1] == 2  # rank == width: no degeneracy
+
+    def test_columns_standardised(self, rng):
+        values = rng.choice(["x", "y", "z"], size=2000, p=[0.5, 0.3, 0.2])
+        matrix, _ = one_hot_encode(values)
+        np.testing.assert_allclose(matrix.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(matrix.std(axis=0), 1.0, atol=1e-6)
+
+    def test_indicator_semantics(self):
+        matrix, levels = one_hot_encode(np.array(["a", "b", "a", "b"]))
+        col_a = matrix[:, levels.index("a")]
+        # 'a' rows get the positive value, 'b' rows the negative one.
+        assert col_a[0] == col_a[2] > 0
+        assert col_a[1] == col_a[3] < 0
+
+    def test_single_level_rejected(self):
+        with pytest.raises(DataShapeError):
+            one_hot_encode(np.array(["a", "a", "a"]))
+
+
+class TestMixedEncoder:
+    @pytest.fixture
+    def table(self, rng):
+        return {
+            "age": rng.uniform(18, 90, 300),
+            "grade": rng.integers(1, 6, 300).astype(float),
+            "colour": rng.choice(["red", "green", "blue"], 300),
+        }
+
+    def test_output_width(self, table):
+        encoder = MixedEncoder(
+            {"age": "numeric", "grade": "ordinal", "colour": "categorical"}
+        )
+        encoded = encoder.fit_transform(table)
+        # Categorical: 3 levels -> 2 indicator columns (reference level
+        # dropped to avoid the rank deficiency of full one-hot).
+        assert encoded.shape == (300, 1 + 1 + 2)
+
+    def test_feature_names(self, table):
+        encoder = MixedEncoder(
+            {"age": "numeric", "grade": "ordinal", "colour": "categorical"}
+        )
+        encoder.fit_transform(table)
+        names = encoder.feature_names()
+        assert names[0] == "age"
+        assert names[1] == "grade"
+        assert all(n.startswith("colour=") for n in names[2:])
+
+    def test_source_of_feature(self, table):
+        encoder = MixedEncoder(
+            {"age": "numeric", "grade": "ordinal", "colour": "categorical"}
+        )
+        encoder.fit_transform(table)
+        assert encoder.source_of_feature(0) == "age"
+        assert encoder.source_of_feature(3) == "colour"
+        with pytest.raises(DataShapeError):
+            encoder.source_of_feature(99)
+
+    def test_numeric_passthrough(self, table):
+        encoder = MixedEncoder({"age": "numeric"})
+        encoded = encoder.fit_transform({"age": table["age"]})
+        np.testing.assert_array_equal(encoded[:, 0], table["age"])
+
+    def test_missing_column_rejected(self, table):
+        encoder = MixedEncoder({"age": "numeric", "missing": "numeric"})
+        with pytest.raises(DataShapeError):
+            encoder.fit_transform(table)
+
+    def test_length_mismatch_rejected(self, rng):
+        encoder = MixedEncoder({"a": "numeric", "b": "numeric"})
+        with pytest.raises(DataShapeError):
+            encoder.fit_transform(
+                {"a": rng.standard_normal(10), "b": rng.standard_normal(11)}
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataShapeError):
+            MixedEncoder({"a": "fancy"})
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(DataShapeError):
+            MixedEncoder({})
+
+    def test_encoded_data_flows_through_model(self, table):
+        """End-to-end: mixed data -> encoder -> MaxEnt loop."""
+        from repro.core.background import BackgroundModel
+
+        encoder = MixedEncoder(
+            {"age": "numeric", "grade": "ordinal", "colour": "categorical"}
+        )
+        encoded = encoder.fit_transform(table)
+        model = BackgroundModel(encoded, standardize=True)
+        model.add_margin_constraints()
+        report = model.fit()
+        assert report.converged
+        whitened = model.whiten()
+        assert np.all(np.isfinite(whitened))

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the mathematical guarantees of the system under randomly
+generated data and constraint layouts:
+
+* fitted models match their constraint targets (the defining MaxEnt
+  property, Eq. 6);
+* whitening inverts the model covariance structure;
+* Woodbury updates agree with direct inversion;
+* Jaccard is a proper similarity;
+* equivalence classes form a partition consistent with the constraints.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.background import BackgroundModel
+from repro.core.builders import cluster_constraint
+from repro.core.equivalence import build_equivalence_classes
+from repro.eval.jaccard import jaccard_index
+from repro.linalg import (
+    find_monotone_root,
+    inverse_sqrt_psd,
+    sqrt_psd,
+    woodbury_rank1_inverse,
+)
+from repro.projection.pca import fit_pca
+
+# Keep hypothesis examples small: every example runs a full solver.
+_FAST = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def small_dataset(draw):
+    """A well-conditioned random dataset (n in [8, 40], d in [2, 5])."""
+    n = draw(st.integers(min_value=8, max_value=40))
+    d = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, d)) * draw(
+        st.floats(min_value=0.1, max_value=5.0)
+    ) + draw(st.floats(min_value=-3.0, max_value=3.0))
+    return data
+
+
+@st.composite
+def spd_matrix(draw):
+    """A random symmetric positive-definite matrix."""
+    d = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((d, d))
+    return a @ a.T + (0.1 + d) * np.eye(d)
+
+
+class TestMaxEntInvariants:
+    @_FAST
+    @given(data=small_dataset(), split=st.floats(min_value=0.2, max_value=0.8))
+    def test_fitted_model_matches_targets(self, data, split):
+        """After fit(), every constraint expectation equals its target.
+
+        Both clusters are kept larger than d+2 points: a cluster with at
+        most d points has zero-variance directions whose quadratic target
+        is a singular limit the coordinate ascent only approaches (the
+        paper's Fig. 5 Case A), so exact matching is not expected there.
+        """
+        n, d = data.shape
+        lo, hi = d + 2, n - (d + 2)
+        if lo > hi:
+            cut = n // 2
+        else:
+            cut = min(max(int(split * n), lo), hi)
+        if cut < d + 2 or n - cut < d + 2:
+            return  # cannot form two non-degenerate clusters
+        model = BackgroundModel(data)
+        model.add_cluster_constraint(range(0, cut))
+        model.add_cluster_constraint(range(cut, n))
+        model.fit()
+        targets = model.constraint_targets()
+        got = model.constraint_expectations()
+        np.testing.assert_allclose(got, targets, rtol=1e-4, atol=1e-6)
+
+    @_FAST
+    @given(data=small_dataset())
+    def test_whitening_identity_without_constraints(self, data):
+        """No constraints => whitening is exactly the identity."""
+        model = BackgroundModel(data)
+        model.fit()
+        np.testing.assert_allclose(model.whiten(), model.data, atol=1e-10)
+
+    @_FAST
+    @given(data=small_dataset())
+    def test_margin_fit_standardises_whitened_columns(self, data):
+        """Margin constraints => whitened columns have mean 0, var ~1.
+
+        The quadratic margin target is the anchored (biased) column sum of
+        squares, so the whitened per-column second moment must match it.
+        """
+        model = BackgroundModel(data)
+        model.add_margin_constraints()
+        model.fit()
+        whitened = model.whiten()
+        np.testing.assert_allclose(whitened.mean(axis=0), 0.0, atol=0.05)
+        second_moment = np.mean(whitened**2, axis=0)
+        np.testing.assert_allclose(second_moment, 1.0, atol=0.1)
+
+
+class TestLinalgInvariants:
+    @_FAST
+    @given(
+        sigma=spd_matrix(),
+        lam=st.floats(min_value=0.0, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_woodbury_equals_direct_inverse(self, sigma, lam, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal(sigma.shape[0])
+        expected = np.linalg.inv(np.linalg.inv(sigma) + lam * np.outer(w, w))
+        got = woodbury_rank1_inverse(sigma, w, lam)
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-8)
+
+    @_FAST
+    @given(sigma=spd_matrix())
+    def test_sqrt_roundtrip(self, sigma):
+        root = sqrt_psd(sigma)
+        np.testing.assert_allclose(root @ root, sigma, rtol=1e-6, atol=1e-8)
+
+    @_FAST
+    @given(sigma=spd_matrix())
+    def test_inverse_sqrt_whitens(self, sigma):
+        t = inverse_sqrt_psd(sigma)
+        d = sigma.shape[0]
+        np.testing.assert_allclose(t @ sigma @ t, np.eye(d), rtol=1e-5, atol=1e-6)
+
+    @_FAST
+    @given(
+        a=st.floats(min_value=0.05, max_value=20.0),
+        b=st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def test_root_finder_solves_affine(self, a, b):
+        root = find_monotone_root(lambda x: a * x + b)
+        assert abs(a * root + b) < 1e-6
+
+
+class TestStructuralInvariants:
+    @_FAST
+    @given(
+        n=st.integers(min_value=4, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_groups=st.integers(min_value=1, max_value=4),
+    )
+    def test_equivalence_classes_partition(self, n, seed, n_groups):
+        """Classes partition rows; each constraint is a union of classes."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, 3))
+        constraints = []
+        for _ in range(n_groups):
+            size = int(rng.integers(1, n + 1))
+            rows = rng.choice(n, size=size, replace=False)
+            constraints.extend(cluster_constraint(data, rows))
+        classes = build_equivalence_classes(n, constraints)
+        # Partition: counts add to n, every row has a class.
+        assert int(classes.class_counts.sum()) == n
+        assert classes.class_of_row.shape == (n,)
+        # Union-of-classes: each constraint's row count is recovered.
+        for t, c in enumerate(constraints):
+            assert classes.count_in_constraint(t) == c.n_rows
+
+    @_FAST
+    @given(
+        xs=st.lists(st.integers(min_value=0, max_value=30), max_size=20),
+        ys=st.lists(st.integers(min_value=0, max_value=30), max_size=20),
+    )
+    def test_jaccard_bounds_and_symmetry(self, xs, ys):
+        j = jaccard_index(xs, ys) if xs or ys else 0.0
+        assert 0.0 <= j <= 1.0
+        assert j == jaccard_index(ys, xs)
+        if set(xs) == set(ys) and xs:
+            assert j == 1.0
+
+    @_FAST
+    @given(data=small_dataset())
+    def test_pca_components_orthonormal(self, data):
+        result = fit_pca(data)
+        d = data.shape[1]
+        np.testing.assert_allclose(
+            result.components @ result.components.T, np.eye(d), atol=1e-8
+        )
+        assert np.all(result.variances >= -1e-12)

@@ -1,0 +1,87 @@
+"""Tests for the ASCII renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.ui.render import render_scatterplot, render_score_bar
+from repro.ui.app import SiderApp
+
+
+@pytest.fixture
+def rendered_frame(two_cluster_data):
+    data, labels = two_cluster_data
+    app = SiderApp(data, seed=0)
+    app.render()
+    app.select_rows(np.flatnonzero(labels == 0))
+    return app.render()
+
+
+class TestRenderScatterplot:
+    def test_grid_dimensions(self, rendered_frame):
+        text = render_scatterplot(rendered_frame.scatterplot, width=40, height=10)
+        lines = text.splitlines()
+        # frame top + 10 rows + frame bottom + 2 axis labels + legend.
+        assert len(lines) == 15
+        assert lines[0] == "+" + "-" * 40 + "+"
+        assert all(len(line) == 42 for line in lines[:12])
+
+    def test_contains_all_glyphs(self, rendered_frame):
+        text = render_scatterplot(rendered_frame.scatterplot)
+        assert "o" in text       # data
+        assert "." in text       # ghosts
+        assert "*" in text       # selection
+
+    def test_ghosts_optional(self, rendered_frame):
+        text = render_scatterplot(rendered_frame.scatterplot, show_ghosts=False)
+        grid_part = "\n".join(text.splitlines()[1:-4])
+        assert "." not in grid_part
+
+    def test_axis_labels_present(self, rendered_frame):
+        text = render_scatterplot(rendered_frame.scatterplot)
+        assert "x: PCA1" in text
+        assert "y: PCA2" in text
+
+    def test_selection_count_in_legend(self, rendered_frame):
+        text = render_scatterplot(rendered_frame.scatterplot)
+        assert "selection (60)" in text
+
+    def test_too_small_grid_rejected(self, rendered_frame):
+        with pytest.raises(DataShapeError):
+            render_scatterplot(rendered_frame.scatterplot, width=4, height=2)
+
+    def test_separated_clusters_land_apart(self, two_cluster_data):
+        # The two clusters must occupy different grid regions.
+        data, labels = two_cluster_data
+        app = SiderApp(data, seed=0)
+        frame = app.render()
+        text = render_scatterplot(frame.scatterplot, width=60, height=20,
+                                  show_ghosts=False)
+        rows_with_data = [
+            i for i, line in enumerate(text.splitlines()[1:21]) if "o" in line
+        ]
+        # Data spans a nontrivial vertical range (clusters apart).
+        assert max(rows_with_data) - min(rows_with_data) >= 5
+
+
+class TestRenderScoreBar:
+    def test_positive_and_negative_bars(self):
+        text = render_score_bar(np.array([0.5, -0.25]))
+        lines = text.splitlines()
+        assert "#" in lines[0]
+        assert "-" in lines[1]
+        assert "+0.5000" in lines[0]
+
+    def test_scaling_to_largest(self):
+        text = render_score_bar(np.array([1.0, 0.5]), width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_scores_safe(self):
+        text = render_score_bar(np.array([0.0, 0.0]))
+        assert "score[0]" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            render_score_bar(np.array([]))

@@ -1,0 +1,77 @@
+"""Direct tests for the scatterplot model builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.projection.view import Projection2D
+from repro.ui.scatterplot import build_scatterplot
+
+
+@pytest.fixture
+def view():
+    axes = np.zeros((2, 3))
+    axes[0, 0] = 1.0
+    axes[1, 1] = 1.0
+    return Projection2D(
+        axes=axes,
+        scores=np.array([1.0, 0.5]),
+        objective="pca",
+        all_scores=np.array([1.0, 0.5, 0.0]),
+    )
+
+
+class TestBuildScatterplot:
+    def test_points_and_ghosts_projected(self, view, rng):
+        data = rng.standard_normal((40, 3))
+        ghosts = rng.standard_normal((40, 3))
+        model = build_scatterplot(view, data, ghosts)
+        np.testing.assert_array_equal(model.points, data[:, :2])
+        np.testing.assert_array_equal(model.ghost_points, ghosts[:, :2])
+
+    def test_segments_connect_point_to_ghost(self, view, rng):
+        data = rng.standard_normal((10, 3))
+        ghosts = rng.standard_normal((10, 3))
+        model = build_scatterplot(view, data, ghosts)
+        np.testing.assert_array_equal(model.segments[:, 0, :], model.points)
+        np.testing.assert_array_equal(model.segments[:, 1, :], model.ghost_points)
+
+    def test_mean_displacement(self, view):
+        data = np.zeros((5, 3))
+        ghosts = np.zeros((5, 3))
+        ghosts[:, 0] = 2.0  # displaced by 2 along the x axis
+        model = build_scatterplot(view, data, ghosts)
+        assert model.mean_displacement == pytest.approx(2.0)
+
+    def test_ellipses_need_three_selected_points(self, view, rng):
+        data = rng.standard_normal((20, 3))
+        ghosts = rng.standard_normal((20, 3))
+        two = build_scatterplot(view, data, ghosts, selection=[0, 1])
+        assert two.selection_ellipse is None
+        three = build_scatterplot(view, data, ghosts, selection=[0, 1, 2])
+        assert three.selection_ellipse is not None
+        assert three.ghost_ellipse is not None
+
+    def test_selection_deduplicated(self, view, rng):
+        data = rng.standard_normal((20, 3))
+        model = build_scatterplot(view, data, data, selection=[3, 3, 1])
+        np.testing.assert_array_equal(model.selection, [1, 3])
+
+    def test_shape_mismatch_rejected(self, view, rng):
+        with pytest.raises(DataShapeError):
+            build_scatterplot(
+                view, rng.standard_normal((10, 3)), rng.standard_normal((9, 3))
+            )
+
+    def test_selection_out_of_range_rejected(self, view, rng):
+        data = rng.standard_normal((10, 3))
+        with pytest.raises(DataShapeError):
+            build_scatterplot(view, data, data, selection=[99])
+
+    def test_axis_labels_carry_feature_names(self, view, rng):
+        data = rng.standard_normal((10, 3))
+        model = build_scatterplot(
+            view, data, data, feature_names=["alpha", "beta", "gamma"]
+        )
+        assert "(alpha)" in model.x_label
+        assert "(beta)" in model.y_label

@@ -1,0 +1,98 @@
+"""Tests for the statistics panel and pairplot ranking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataShapeError
+from repro.ui.pairplot import build_pairplot
+from repro.ui.statistics import attribute_separation, selection_statistics
+
+
+class TestAttributeSeparation:
+    def test_location_shift_detected(self, rng):
+        data = rng.standard_normal((200, 3))
+        data[:50, 1] += 10.0
+        sep = attribute_separation(data, np.arange(50))
+        assert np.argmax(sep) == 1
+        assert sep[1] > 3.0
+
+    def test_scale_difference_detected(self, rng):
+        data = rng.standard_normal((400, 2))
+        data[:100, 0] *= 20.0
+        sep = attribute_separation(data, np.arange(100))
+        assert sep[0] > sep[1]
+
+    def test_empty_or_full_selection_is_zero(self, rng):
+        data = rng.standard_normal((50, 2))
+        np.testing.assert_array_equal(
+            attribute_separation(data, np.arange(50)), [0.0, 0.0]
+        )
+
+    def test_no_difference_near_zero(self, rng):
+        data = rng.standard_normal((2000, 2))
+        sep = attribute_separation(data, np.arange(1000))
+        assert np.all(sep < 0.2)
+
+
+class TestSelectionStatistics:
+    def test_panel_contents(self, rng):
+        data = rng.standard_normal((100, 3))
+        stats = selection_statistics(data, np.arange(30), ["a", "b", "c"])
+        assert stats.n_selected == 30
+        assert stats.n_total == 100
+        assert [s.name for s in stats.full_summary] == ["a", "b", "c"]
+        assert len(stats.selection_summary) == 3
+        assert stats.separation.shape == (3,)
+
+    def test_summary_values(self):
+        data = np.array([[1.0], [2.0], [3.0], [4.0]])
+        stats = selection_statistics(data, [0, 1])
+        full = stats.full_summary[0]
+        assert full.mean == pytest.approx(2.5)
+        assert full.minimum == 1.0
+        assert full.maximum == 4.0
+        assert full.median == pytest.approx(2.5)
+        sel = stats.selection_summary[0]
+        assert sel.mean == pytest.approx(1.5)
+
+    def test_empty_selection_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            selection_statistics(rng.standard_normal((10, 2)), [])
+
+    def test_out_of_range_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            selection_statistics(rng.standard_normal((10, 2)), [99])
+
+
+class TestBuildPairplot:
+    def test_top_attributes_ranked(self, rng):
+        data = rng.standard_normal((300, 6))
+        data[:100, 4] += 8.0
+        data[:100, 2] += 4.0
+        model = build_pairplot(data, np.arange(100), max_attributes=3)
+        assert model.attributes[0] == 4
+        assert model.attributes[1] == 2
+        assert len(model.attributes) == 3
+
+    def test_panels_cover_offdiagonal(self, rng):
+        data = rng.standard_normal((50, 4))
+        model = build_pairplot(data, [0, 1, 2], max_attributes=3)
+        assert len(model.panels) == 6  # 3x3 minus diagonal
+        assert model.panels[(0, 1)].shape == (50, 2)
+
+    def test_attribute_names_follow_ranking(self, rng):
+        data = rng.standard_normal((100, 3))
+        data[:30, 2] += 9.0
+        model = build_pairplot(
+            data, np.arange(30), feature_names=["u", "v", "w"], max_attributes=2
+        )
+        assert model.attribute_names[0] == "w"
+
+    def test_max_attributes_capped_by_d(self, rng):
+        data = rng.standard_normal((40, 2))
+        model = build_pairplot(data, [0, 1], max_attributes=10)
+        assert len(model.attributes) == 2
+
+    def test_empty_selection_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            build_pairplot(rng.standard_normal((10, 2)), [])
