@@ -1,7 +1,8 @@
 """Setup shim for environments without the `wheel` package.
 
-The project is fully described by pyproject.toml; this file only enables the
-legacy (non-PEP-517) editable install path:
+The project is fully described by pyproject.toml (metadata, dependencies,
+and the `repro` console script); this file only enables the legacy
+(non-PEP-517) editable install path:
 
     pip install -e . --no-use-pep517
 """

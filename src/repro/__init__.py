@@ -24,6 +24,8 @@ Package map
 ``repro.eval``        Jaccard / gaussianity metrics
 ``repro.baselines``   static projection pursuit and randomization baselines
 ``repro.experiments`` one harness per table/figure of the paper
+``repro.service``     multi-tenant session server: stores, solve cache,
+                      manager, HTTP API and client (``repro serve``)
 """
 
 from repro.core import (
@@ -43,8 +45,15 @@ from repro.errors import (
     RootFindError,
 )
 from repro.projection import Projection2D, most_informative_view
+from repro.service import (
+    DirectoryStore,
+    MemoryStore,
+    ServiceClient,
+    SessionManager,
+    SolveCache,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BackgroundModel",
@@ -55,6 +64,11 @@ __all__ = [
     "SolverReport",
     "Projection2D",
     "most_informative_view",
+    "SessionManager",
+    "SolveCache",
+    "MemoryStore",
+    "DirectoryStore",
+    "ServiceClient",
     "ReproError",
     "ConstraintError",
     "ConvergenceError",

@@ -7,6 +7,7 @@ Usage (after install)::
     python -m repro experiment all            # regenerate everything
     python -m repro dataset x5                 # describe a dataset
     python -m repro explore x5 --rounds 2      # scripted exploration demo
+    python -m repro serve --port 8000          # multi-tenant session service
 
 The CLI is a thin veneer over :mod:`repro.experiments` and
 :mod:`repro.datasets`; everything it prints is available programmatically.
@@ -89,6 +90,33 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--rounds", type=int, default=2)
     explore.add_argument("--objective", choices=("pca", "ica"), default="pca")
     explore.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve", help="run the HTTP session service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        help="checkpoint sessions as JSON files here (enables resume)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="in-memory sessions before LRU eviction",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="expire sessions idle longer than this many seconds",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        help="solve-cache entries (0 disables caching)",
+    )
     return parser
 
 
@@ -150,6 +178,45 @@ def cmd_explore(name: str, rounds: int, objective: str, seed: int) -> int:
     return 0
 
 
+def cmd_serve(
+    host: str,
+    port: int,
+    store_dir: str | None,
+    max_sessions: int,
+    ttl: float | None,
+    cache_size: int,
+) -> int:
+    from repro.service import (
+        DirectoryStore,
+        ReproServer,
+        ServiceAPI,
+        SessionManager,
+        SolveCache,
+        serve,
+    )
+
+    manager = SessionManager(
+        DATASETS,
+        store=DirectoryStore(store_dir) if store_dir else None,
+        cache=SolveCache(max_entries=cache_size) if cache_size > 0 else None,
+        max_sessions=max_sessions,
+        ttl_seconds=ttl,
+    )
+    server = ReproServer(ServiceAPI(manager), host=host, port=port, quiet=False)
+    actual_port = server.server_address[1]
+    print(f"repro service on http://{host}:{actual_port}")
+    print(f"datasets: {', '.join(manager.dataset_names())}")
+    if store_dir:
+        print(f"checkpoints: {store_dir}")
+
+    def checkpoint_on_shutdown() -> None:
+        if manager.store is not None:
+            print(f"checkpointed {manager.checkpoint_all()} session(s)")
+
+    serve(server, on_shutdown=checkpoint_on_shutdown)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro`` and the console script."""
     args = build_parser().parse_args(argv)
@@ -161,6 +228,15 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_dataset(args.name)
     if args.command == "explore":
         return cmd_explore(args.name, args.rounds, args.objective, args.seed)
+    if args.command == "serve":
+        return cmd_serve(
+            args.host,
+            args.port,
+            args.store_dir,
+            args.max_sessions,
+            args.ttl,
+            args.cache_size,
+        )
     return 2
 
 

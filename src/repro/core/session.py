@@ -111,6 +111,11 @@ class ExplorationSession:
         """The (possibly standardised) data being explored."""
         return self.model.data
 
+    @property
+    def feedback_groups(self) -> tuple[tuple[str, int], ...]:
+        """Undoable feedback actions as ``(label, n_constraints)``, oldest first."""
+        return tuple(self._feedback_groups)
+
     def current_view(self, objective: str | None = None) -> Projection2D:
         """Fit (if needed) and return the most informative projection.
 

@@ -58,19 +58,28 @@ def constraint_from_dict(payload: dict) -> Constraint:
     return Constraint(kind, rows, w, label=label)
 
 
-def save_session(session: ExplorationSession, path: str | Path) -> None:
-    """Persist a session's knowledge state to a JSON file.
+def session_to_payload(session: ExplorationSession) -> dict:
+    """JSON-serialisable knowledge state of a session.
 
-    Stored: data fingerprint, objective, all constraints, and the history's
-    feedback labels.  Not stored: the data, fitted parameters (cheap to
-    refit), or RNG state.
+    Stored: data shape and fingerprint, objective, all constraints, the
+    undo stack (feedback groups), and the history's feedback labels.  Not
+    stored: the data, fitted parameters (cheap to refit), or RNG state.
+
+    The ``history`` entries are an audit trail for humans reading the
+    file; :func:`session_from_payload` does not replay them (views cannot
+    be reconstructed without refitting every intermediate belief state),
+    so a restored session starts a fresh iteration count.
     """
-    payload = {
+    return {
         "format": FORMAT_VERSION,
         "fingerprint": data_fingerprint(session.model.data),
+        "shape": list(session.model.data.shape),
         "objective": session.objective,
         "constraints": [
             constraint_to_dict(c) for c in session.model.constraints
+        ],
+        "feedback_groups": [
+            [label, count] for label, count in session.feedback_groups
         ],
         "history": [
             {
@@ -81,7 +90,100 @@ def save_session(session: ExplorationSession, path: str | Path) -> None:
             for record in session.history
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def session_from_payload(
+    data: np.ndarray,
+    payload: dict,
+    standardize: bool = False,
+    seed: int | None = 0,
+) -> ExplorationSession:
+    """Rebuild a session from :func:`session_to_payload` output.
+
+    The caller must supply the *same* data matrix the session was saved
+    from; shape and content are both verified because constraints are
+    row-indexed and would silently misapply to different data.
+    """
+    if not isinstance(payload, dict):
+        raise DataShapeError(
+            f"expected a session payload dict, got {type(payload).__name__}"
+        )
+    if payload.get("format") != FORMAT_VERSION:
+        raise DataShapeError(
+            f"unsupported session format {payload.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    objective = payload.get("objective", "pca")
+    try:
+        session = ExplorationSession(
+            data, objective=objective, standardize=standardize, seed=seed
+        )
+    except ValueError as exc:
+        raise DataShapeError(f"invalid session payload: {exc}") from exc
+
+    shape = payload.get("shape")
+    if shape is not None and tuple(shape) != session.model.data.shape:
+        raise DataShapeError(
+            f"session was saved from data of shape {tuple(shape)}, "
+            f"but the supplied data has shape {session.model.data.shape}"
+        )
+    fingerprint = data_fingerprint(session.model.data)
+    if payload.get("fingerprint") != fingerprint:
+        raise DataShapeError(
+            "session was saved from different data "
+            f"(fingerprint {payload.get('fingerprint')!r} != {fingerprint!r})"
+        )
+    constraints = [constraint_from_dict(c) for c in payload.get("constraints", [])]
+    session.model.add_constraints(constraints)
+    groups = _restore_feedback_groups(payload, constraints)
+    session._feedback_groups = groups  # noqa: SLF001 — intentional restore
+    return session
+
+
+def _restore_feedback_groups(
+    payload: dict, constraints: list[Constraint]
+) -> list[tuple[str, int]]:
+    """Rebuild the undo stack saved alongside the constraints.
+
+    Payloads written before feedback groups were persisted lack the key;
+    for those, consecutive constraints sharing a label prefix (the part
+    before the first ``/``) are grouped as one best-effort undo action.
+    """
+    raw = payload.get("feedback_groups")
+    if raw is not None:
+        try:
+            groups = [(str(label), int(count)) for label, count in raw]
+        except (TypeError, ValueError) as exc:
+            raise DataShapeError(
+                f"malformed feedback_groups payload: {exc}"
+            ) from exc
+        # The undo stack may legitimately cover *fewer* constraints than
+        # are stored (constraints added via the model API are saveable but
+        # not undoable, matching live-session semantics); referencing more
+        # than exist is corruption.
+        if any(count < 0 for _, count in groups) or sum(
+            count for _, count in groups
+        ) > len(constraints):
+            raise DataShapeError(
+                "feedback_groups reference more constraints than are stored"
+            )
+        return groups
+    groups = []
+    for c in constraints:
+        prefix = c.label.split("/", 1)[0]
+        if groups and groups[-1][0] == prefix:
+            groups[-1] = (prefix, groups[-1][1] + 1)
+        else:
+            groups.append((prefix, 1))
+    return groups
+
+
+def save_session(session: ExplorationSession, path: str | Path) -> None:
+    """Persist a session's knowledge state to a JSON file.
+
+    See :func:`session_to_payload` for what is (and is not) stored.
+    """
+    Path(path).write_text(json.dumps(session_to_payload(session), indent=2))
 
 
 def load_session(
@@ -107,35 +209,17 @@ def load_session(
     Raises
     ------
     DataShapeError
-        If the file is malformed or the data fingerprint does not match —
-        constraints are row-indexed, so applying them to different data
-        would be silently wrong.
+        If the file is malformed, or the data shape or fingerprint does not
+        match — constraints are row-indexed, so applying them to different
+        data would be silently wrong.
     """
     try:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise DataShapeError(f"cannot read session file {path}: {exc}") from exc
-    if payload.get("format") != FORMAT_VERSION:
-        raise DataShapeError(
-            f"unsupported session format {payload.get('format')!r} "
-            f"(expected {FORMAT_VERSION})"
-        )
-
-    session = ExplorationSession(
-        data,
-        objective=payload.get("objective", "pca"),
-        standardize=standardize,
-        seed=seed,
+    return session_from_payload(
+        data, payload, standardize=standardize, seed=seed
     )
-    fingerprint = data_fingerprint(session.model.data)
-    if payload.get("fingerprint") != fingerprint:
-        raise DataShapeError(
-            "session file was saved from different data "
-            f"(fingerprint {payload.get('fingerprint')!r} != {fingerprint!r})"
-        )
-    constraints = [constraint_from_dict(c) for c in payload.get("constraints", [])]
-    session.model.add_constraints(constraints)
-    return session
 
 
 def constraint_set_fingerprint(constraints) -> str:

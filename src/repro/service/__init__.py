@@ -1,0 +1,65 @@
+"""repro.service — multi-tenant session serving for the SIDER loop.
+
+Turns the single-process :class:`~repro.core.session.ExplorationSession`
+library into a server: many concurrent sessions over named datasets, with
+persistence, solve caching, and a stdlib-only JSON-over-HTTP API.
+
+Layering (each stratum usable on its own):
+
+``store``    :class:`SessionStore` checkpoint backends (memory / directory)
+``cache``    :class:`SolveCache` — reuse fitted background models
+``manager``  :class:`SessionManager` — locks, LRU eviction, TTL, resume
+``api``      :class:`ServiceAPI` — transport-agnostic JSON routing
+``server``   :class:`ReproServer` — ``ThreadingHTTPServer`` front-end
+``client``   :class:`ServiceClient` — urllib-based Python client
+
+Quick start
+-----------
+>>> from repro.service import SessionManager, start_background, ServiceClient
+>>> manager = SessionManager({"demo": my_data})          # doctest: +SKIP
+>>> server = start_background(manager)                   # doctest: +SKIP
+>>> client = ServiceClient(server.base_url)              # doctest: +SKIP
+>>> sid = client.create_session("demo")                  # doctest: +SKIP
+>>> client.view(sid)["axis_labels"]                      # doctest: +SKIP
+
+Or from the command line: ``repro serve --port 8000``.
+"""
+
+from repro.service.api import ServiceAPI, view_to_dict
+from repro.service.cache import SolveCache, solve_key
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.manager import (
+    SessionExistsError,
+    SessionManager,
+    UnknownDatasetError,
+)
+from repro.service.server import ReproServer, serve, start_background
+from repro.service.store import (
+    DirectoryStore,
+    InvalidSessionIdError,
+    MemoryStore,
+    SessionNotFoundError,
+    SessionStore,
+    StoreError,
+)
+
+__all__ = [
+    "DirectoryStore",
+    "InvalidSessionIdError",
+    "MemoryStore",
+    "ReproServer",
+    "ServiceAPI",
+    "ServiceClient",
+    "ServiceClientError",
+    "SessionExistsError",
+    "SessionManager",
+    "SessionNotFoundError",
+    "SessionStore",
+    "SolveCache",
+    "StoreError",
+    "UnknownDatasetError",
+    "serve",
+    "solve_key",
+    "start_background",
+    "view_to_dict",
+]

@@ -1,0 +1,232 @@
+"""JSON API over a :class:`~repro.service.manager.SessionManager`.
+
+This layer is transport-agnostic: :meth:`ServiceAPI.dispatch` takes an
+HTTP-shaped request (method, path, query, decoded JSON body) and returns
+``(status_code, payload_dict)``.  The stdlib HTTP server in
+:mod:`repro.service.server` is one front-end; tests can call ``dispatch``
+directly without opening a socket.
+
+Routes
+------
+==========  =================================  =================================
+Method      Path                               Meaning
+==========  =================================  =================================
+GET         /health                            liveness probe
+GET         /datasets                          registered dataset names
+GET         /stats                             manager + solve-cache statistics
+GET         /sessions                          list sessions (live + stored)
+POST        /sessions                          create a session
+GET         /sessions/{id}                     session status (resumes if stored)
+DELETE      /sessions/{id}                     delete session + checkpoint
+GET         /sessions/{id}/view                current most-informative view
+POST        /sessions/{id}/constraints         post cluster / 2-D feedback
+POST        /sessions/{id}/undo                retract last feedback action
+POST        /sessions/{id}/checkpoint          persist to the session store
+==========  =================================  =================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConstraintError, DataShapeError, ReproError
+from repro.projection.view import Projection2D
+from repro.service.manager import (
+    SessionExistsError,
+    SessionManager,
+    UnknownDatasetError,
+)
+from repro.service.store import InvalidSessionIdError, SessionNotFoundError
+
+_SESSION_PATH = re.compile(r"^/sessions/(?P<sid>[^/]+)(?P<rest>(?:/[^/]+)?)$")
+
+
+def view_to_dict(view: Projection2D, meta: dict | None = None) -> dict:
+    """JSON form of a 2-D view (axes, scores, formatted labels)."""
+    payload = {
+        "objective": view.objective,
+        "axes": view.axes.tolist(),
+        "scores": view.scores.tolist(),
+        "all_scores": view.all_scores.tolist(),
+        "top_score": float(np.max(np.abs(view.scores))),
+        "axis_labels": [view.axis_label(0), view.axis_label(1)],
+    }
+    if meta:
+        payload.update(meta)
+    return payload
+
+
+class ServiceAPI:
+    """Maps (method, path) requests onto :class:`SessionManager` calls."""
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.manager = manager
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> tuple[int, dict]:
+        """Route one request; always returns ``(status, json_payload)``."""
+        body = body if body is not None else {}
+        query = query if query is not None else {}
+        try:
+            handler = self._resolve(method.upper(), path.rstrip("/") or "/")
+            if handler is None:
+                return 404, {"error": f"no route {method.upper()} {path}"}
+            return handler(body, query)
+        except SessionNotFoundError as exc:
+            return 404, {"error": str(exc)}
+        except UnknownDatasetError as exc:
+            return 404, {"error": str(exc)}
+        except SessionExistsError as exc:
+            return 409, {"error": str(exc)}
+        except (
+            DataShapeError,
+            ConstraintError,
+            InvalidSessionIdError,
+            ValueError,
+            TypeError,
+            KeyError,
+            OverflowError,
+        ) as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except ReproError as exc:
+            # Includes StoreError: checkpoint I/O failures are server faults.
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # noqa: BLE001 — a handler bug must still
+            # produce a JSON response, not a dropped connection.
+            return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+
+    def _resolve(
+        self, method: str, path: str
+    ) -> Callable[[dict, dict], tuple[int, dict]] | None:
+        flat = {
+            ("GET", "/health"): self._health,
+            ("GET", "/datasets"): self._datasets,
+            ("GET", "/stats"): self._stats,
+            ("GET", "/sessions"): self._list_sessions,
+            ("POST", "/sessions"): self._create_session,
+        }
+        if (method, path) in flat:
+            return flat[(method, path)]
+        match = _SESSION_PATH.match(path)
+        if not match:
+            return None
+        sid = match.group("sid")
+        rest = match.group("rest")
+        per_session = {
+            ("GET", ""): self._session_status,
+            ("DELETE", ""): self._delete_session,
+            ("GET", "/view"): self._view,
+            ("POST", "/constraints"): self._constraints,
+            ("POST", "/undo"): self._undo,
+            ("POST", "/checkpoint"): self._checkpoint,
+        }
+        handler = per_session.get((method, rest))
+        if handler is None:
+            return None
+        return lambda body, query: handler(sid, body, query)
+
+    # ------------------------------------------------------------------
+    # Collection endpoints
+    # ------------------------------------------------------------------
+
+    def _health(self, body: dict, query: dict) -> tuple[int, dict]:
+        return 200, {"status": "ok"}
+
+    def _datasets(self, body: dict, query: dict) -> tuple[int, dict]:
+        return 200, {"datasets": self.manager.dataset_names()}
+
+    def _stats(self, body: dict, query: dict) -> tuple[int, dict]:
+        return 200, self.manager.stats()
+
+    def _list_sessions(self, body: dict, query: dict) -> tuple[int, dict]:
+        return 200, {"sessions": self.manager.list_sessions()}
+
+    def _create_session(self, body: dict, query: dict) -> tuple[int, dict]:
+        dataset = body.get("dataset")
+        if not isinstance(dataset, str):
+            raise ValueError("body must carry a 'dataset' name")
+        objective = body.get("objective", "pca")
+        if objective not in ("pca", "ica"):
+            raise ValueError(
+                f"unknown objective {objective!r}; use 'pca' or 'ica'"
+            )
+        seed = body.get("seed", 0)
+        if seed is not None:
+            seed = int(seed)
+        sid = self.manager.create(
+            dataset,
+            objective=objective,
+            standardize=bool(body.get("standardize", False)),
+            seed=seed,
+            session_id=body.get("session_id"),
+        )
+        return 201, {"session_id": sid, "dataset": dataset}
+
+    # ------------------------------------------------------------------
+    # Per-session endpoints
+    # ------------------------------------------------------------------
+
+    def _session_status(
+        self, sid: str, body: dict, query: dict
+    ) -> tuple[int, dict]:
+        return 200, self.manager.session_stats(sid)
+
+    def _delete_session(
+        self, sid: str, body: dict, query: dict
+    ) -> tuple[int, dict]:
+        removed = self.manager.delete(sid)
+        if not removed:
+            raise SessionNotFoundError(f"no session {sid!r}")
+        return 200, {"session_id": sid, "deleted": True}
+
+    def _view(self, sid: str, body: dict, query: dict) -> tuple[int, dict]:
+        objective = query.get("objective")
+        if objective is not None and objective not in ("pca", "ica"):
+            raise ValueError(
+                f"unknown objective {objective!r}; use 'pca' or 'ica'"
+            )
+        view, meta = self.manager.view(sid, objective=objective)
+        payload = view_to_dict(view, meta)
+        payload["session_id"] = sid
+        return 200, payload
+
+    def _constraints(
+        self, sid: str, body: dict, query: dict
+    ) -> tuple[int, dict]:
+        kind = body.get("kind", "cluster")
+        rows = body.get("rows")
+        if not isinstance(rows, (list, tuple)) or not rows:
+            raise ValueError("body must carry a non-empty 'rows' list")
+        rows = [int(r) for r in rows]
+        label = str(body.get("label", ""))
+        if kind == "cluster":
+            stats = self.manager.mark_cluster(sid, rows, label=label)
+        elif kind in ("view", "2d"):
+            stats = self.manager.mark_view_selection(sid, rows, label=label)
+        else:
+            raise ValueError(
+                f"unknown constraint kind {kind!r}; use 'cluster' or 'view'"
+            )
+        return 200, stats
+
+    def _undo(self, sid: str, body: dict, query: dict) -> tuple[int, dict]:
+        label = self.manager.undo(sid)
+        return 200, {"session_id": sid, "undone": label}
+
+    def _checkpoint(
+        self, sid: str, body: dict, query: dict
+    ) -> tuple[int, dict]:
+        self.manager.checkpoint(sid)
+        return 200, {"session_id": sid, "checkpointed": True}

@@ -1,0 +1,185 @@
+"""Solve cache: reuse fitted background models across sessions.
+
+Fitting the MaxEnt background is the hot path of every view request, and
+many requests repeat the exact same solve — users exploring the same
+dataset mark the same clusters, forked sessions replay a shared prefix,
+and a resumed session refits what the original already fitted.  The cache
+keys a finished solve on a canonical hash of
+
+    (data fingerprint, constraint-set fingerprint, solver options)
+
+and installs the stored parameters into a :class:`BackgroundModel` instead
+of re-solving.  Parameters are copied both into and out of the cache, so
+no two sessions ever share mutable arrays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from repro.core.background import BackgroundModel
+from repro.core.equivalence import EquivalenceClasses
+from repro.core.parameters import ClassParameters
+from repro.core.solver import SolverOptions, SolverReport
+from repro.io import constraint_set_fingerprint, data_fingerprint
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """One stored solve: parameter copies plus the original report."""
+
+    params: ClassParameters
+    classes: EquivalenceClasses
+    report: SolverReport
+
+
+def solve_key(
+    data_fp: str, constraints, options: SolverOptions | None = None
+) -> str:
+    """Canonical cache key for one MaxEnt solve."""
+    options = options or SolverOptions()
+    digest = hashlib.sha256()
+    digest.update(data_fp.encode())
+    digest.update(constraint_set_fingerprint(constraints).encode())
+    digest.update(
+        f"{options.lambda_tolerance}:{options.drift_tolerance_factor}:"
+        f"{options.time_cutoff}:{options.max_sweeps}".encode()
+    )
+    return digest.hexdigest()[:32]
+
+
+class SolveCache:
+    """Bounded LRU cache of fitted background-model parameters.
+
+    Thread-safe; all bookkeeping happens under one lock, and array copies
+    keep cached state isolated from the models that produced or consume it.
+
+    Parameters
+    ----------
+    max_entries:
+        Entries kept before the least-recently-used one is dropped.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Key derivation
+    # ------------------------------------------------------------------
+
+    def key_for(self, model: BackgroundModel, data_fp: str | None = None) -> str:
+        """Cache key of the solve the model's next ``fit()`` would perform.
+
+        ``data_fp`` lets callers that already know the data fingerprint
+        (e.g. the session manager, which computes it once per session)
+        skip rehashing the whole matrix on every request.
+        """
+        if data_fp is None:
+            data_fp = data_fingerprint(model.data)
+        return solve_key(data_fp, model.constraints, model.solver_options)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def fetch(self, model: BackgroundModel, key: str) -> bool:
+        """Install a cached solve into the model; True on a hit.
+
+        On a hit the model behaves exactly as if :meth:`BackgroundModel.fit`
+        had just returned — ``is_fitted`` is true and ``last_report`` carries
+        the diagnostics of the original solve.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return False
+            self._entries.move_to_end(key)
+            self._hits += 1
+            params = ClassParameters(
+                theta1=entry.params.theta1.copy(),
+                sigma=entry.params.sigma.copy(),
+                mean=entry.params.mean.copy(),
+            )
+            report = replace(entry.report)
+        model._params = params          # noqa: SLF001 — intentional install,
+        model._classes = entry.classes  # noqa: SLF001   same contract as
+        model._report = report          # noqa: SLF001   io.load_model_parameters
+        model._dirty = False            # noqa: SLF001
+        return True
+
+    def store(self, model: BackgroundModel, key: str) -> None:
+        """Record a freshly fitted model's parameters under ``key``."""
+        params, classes = model._require_fit()  # noqa: SLF001 — intentional
+        entry = _CacheEntry(
+            params=ClassParameters(
+                theta1=params.theta1.copy(),
+                sigma=params.sigma.copy(),
+                mean=params.mean.copy(),
+            ),
+            classes=classes,
+            report=replace(model.last_report, trace=[]),
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def fit(
+        self, model: BackgroundModel, data_fp: str | None = None
+    ) -> tuple[SolverReport, bool]:
+        """Fit through the cache: fetch on a hit, solve-and-store on a miss.
+
+        Returns ``(report, cache_hit)``.
+        """
+        key = self.key_for(model, data_fp=data_fp)
+        if self.fetch(model, key):
+            return model.last_report, True
+        report = model.fit()
+        self.store(model, key)
+        return report, False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current occupancy."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "stores": self._stores,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / total) if total else 0.0,
+            }

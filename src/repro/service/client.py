@@ -1,0 +1,168 @@
+"""Python client for the repro session service.
+
+A thin, dependency-free wrapper over :mod:`urllib.request` that mirrors
+the HTTP API one method per route.  Used by the tests, the examples and
+the throughput benchmark; it is also the reference for writing clients in
+other languages (every payload is plain JSON).
+
+>>> client = ServiceClient("http://127.0.0.1:8000")      # doctest: +SKIP
+>>> sid = client.create_session("three-d")               # doctest: +SKIP
+>>> view = client.view(sid)                              # doctest: +SKIP
+>>> client.mark_cluster(sid, range(50), label="blob")    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """The server answered with an error status.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code.
+    payload:
+        Decoded JSON error payload (carries an ``"error"`` message).
+    """
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', 'unknown error')}"
+        )
+
+
+class ServiceClient:
+    """Talks to one repro service endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8000"`` (trailing slash optional).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                payload = {"error": str(exc)}
+            raise ServiceClientError(exc.code, payload) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                0, {"error": f"cannot reach {self.base_url}: {exc.reason}"}
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Service-level endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness probe."""
+        return self._request("GET", "/health")
+
+    def datasets(self) -> list[str]:
+        """Dataset names sessions can be created on."""
+        return self._request("GET", "/datasets")["datasets"]
+
+    def server_stats(self) -> dict:
+        """Manager and solve-cache statistics."""
+        return self._request("GET", "/stats")
+
+    def list_sessions(self) -> list[dict]:
+        """Summaries of live and checkpointed sessions."""
+        return self._request("GET", "/sessions")["sessions"]
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def create_session(
+        self,
+        dataset: str,
+        objective: str = "pca",
+        standardize: bool = False,
+        seed: int | None = 0,
+        session_id: str | None = None,
+    ) -> str:
+        """Create a session; returns its id."""
+        body: dict = {
+            "dataset": dataset,
+            "objective": objective,
+            "standardize": standardize,
+            "seed": seed,
+        }
+        if session_id is not None:
+            body["session_id"] = session_id
+        return self._request("POST", "/sessions", body)["session_id"]
+
+    def session(self, session_id: str) -> dict:
+        """Session status; transparently resumes a checkpointed session."""
+        return self._request("GET", f"/sessions/{session_id}")
+
+    def delete_session(self, session_id: str) -> dict:
+        """Remove a session and its checkpoint."""
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    def checkpoint(self, session_id: str) -> dict:
+        """Persist the session's knowledge state on the server."""
+        return self._request("POST", f"/sessions/{session_id}/checkpoint")
+
+    # ------------------------------------------------------------------
+    # The interactive loop
+    # ------------------------------------------------------------------
+
+    def view(self, session_id: str, objective: str | None = None) -> dict:
+        """Current most-informative 2-D view (axes, scores, labels)."""
+        path = f"/sessions/{session_id}/view"
+        if objective is not None:
+            path += f"?objective={objective}"
+        return self._request("GET", path)
+
+    def mark_cluster(
+        self, session_id: str, rows: Sequence[int], label: str = ""
+    ) -> dict:
+        """Post "these points form a cluster" feedback."""
+        return self._request(
+            "POST",
+            f"/sessions/{session_id}/constraints",
+            {"kind": "cluster", "rows": [int(r) for r in rows], "label": label},
+        )
+
+    def mark_view_selection(
+        self, session_id: str, rows: Sequence[int], label: str = ""
+    ) -> dict:
+        """Post feedback along the session's current view axes."""
+        return self._request(
+            "POST",
+            f"/sessions/{session_id}/constraints",
+            {"kind": "view", "rows": [int(r) for r in rows], "label": label},
+        )
+
+    def undo(self, session_id: str) -> str | None:
+        """Retract the most recent feedback action; returns its label."""
+        return self._request("POST", f"/sessions/{session_id}/undo")["undone"]

@@ -1,0 +1,524 @@
+"""`SessionManager`: many concurrent exploration sessions, safely.
+
+The manager owns a registry of named datasets and a table of live
+:class:`~repro.core.session.ExplorationSession` objects.  Around the
+library's single-session loop it adds exactly what a server needs:
+
+* **per-session locks** — two requests for the same session serialise,
+  requests for different sessions run in parallel (fits release no GIL
+  magic, but I/O and independent sessions overlap);
+* **LRU eviction + TTL expiry** — bounded memory under many tenants;
+  evicted/expired sessions are checkpointed to the
+  :class:`~repro.service.store.SessionStore` first (when one is attached)
+  and transparently resumed on the next request;
+* **solve caching** — view requests route fits through a
+  :class:`~repro.service.cache.SolveCache`, so identical belief states
+  across sessions (same data, constraints, options) reuse one solve.
+
+Everything here is transport-agnostic; the HTTP layer in
+:mod:`repro.service.api` is a thin JSON veneer over these methods.
+
+Known limits (follow-up PRs):
+
+* Checkpoints persist the *knowledge* state (constraints + undo stack),
+  not RNG state or the current view.  Refits are deterministic, so a
+  resumed ``pca`` session reproduces its next view exactly; ``ica``
+  views draw from the session RNG, so a transparently resumed ICA
+  session may present different (equally valid) axes than the ones a
+  client saw before eviction — view-relative feedback should be posted
+  against a freshly fetched view.
+* Iteration records are checkpointed as an audit trail (labels and top
+  scores in the JSON payload) but are not replayed on resume — views
+  cannot be reconstructed without refitting each belief state — so a
+  resumed session's ``iteration`` counter restarts at 0.  Clients that
+  key on it should treat it as per-process, not per-session-lifetime.
+* Checkpoint/resume I/O currently runs under the manager's global lock;
+  with an on-disk store and many expiring sessions this serialises
+  unrelated requests.  Moving the I/O outside the lock needs a
+  per-entry eviction state and is deferred.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.session import ExplorationSession
+from repro.errors import ReproError
+from repro.io import data_fingerprint, session_from_payload, session_to_payload
+from repro.projection.view import Projection2D
+from repro.service.cache import SolveCache
+from repro.service.store import (
+    SessionNotFoundError,
+    SessionStore,
+    StoreError,
+    validate_session_id,
+)
+
+
+class UnknownDatasetError(ReproError):
+    """The requested dataset name is not registered with the manager."""
+
+
+class SessionExistsError(ReproError):
+    """A session with the requested id already exists."""
+
+
+class _Entry:
+    """One live session plus its concurrency/eviction bookkeeping."""
+
+    __slots__ = (
+        "session_id",
+        "session",
+        "dataset",
+        "standardize",
+        "seed",
+        "data_fp",
+        "lock",
+        "pins",
+        "created_at",
+        "last_access",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        session: ExplorationSession,
+        dataset: str,
+        standardize: bool,
+        seed: int | None,
+        now: float,
+    ) -> None:
+        self.session_id = session_id
+        self.session = session
+        self.dataset = dataset
+        self.standardize = standardize
+        self.seed = seed
+        self.data_fp = data_fingerprint(session.model.data)
+        self.lock = threading.RLock()
+        # Pinned entries (currently checked out by a request) are never
+        # evicted or expired; the pin count is managed under the manager's
+        # global lock.
+        self.pins = 0
+        self.created_at = now
+        self.last_access = now
+
+
+class SessionManager:
+    """Thread-safe registry of exploration sessions over named datasets.
+
+    Parameters
+    ----------
+    datasets:
+        Mapping of dataset name to one of: an ``(n, d)`` array, an object
+        with a ``.data`` attribute (a dataset bundle), or a zero-argument
+        callable returning either.  Callables are resolved lazily, once.
+    store:
+        Optional checkpoint store.  With a store, evicted and expired
+        sessions survive (they are checkpointed first and lazily resumed
+        on the next request), and explicit checkpoints enable cross-process
+        resume.  Without one, eviction discards state.
+    cache:
+        ``True`` (default) to create a private :class:`SolveCache`, an
+        existing cache to share one across managers, or ``None``/``False``
+        to disable solve caching.
+    max_sessions:
+        Maximum number of sessions held in memory before LRU eviction.
+    ttl_seconds:
+        Idle time after which a session is expired out of memory
+        (checkpointing it first when a store is attached).  ``None``
+        disables expiry.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        datasets: Mapping[str, object],
+        *,
+        store: SessionStore | None = None,
+        cache: SolveCache | bool | None = True,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions <= 0:
+            raise ValueError(f"max_sessions must be positive, got {max_sessions}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self._datasets = dict(datasets)
+        self._resolved: dict[str, np.ndarray] = {}
+        self._entries: dict[str, _Entry] = {}
+        self._lock = threading.RLock()
+        self.store = store
+        if cache is True:
+            self.cache: SolveCache | None = SolveCache()
+        elif cache is None or cache is False:
+            self.cache = None
+        else:
+            # NB: identity checks above — an *empty* SolveCache is falsy
+            # (it has __len__), but it is still a cache to use.
+            self.cache = cache  # type: ignore[assignment]
+        self.max_sessions = int(max_sessions)
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._created = 0
+        self._resumed = 0
+        self._evicted = 0
+        self._expired = 0
+        self._checkpoints = 0
+
+    # ------------------------------------------------------------------
+    # Dataset registry
+    # ------------------------------------------------------------------
+
+    def dataset_names(self) -> list[str]:
+        """Registered dataset names, sorted."""
+        return sorted(self._datasets)
+
+    def _data(self, name: str) -> np.ndarray:
+        if name not in self._datasets:
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}; registered: {self.dataset_names()}"
+            )
+        with self._lock:
+            if name not in self._resolved:
+                obj = self._datasets[name]
+                if callable(obj):
+                    obj = obj()
+                data = getattr(obj, "data", obj)
+                self._resolved[name] = np.asarray(data, dtype=np.float64)
+            return self._resolved[name]
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        dataset: str,
+        objective: str = "pca",
+        standardize: bool = False,
+        seed: int | None = 0,
+        session_id: str | None = None,
+    ) -> str:
+        """Create a fresh session on a registered dataset; returns its id."""
+        data = self._data(dataset)
+        session = ExplorationSession(
+            data, objective=objective, standardize=standardize, seed=seed
+        )
+        sid = (
+            validate_session_id(session_id)
+            if session_id is not None
+            else uuid.uuid4().hex[:16]
+        )
+        with self._lock:
+            if sid in self._entries or (
+                self.store is not None and sid in self.store
+            ):
+                raise SessionExistsError(f"session {sid!r} already exists")
+            self._entries[sid] = _Entry(
+                sid, session, dataset, standardize, seed, self._clock()
+            )
+            self._created += 1
+            self._expire_stale_locked()
+            self._evict_locked()
+        return sid
+
+    def has(self, session_id: str) -> bool:
+        """True when the session is live or resumable from the store."""
+        with self._lock:
+            if session_id in self._entries:
+                return True
+        return self.store is not None and session_id in self.store
+
+    def list_sessions(self) -> list[dict]:
+        """Summaries of all known sessions (in memory and checkpointed)."""
+        with self._lock:
+            self._expire_stale_locked()
+            summaries = {
+                sid: {
+                    "session_id": sid,
+                    "dataset": entry.dataset,
+                    "objective": entry.session.objective,
+                    "n_constraints": entry.session.model.n_constraints,
+                    "in_memory": True,
+                }
+                for sid, entry in self._entries.items()
+            }
+        if self.store is not None:
+            for sid in self.store.list_ids():
+                if sid not in summaries:
+                    summaries[sid] = {"session_id": sid, "in_memory": False}
+        return [summaries[sid] for sid in sorted(summaries)]
+
+    def delete(self, session_id: str, *, drop_checkpoint: bool = True) -> bool:
+        """Forget a session; True if anything was removed."""
+        with self._lock:
+            entry = self._entries.pop(session_id, None)
+        removed = entry is not None
+        if entry is not None:
+            # Drain any in-flight request on this session before returning,
+            # so a concurrent mutation cannot interleave with id reuse.
+            # (Taken outside the global lock: the in-flight request's pin
+            # release needs the global lock to finish.)
+            with entry.lock:
+                pass
+        if self.store is not None and drop_checkpoint:
+            if session_id in self.store:
+                removed = True
+            self.store.delete(session_id)
+        return removed
+
+    @contextmanager
+    def _checkout(self, session_id: str) -> Iterator[_Entry]:
+        """Pin + lock one session for the duration of a request."""
+        with self._lock:
+            self._expire_stale_locked()
+            entry = self._entries.get(session_id)
+            if entry is None:
+                entry = self._resume_locked(session_id)
+            entry.pins += 1
+            entry.last_access = self._clock()
+            try:
+                self._evict_locked()
+            except BaseException:
+                entry.pins -= 1  # a failed eviction must not leak the pin
+                raise
+        try:
+            with entry.lock:
+                yield entry
+                entry.last_access = self._clock()
+        finally:
+            with self._lock:
+                entry.pins -= 1
+
+    def _resume_locked(self, session_id: str) -> _Entry:
+        """Lazily rebuild a checkpointed session (global lock held)."""
+        if self.store is None:
+            raise SessionNotFoundError(f"no session {session_id!r}")
+        payload = self.store.get(session_id)  # raises SessionNotFoundError
+        dataset = payload.get("dataset")
+        if not isinstance(dataset, str):
+            raise SessionNotFoundError(
+                f"checkpoint for {session_id!r} names no dataset"
+            )
+        data = self._data(dataset)
+        session = session_from_payload(
+            data,
+            payload.get("session", {}),
+            standardize=bool(payload.get("standardize", False)),
+            seed=payload.get("seed", 0),
+        )
+        entry = _Entry(
+            session_id,
+            session,
+            dataset,
+            bool(payload.get("standardize", False)),
+            payload.get("seed", 0),
+            self._clock(),
+        )
+        self._entries[session_id] = entry
+        self._resumed += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Eviction / expiry / checkpointing
+    # ------------------------------------------------------------------
+
+    def _checkpoint_entry(self, entry: _Entry) -> None:
+        self.store.put(
+            entry.session_id,
+            {
+                "session_id": entry.session_id,
+                "dataset": entry.dataset,
+                "standardize": entry.standardize,
+                "seed": entry.seed,
+                "session": session_to_payload(entry.session),
+            },
+        )
+        self._checkpoints += 1
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.max_sessions:
+            victims = sorted(
+                (e for e in self._entries.values() if e.pins == 0),
+                key=lambda e: e.last_access,
+            )
+            if not victims:
+                return  # everything over the limit is mid-request
+            victim = victims[0]
+            if self.store is not None:
+                try:
+                    self._checkpoint_entry(victim)
+                except StoreError:
+                    # Evicting without a checkpoint would lose state; keep
+                    # the session in memory (over the limit) and let the
+                    # request that triggered eviction proceed.  Retried on
+                    # the next eviction pass.
+                    return
+            del self._entries[victim.session_id]
+            self._evicted += 1
+
+    def _expire_stale_locked(self) -> None:
+        if self.ttl_seconds is None:
+            return
+        deadline = self._clock() - self.ttl_seconds
+        for entry in list(self._entries.values()):
+            if entry.pins == 0 and entry.last_access < deadline:
+                if self.store is not None:
+                    try:
+                        self._checkpoint_entry(entry)
+                    except StoreError:
+                        continue  # keep it live; a failing disk must not
+                        # turn one idle session into 500s for everyone
+                del self._entries[entry.session_id]
+                self._expired += 1
+
+    def checkpoint(self, session_id: str) -> None:
+        """Persist one session's knowledge state to the store now."""
+        if self.store is None:
+            raise StoreError("no session store attached to this manager")
+        with self._checkout(session_id) as entry:
+            self._checkpoint_entry(entry)
+
+    def checkpoint_all(self) -> int:
+        """Checkpoint every in-memory session (e.g. on shutdown).
+
+        Best-effort: a session whose write fails is skipped so one bad
+        checkpoint cannot lose the state of every session after it.
+        Returns the number successfully persisted.
+        """
+        if self.store is None:
+            raise StoreError("no session store attached to this manager")
+        count = 0
+        with self._lock:
+            ids = list(self._entries)
+        for sid in ids:
+            try:
+                self.checkpoint(sid)
+                count += 1
+            except SessionNotFoundError:
+                continue  # raced with a delete
+            except StoreError:
+                continue  # keep persisting the remaining sessions
+        return count
+
+    # ------------------------------------------------------------------
+    # The interactive loop, multi-tenant
+    # ------------------------------------------------------------------
+
+    def _fit_with_cache(self, entry: _Entry) -> bool:
+        """Bring the entry's model to a fitted state; True on a cache hit.
+
+        On a miss the fresh solve is recorded so any session reaching the
+        same belief state later (a fork, a replay, a resumed twin) skips it.
+        """
+        model = entry.session.model
+        if model.is_fitted or self.cache is None:
+            return False
+        _, hit = self.cache.fit(model, data_fp=entry.data_fp)
+        return hit
+
+    def view(
+        self, session_id: str, objective: str | None = None
+    ) -> tuple[Projection2D, dict]:
+        """Current most-informative view of one session.
+
+        Fits route through the solve cache: if any session has already
+        solved this exact belief state, the fitted parameters are installed
+        instead of re-solving.  Returns ``(view, meta)`` where ``meta``
+        carries ``cache_hit``, the iteration index, and solver diagnostics.
+
+        """
+        with self._checkout(session_id) as entry:
+            session = entry.session
+            model = session.model
+            cache_hit = self._fit_with_cache(entry)
+            view = session.current_view(objective)
+            report = model.last_report
+            meta = {
+                "cache_hit": cache_hit,
+                "iteration": len(session.history) - 1,
+                "solver": {
+                    "converged": bool(report.converged),
+                    "sweeps": int(report.sweeps),
+                    "elapsed": float(report.elapsed),
+                }
+                if report is not None
+                else None,
+            }
+            return view, meta
+
+    def mark_cluster(
+        self,
+        session_id: str,
+        rows: Sequence[int] | np.ndarray,
+        label: str = "",
+    ) -> dict:
+        """Post "these points form a cluster" feedback to one session."""
+        with self._checkout(session_id) as entry:
+            entry.session.mark_cluster(rows, label=label)
+            return self._stats_locked(entry)
+
+    def mark_view_selection(
+        self,
+        session_id: str,
+        rows: Sequence[int] | np.ndarray,
+        label: str = "",
+    ) -> dict:
+        """Post feedback along the session's current view axes."""
+        with self._checkout(session_id) as entry:
+            # The selection is relative to the current view, which may need
+            # a fit first — route it through the cache like any view request.
+            self._fit_with_cache(entry)
+            entry.session.mark_view_selection(rows, label=label)
+            return self._stats_locked(entry)
+
+    def undo(self, session_id: str) -> str | None:
+        """Retract the session's most recent feedback action."""
+        with self._checkout(session_id) as entry:
+            return entry.session.undo_last_feedback()
+
+    def session_stats(self, session_id: str) -> dict:
+        """Full status of one session (resuming it if checkpointed)."""
+        with self._checkout(session_id) as entry:
+            return self._stats_locked(entry)
+
+    def _stats_locked(self, entry: _Entry) -> dict:
+        session = entry.session
+        return {
+            "session_id": entry.session_id,
+            "dataset": entry.dataset,
+            "objective": session.objective,
+            "standardize": entry.standardize,
+            "seed": entry.seed,
+            "shape": list(session.model.data.shape),
+            "n_constraints": session.model.n_constraints,
+            "n_iterations": len(session.history),
+            "feedback": [label for label, _ in session.feedback_groups],
+            "is_fitted": session.model.is_fitted,
+        }
+
+    def stats(self) -> dict:
+        """Manager-level counters plus cache statistics."""
+        with self._lock:
+            in_memory = len(self._entries)
+        return {
+            "sessions_in_memory": in_memory,
+            "max_sessions": self.max_sessions,
+            "ttl_seconds": self.ttl_seconds,
+            "created": self._created,
+            "resumed": self._resumed,
+            "evicted": self._evicted,
+            "expired": self._expired,
+            "checkpoints": self._checkpoints,
+            "datasets": self.dataset_names(),
+            "store": type(self.store).__name__ if self.store is not None else None,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }

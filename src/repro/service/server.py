@@ -1,0 +1,166 @@
+"""Stdlib HTTP front-end for the session service.
+
+A :class:`ReproServer` is a ``ThreadingHTTPServer`` whose handler decodes
+JSON requests and delegates to a :class:`~repro.service.api.ServiceAPI`.
+One thread per connection matches the manager's concurrency model: the
+manager serialises per session and parallelises across sessions.
+
+For embedding (tests, notebooks, benchmarks) use :func:`start_background`,
+which binds an ephemeral port and serves from a daemon thread::
+
+    server = start_background(manager)
+    client = ServiceClient(server.base_url)
+    ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.api import ServiceAPI
+from repro.service.manager import SessionManager
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Decode one JSON request, dispatch it, encode the JSON response."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    def _handle(self, method: str) -> None:
+        parsed = urlsplit(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        body = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                self._respond(400, {"error": f"request body is not JSON: {exc}"})
+                return
+            if not isinstance(body, dict):
+                self._respond(400, {"error": "request body must be a JSON object"})
+                return
+        status, payload = self.server.api.dispatch(  # type: ignore[attr-defined]
+            method, parsed.path, body=body, query=query
+        )
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        encoded = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+
+class ReproServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ServiceAPI`.
+
+    Parameters
+    ----------
+    api:
+        The dispatch layer (or pass a :class:`SessionManager` and one is
+        wrapped for you).
+    host, port:
+        Bind address; ``port=0`` picks a free ephemeral port.
+    quiet:
+        Suppress per-request access logging (default True; the CLI turns
+        logging on).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        api: ServiceAPI | SessionManager,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        quiet: bool = True,
+    ) -> None:
+        if isinstance(api, SessionManager):
+            api = ServiceAPI(api)
+        self.api = api
+        self.quiet = quiet
+        self._thread: threading.Thread | None = None
+        super().__init__((host, port), _RequestHandler)
+
+    @property
+    def base_url(self) -> str:
+        """http:// URL clients should talk to."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> "ReproServer":
+        """Serve from a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server is already running")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def start_background(
+    api: ServiceAPI | SessionManager, host: str = "127.0.0.1", port: int = 0
+) -> ReproServer:
+    """Bind an ephemeral port and serve in a daemon thread."""
+    return ReproServer(api, host=host, port=port).start_background()
+
+
+def serve(
+    api: ServiceAPI | SessionManager | ReproServer,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    quiet: bool = False,
+    on_shutdown: Callable[[], None] | None = None,
+) -> None:
+    """Serve on the calling thread until interrupted (the CLI entry path).
+
+    Accepts a pre-built :class:`ReproServer` (so callers can announce the
+    bound address first) or anything its constructor takes.  An optional
+    ``on_shutdown`` hook runs after the serve loop ends, before the socket
+    closes — the place to checkpoint sessions.
+    """
+    if isinstance(api, ReproServer):
+        server = api
+    else:
+        server = ReproServer(api, host=host, port=port, quiet=quiet)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if on_shutdown is not None:
+            on_shutdown()
+        server.server_close()

@@ -1,0 +1,181 @@
+"""Session persistence backends: where checkpointed sessions live.
+
+A :class:`SessionStore` maps session ids to JSON payloads (the wrapped
+:func:`repro.io.session_to_payload` form written by the manager).  Two
+backends ship with the service:
+
+* :class:`MemoryStore` — a thread-safe dict, for tests and ephemeral
+  deployments;
+* :class:`DirectoryStore` — one JSON file per session under a directory,
+  written atomically, so a restarted server resumes where it left off.
+
+Both only ever see plain JSON values; the data matrix itself is never
+stored (sessions are resumed against a dataset the manager resolves).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Session ids must be shell- and filename-safe.
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+class SessionNotFoundError(ReproError):
+    """No session with the requested id exists in memory or in the store."""
+
+
+class StoreError(ReproError):
+    """A store operation failed (corrupt payload, I/O error)."""
+
+
+class InvalidSessionIdError(StoreError):
+    """A session id is unsafe to use as a key (caller error, not I/O)."""
+
+
+def validate_session_id(session_id: str) -> str:
+    """Return the id unchanged, or raise :class:`InvalidSessionIdError`."""
+    if not isinstance(session_id, str) or not _ID_PATTERN.match(session_id):
+        raise InvalidSessionIdError(
+            f"invalid session id {session_id!r}: ids must be 1-128 "
+            "characters of [A-Za-z0-9._-] and not start with a punctuation"
+        )
+    return session_id
+
+
+class SessionStore(ABC):
+    """Abstract checkpoint store mapping session id -> JSON payload."""
+
+    @abstractmethod
+    def put(self, session_id: str, payload: dict) -> None:
+        """Write (or overwrite) one session checkpoint."""
+
+    @abstractmethod
+    def get(self, session_id: str) -> dict:
+        """Load one checkpoint; raise :class:`SessionNotFoundError` if absent."""
+
+    @abstractmethod
+    def delete(self, session_id: str) -> None:
+        """Remove a checkpoint; missing ids are ignored."""
+
+    @abstractmethod
+    def list_ids(self) -> list[str]:
+        """All stored session ids, sorted."""
+
+    def __contains__(self, session_id: str) -> bool:
+        try:
+            self.get(session_id)
+        except (SessionNotFoundError, StoreError):
+            return False
+        return True
+
+
+class MemoryStore(SessionStore):
+    """In-process store; payloads are JSON round-tripped to stay isolated.
+
+    The round-trip both deep-copies (so a caller mutating a payload after
+    ``put`` cannot corrupt the store) and guarantees that anything accepted
+    here would also survive the on-disk backend.
+    """
+
+    def __init__(self) -> None:
+        self._payloads: dict[str, str] = {}
+        self._lock = threading.RLock()
+
+    def put(self, session_id: str, payload: dict) -> None:
+        validate_session_id(session_id)
+        try:
+            encoded = json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"payload is not JSON-serialisable: {exc}") from exc
+        with self._lock:
+            self._payloads[session_id] = encoded
+
+    def get(self, session_id: str) -> dict:
+        validate_session_id(session_id)
+        with self._lock:
+            encoded = self._payloads.get(session_id)
+        if encoded is None:
+            raise SessionNotFoundError(f"no stored session {session_id!r}")
+        return json.loads(encoded)
+
+    def delete(self, session_id: str) -> None:
+        validate_session_id(session_id)
+        with self._lock:
+            self._payloads.pop(session_id, None)
+
+    def list_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._payloads)
+
+    def __contains__(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._payloads
+
+
+class DirectoryStore(SessionStore):
+    """One ``<session_id>.json`` file per session under a root directory.
+
+    Writes go through a temporary file and :func:`os.replace`, so a crash
+    mid-write never leaves a truncated checkpoint behind.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, session_id: str) -> Path:
+        return self.root / f"{validate_session_id(session_id)}.json"
+
+    def put(self, session_id: str, payload: dict) -> None:
+        path = self._path(session_id)
+        try:
+            encoded = json.dumps(payload, indent=2)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"payload is not JSON-serialisable: {exc}") from exc
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(encoded)
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise StoreError(f"cannot write checkpoint {path}: {exc}") from exc
+
+    def get(self, session_id: str) -> dict:
+        path = self._path(session_id)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise SessionNotFoundError(
+                f"no stored session {session_id!r} under {self.root}"
+            ) from None
+        except OSError as exc:
+            raise StoreError(f"cannot read checkpoint {path}: {exc}") from exc
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt checkpoint {path}: {exc}") from exc
+
+    def delete(self, session_id: str) -> None:
+        path = self._path(session_id)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise StoreError(f"cannot delete checkpoint {path}: {exc}") from exc
+
+    def list_ids(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def __contains__(self, session_id: str) -> bool:
+        try:
+            return self._path(session_id).exists()
+        except StoreError:
+            return False

@@ -1,0 +1,150 @@
+"""Tests for the solve cache (parameter reuse across identical solves)."""
+
+import numpy as np
+import pytest
+
+from repro.core.background import BackgroundModel
+from repro.core.solver import SolverOptions
+from repro.errors import NotFittedError
+from repro.io import data_fingerprint
+from repro.service.cache import SolveCache, solve_key
+
+
+def _constrained_model(data, labels, which=0):
+    model = BackgroundModel(data)
+    model.add_cluster_constraint(np.flatnonzero(labels == which))
+    return model
+
+
+class TestKeys:
+    def test_same_state_same_key(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        a = cache.key_for(_constrained_model(data, labels))
+        b = cache.key_for(_constrained_model(data, labels))
+        assert a == b
+
+    def test_key_sensitive_to_constraints(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        assert cache.key_for(
+            _constrained_model(data, labels, 0)
+        ) != cache.key_for(_constrained_model(data, labels, 1))
+
+    def test_key_sensitive_to_data(self, two_cluster_data, rng):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        other = rng.standard_normal(data.shape)
+        assert cache.key_for(
+            _constrained_model(data, labels)
+        ) != cache.key_for(_constrained_model(other, labels))
+
+    def test_key_sensitive_to_solver_options(self, two_cluster_data):
+        data, labels = two_cluster_data
+        fp = data_fingerprint(data)
+        model = _constrained_model(data, labels)
+        a = solve_key(fp, model.constraints, SolverOptions())
+        b = solve_key(fp, model.constraints, SolverOptions(lambda_tolerance=1e-4))
+        assert a != b
+
+    def test_precomputed_fingerprint_matches(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        model = _constrained_model(data, labels)
+        assert cache.key_for(model) == cache.key_for(
+            model, data_fp=data_fingerprint(model.data)
+        )
+
+
+class TestFetchStore:
+    def test_miss_then_hit(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        model = _constrained_model(data, labels)
+        key = cache.key_for(model)
+        assert not cache.fetch(model, key)
+        model.fit()
+        cache.store(model, key)
+
+        twin = _constrained_model(data, labels)
+        assert cache.fetch(twin, key)
+        assert twin.is_fitted
+        np.testing.assert_allclose(twin.whiten(), model.whiten(), atol=1e-12)
+
+    def test_hit_report_carries_original_diagnostics(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        model = _constrained_model(data, labels)
+        report, hit = cache.fit(model)
+        assert not hit
+
+        twin = _constrained_model(data, labels)
+        twin_report, hit = cache.fit(twin)
+        assert hit
+        assert twin_report.sweeps == report.sweeps
+        assert twin_report.converged == report.converged
+
+    def test_cached_params_isolated(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        model = _constrained_model(data, labels)
+        cache.fit(model)
+
+        first = _constrained_model(data, labels)
+        cache.fit(first)
+        first._params.mean += 100.0  # vandalise the installed copy
+
+        second = _constrained_model(data, labels)
+        cache.fit(second)
+        np.testing.assert_allclose(
+            second.whiten(), model.whiten(), atol=1e-12
+        )
+
+    def test_store_requires_fitted_model(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        model = _constrained_model(data, labels)
+        with pytest.raises(NotFittedError):
+            cache.store(model, cache.key_for(model))
+
+
+class TestLruAndStats:
+    def test_lru_eviction(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache(max_entries=2)
+        keys = []
+        for rows in ([0, 1, 2], [3, 4, 5], [6, 7, 8]):
+            model = BackgroundModel(data)
+            model.add_cluster_constraint(rows)
+            key = cache.key_for(model)
+            model.fit()
+            cache.store(model, key)
+            keys.append(key)
+        assert len(cache) == 2
+        assert keys[0] not in cache  # oldest evicted
+        assert keys[1] in cache and keys[2] in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_stats_counters(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        model = _constrained_model(data, labels)
+        cache.fit(model)
+        cache.fit(_constrained_model(data, labels))
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["entries"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_clear(self, two_cluster_data):
+        data, labels = two_cluster_data
+        cache = SolveCache()
+        cache.fit(_constrained_model(data, labels))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            SolveCache(max_entries=0)

@@ -23,6 +23,23 @@ class TestParser:
         assert args.rounds == 2
         assert args.objective == "pca"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.store_dir is None
+        assert args.max_sessions == 64
+        assert args.ttl is None
+        assert args.cache_size == 128
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9001", "--store-dir", "/tmp/x", "--ttl", "30"]
+        )
+        assert args.port == 9001
+        assert args.store_dir == "/tmp/x"
+        assert args.ttl == 30.0
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -114,6 +114,97 @@ class TestSessionRoundtrip:
         assert payload["history"][0]["constraints_added"] == ["blob-a"]
         assert "top_score" in payload["history"][0]
 
+    def test_shape_mismatch_reported_before_fingerprint(
+        self, two_cluster_data, tmp_path
+    ):
+        data, _ = two_cluster_data
+        session = ExplorationSession(data, seed=0)
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        wrong_shape = data[: data.shape[0] // 2]
+        with pytest.raises(DataShapeError, match="shape"):
+            load_session(wrong_shape, path)
+
+    def test_shape_stored_in_payload(self, two_cluster_data, tmp_path):
+        import json
+
+        data, _ = two_cluster_data
+        session = ExplorationSession(data, seed=0)
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        payload = json.loads(path.read_text())
+        assert payload["shape"] == list(data.shape)
+        assert payload["fingerprint"]
+
+    def test_undo_stack_round_trips(self, two_cluster_data, tmp_path):
+        data, labels = two_cluster_data
+        session = ExplorationSession(data, seed=0)
+        session.current_view()
+        session.mark_cluster(np.flatnonzero(labels == 0), label="left")
+        session.mark_cluster(np.flatnonzero(labels == 1), label="right")
+        path = tmp_path / "session.json"
+        save_session(session, path)
+
+        restored = load_session(data, path, seed=0)
+        assert restored.feedback_groups == session.feedback_groups
+        assert restored.undo_last_feedback() == "right"
+        assert restored.undo_last_feedback() == "left"
+        assert restored.model.n_constraints == 0
+
+    def test_legacy_payload_without_feedback_groups(
+        self, two_cluster_data, tmp_path
+    ):
+        import json
+
+        data, labels = two_cluster_data
+        session = ExplorationSession(data, seed=0)
+        session.current_view()
+        session.mark_cluster(np.flatnonzero(labels == 0), label="left")
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        payload = json.loads(path.read_text())
+        del payload["feedback_groups"]  # simulate a pre-undo-stack file
+        path.write_text(json.dumps(payload))
+
+        restored = load_session(data, path, seed=0)
+        # Best-effort grouping by label prefix recovers the one action.
+        assert restored.undo_last_feedback() == "left"
+        assert restored.model.n_constraints == 0
+
+    def test_corrupt_feedback_groups_rejected(
+        self, two_cluster_data, tmp_path
+    ):
+        import json
+
+        data, labels = two_cluster_data
+        session = ExplorationSession(data, seed=0)
+        session.current_view()
+        session.mark_cluster(np.flatnonzero(labels == 0), label="left")
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        payload = json.loads(path.read_text())
+        payload["feedback_groups"] = [["left", 999]]  # more than stored
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DataShapeError):
+            load_session(data, path, seed=0)
+
+    def test_model_level_constraints_still_roundtrip(
+        self, two_cluster_data, tmp_path
+    ):
+        # Constraints added via the model API (not session feedback) are
+        # saveable and loadable; they are just not undoable.
+        data, labels = two_cluster_data
+        session = ExplorationSession(data, seed=0)
+        session.model.add_cluster_constraint(
+            np.flatnonzero(labels == 0), label="direct"
+        )
+        path = tmp_path / "session.json"
+        save_session(session, path)
+        restored = load_session(data, path, seed=0)
+        assert restored.model.n_constraints == session.model.n_constraints
+        assert restored.feedback_groups == ()
+        assert restored.undo_last_feedback() is None
+
 
 class TestModelParameterRoundtrip:
     def test_roundtrip(self, two_cluster_data, tmp_path):
