@@ -17,6 +17,7 @@ from repro.baselines.static_projection import static_pca_view
 from repro.core.background import BackgroundModel
 from repro.core.session import ExplorationSession
 from repro.datasets.paper import x5
+from repro.feedback import ClusterFeedback
 
 
 def test_static_baseline_stuck_interactive_moves_on(benchmark, report_sink):
@@ -30,7 +31,7 @@ def test_static_baseline_stuck_interactive_moves_on(benchmark, report_sink):
         )
         session.current_view()
         for name in ("A", "B", "C", "D"):
-            session.mark_cluster(np.flatnonzero(labels == name))
+            session.apply(ClusterFeedback(rows=np.flatnonzero(labels == name)))
         return session.current_view()
 
     second_view = benchmark.pedantic(run_session, rounds=1, iterations=1)

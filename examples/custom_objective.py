@@ -1,0 +1,78 @@
+"""Registering a custom projection-pursuit objective — no core edits.
+
+The view objective is a plugin point: anything with a ``name``, a
+``description``, ``find_directions(whitened, rng)`` and
+``score(whitened, directions)`` can rank views.  Registering it makes it
+usable everywhere an objective name is accepted — ``ExplorationSession``,
+the ``repro explore`` CLI, and the ``/v1`` service API (it shows up in
+``GET /v1/objectives`` and works for session creation and view requests).
+
+Run with::
+
+    PYTHONPATH=src python examples/custom_objective.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExplorationSession
+from repro.datasets import three_d_clusters
+from repro.projection import registry
+from repro.service import ServiceClient, SessionManager, start_background
+
+
+class SkewnessPursuit:
+    """Rank the whitened axes by |skewness| — asymmetry as interestingness.
+
+    Deliberately tiny: axis-aligned candidates only.  A serious objective
+    would search direction space (see ``KurtosisObjective`` in
+    ``repro/projection/registry.py`` for a fixed-point template).
+    """
+
+    name = "skewness"
+    description = "axis-aligned directions ranked by |skewness|"
+
+    def find_directions(
+        self, whitened: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.eye(np.asarray(whitened).shape[1])
+
+    def score(self, whitened: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        proj = np.asarray(whitened, dtype=np.float64) @ np.atleast_2d(
+            directions
+        ).T
+        centred = proj - proj.mean(axis=0, keepdims=True)
+        std = centred.std(axis=0, ddof=1)
+        std[std == 0.0] = 1.0
+        return np.mean((centred / std) ** 3, axis=0)
+
+
+def main() -> None:
+    registry.register(SkewnessPursuit())
+    print("registered objectives:", ", ".join(registry.names()))
+
+    # 1. Library: the custom name works like any built-in.
+    bundle = three_d_clusters(seed=0)
+    session = ExplorationSession(bundle.data, objective="skewness", seed=0)
+    view = session.current_view()
+    print("\nlibrary view under 'skewness':")
+    print(view.describe(feature_names=list(bundle.feature_names)))
+
+    # 2. Service: visible in /v1/objectives, usable end-to-end over HTTP.
+    server = start_background(SessionManager({"three-d": bundle}))
+    try:
+        client = ServiceClient(server.base_url)
+        names = [row["name"] for row in client.objectives()]
+        print("\nGET /v1/objectives ->", ", ".join(names))
+
+        sid = client.create_session("three-d", objective="skewness")
+        payload = client.view(sid)
+        print("service view objective:", payload["objective"])
+        print("axis label:", payload["axis_labels"][0])
+    finally:
+        server.stop()
+
+
+if __name__ == "__main__":
+    main()

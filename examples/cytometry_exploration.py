@@ -24,6 +24,7 @@ import numpy as np
 from repro import ExplorationSession
 from repro.datasets import cytometry_surrogate, downsample
 from repro.eval import jaccard_to_classes
+from repro.feedback import ClusterFeedback
 
 
 def main() -> None:
@@ -54,7 +55,7 @@ def main() -> None:
         "t-helper", "t-cytotoxic", "b-cells", "nk-cells", "monocytes", "debris",
     )
     for name in dominant:
-        session.mark_cluster(sample.rows_with_label(name), label=name)
+        session.apply(ClusterFeedback(rows=sample.rows_with_label(name), label=name))
     start = time.perf_counter()
     view = session.current_view()
     print(

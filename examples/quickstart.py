@@ -14,6 +14,7 @@ import numpy as np
 
 from repro import ExplorationSession
 from repro.datasets import three_d_clusters
+from repro.feedback import ClusterFeedback
 
 
 def main() -> None:
@@ -39,7 +40,7 @@ def main() -> None:
         np.flatnonzero((labels == 2) | (labels == 3)),
     ]
     for k, rows in enumerate(blobs):
-        session.mark_cluster(rows, label=f"visible-blob-{k}")
+        session.apply(ClusterFeedback(rows=rows, label=f"visible-blob-{k}"))
         print(f"marked blob {k} with {rows.size} points as a cluster")
 
     # --- Iteration 2: the belief state updated, what is new? -------------
@@ -53,8 +54,8 @@ def main() -> None:
     )
 
     # Mark the two sub-clusters the new view reveals.
-    session.mark_cluster(np.flatnonzero(labels == 2), label="sub-cluster-2")
-    session.mark_cluster(np.flatnonzero(labels == 3), label="sub-cluster-3")
+    session.apply(ClusterFeedback(rows=np.flatnonzero(labels == 2), label="sub-cluster-2"))
+    session.apply(ClusterFeedback(rows=np.flatnonzero(labels == 3), label="sub-cluster-3"))
 
     # --- Iteration 3: nothing left to see ---------------------------------
     view3 = session.current_view()

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import ExplorationSession
 from repro.datasets import x5
+from repro.feedback import ClusterFeedback
 
 
 def print_score_row(stage: str, scores: np.ndarray) -> None:
@@ -41,14 +42,12 @@ def main() -> None:
     print_score_row("no constraints", view0.all_scores)
 
     for name in ("A", "B", "C", "D"):
-        session.mark_cluster(np.flatnonzero(labels == name), label=f"cluster-{name}")
+        session.apply(ClusterFeedback(rows=np.flatnonzero(labels == name), label=f"cluster-{name}"))
     view1 = session.current_view()
     print_score_row("after 4 cluster constraints", view1.all_scores)
 
     for name in ("E", "F", "G"):
-        session.mark_cluster(
-            np.flatnonzero(labels45 == name), label=f"cluster-{name}"
-        )
+        session.apply(ClusterFeedback(rows=np.flatnonzero(labels45 == name), label=f"cluster-{name}"))
     view2 = session.current_view()
     print_score_row("after 3 more cluster constraints", view2.all_scores)
 

@@ -6,18 +6,32 @@ Information-Theoretic Approach" (ICDE 2018).
 
 Quick start
 -----------
->>> from repro import ExplorationSession
+>>> from repro import ClusterFeedback, ExplorationSession
 >>> from repro.datasets import three_d_clusters
 >>> bundle = three_d_clusters(seed=0)
 >>> session = ExplorationSession(bundle.data, objective="pca")
 >>> view = session.current_view()          # most informative 2-D projection
->>> session.mark_cluster(range(0, 50))     # "these points form a cluster"
+>>> _ = session.apply(ClusterFeedback(rows=range(50)))   # "a cluster here"
 >>> next_view = session.current_view()     # belief state updated
+
+Two extensible vocabularies thread through every layer:
+
+* **Objectives** (:mod:`repro.projection.registry`) rank candidate views.
+  Built-ins: ``pca``, ``ica``, ``kurtosis``, ``axis``; register your own
+  with ``registry.register(...)`` and it becomes usable in sessions, the
+  CLI and the ``/v1`` service API without touching core files.
+* **Feedback** (:mod:`repro.feedback`) encodes user knowledge as typed,
+  serialisable objects (``ClusterFeedback``, ``ViewSelectionFeedback``,
+  ``MarginFeedback``, ``CovarianceFeedback``) applied through
+  ``session.apply(...)`` / ``session.apply_many(...)`` — a batch costs at
+  most one background-model fit.
 
 Package map
 -----------
 ``repro.core``        MaxEnt background distribution + interaction loop
-``repro.projection``  PCA / FastICA projection pursuit and view scores
+``repro.projection``  projection pursuit: objective registry (PCA /
+                      FastICA / kurtosis / axis + plugins), view scores
+``repro.feedback``    typed feedback vocabulary (serialisable, batchable)
 ``repro.linalg``      Woodbury updates, eigen helpers, root finding
 ``repro.datasets``    paper datasets and surrogates
 ``repro.ui``          headless SIDER user-interface computations
@@ -25,7 +39,8 @@ Package map
 ``repro.baselines``   static projection pursuit and randomization baselines
 ``repro.experiments`` one harness per table/figure of the paper
 ``repro.service``     multi-tenant session server: stores, solve cache,
-                      manager, HTTP API and client (``repro serve``)
+                      manager, versioned ``/v1`` HTTP API and client
+                      (``repro serve``)
 """
 
 from repro.core import (
@@ -44,7 +59,20 @@ from repro.errors import (
     ReproError,
     RootFindError,
 )
-from repro.projection import Projection2D, most_informative_view
+from repro.feedback import (
+    ClusterFeedback,
+    CovarianceFeedback,
+    Feedback,
+    MarginFeedback,
+    ViewSelectionFeedback,
+    feedback_from_dict,
+)
+from repro.projection import (
+    Projection2D,
+    UnknownObjectiveError,
+    most_informative_view,
+    registry,
+)
 from repro.service import (
     DirectoryStore,
     MemoryStore,
@@ -53,7 +81,7 @@ from repro.service import (
     SolveCache,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BackgroundModel",
@@ -62,6 +90,14 @@ __all__ = [
     "ExplorationSession",
     "SolverOptions",
     "SolverReport",
+    "Feedback",
+    "ClusterFeedback",
+    "ViewSelectionFeedback",
+    "MarginFeedback",
+    "CovarianceFeedback",
+    "feedback_from_dict",
+    "registry",
+    "UnknownObjectiveError",
     "Projection2D",
     "most_informative_view",
     "SessionManager",

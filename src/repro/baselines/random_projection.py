@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DataShapeError
-from repro.projection.scores import ica_scores, pca_scores
+from repro.projection.scores import pca_scores
 from repro.projection.view import Projection2D
 
 
@@ -49,27 +49,28 @@ def best_of_random_views(
     """Pick the best of many random views — a cheap projection-pursuit proxy.
 
     Useful as a middle baseline between a single random view and the exact
-    PCA/ICA optimisation.
+    optimisation; ``objective`` is any registered objective name, whose
+    ``score`` ranks the candidates.
     """
+    from repro.projection import registry
+
+    obj = registry.get(objective)
     arr = np.asarray(data, dtype=np.float64)
     rng = rng or np.random.default_rng(0)
     best: Projection2D | None = None
     best_score = -np.inf
     for _ in range(n_candidates):
         candidate = random_view(arr.shape[1], rng=rng)
-        if objective == "pca":
-            scores = pca_scores(arr, candidate.axes)
-        elif objective == "ica":
-            scores = ica_scores(arr, candidate.axes)
-        else:
-            raise ValueError(f"unknown objective {objective!r}")
+        scores = np.atleast_1d(
+            np.asarray(obj.score(arr, candidate.axes), dtype=np.float64)
+        )
         top = float(np.max(np.abs(scores)))
         if top > best_score:
             best_score = top
             best = Projection2D(
                 axes=candidate.axes,
                 scores=scores,
-                objective=objective,
+                objective=obj.name,
                 all_scores=scores.copy(),
             )
     assert best is not None  # n_candidates >= 1 guarantees assignment

@@ -6,6 +6,7 @@ Usage (after install)::
     python -m repro experiment table1         # regenerate one table/figure
     python -m repro experiment all            # regenerate everything
     python -m repro dataset x5                 # describe a dataset
+    python -m repro objectives                 # registered view objectives
     python -m repro explore x5 --rounds 2      # scripted exploration demo
     python -m repro serve --port 8000          # multi-tenant session service
 
@@ -41,6 +42,8 @@ from repro.experiments import (
     table1_ica_scores,
     table2_runtime,
 )
+from repro.feedback import ClusterFeedback
+from repro.projection import registry
 
 #: Experiment registry: name -> callable returning an object with
 #: ``format_table()``.
@@ -85,10 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
     data = sub.add_parser("dataset", help="describe a dataset")
     data.add_argument("name", choices=sorted(DATASETS))
 
+    sub.add_parser("objectives", help="list registered view objectives")
+
     explore = sub.add_parser("explore", help="scripted exploration demo")
     explore.add_argument("name", choices=sorted(DATASETS))
     explore.add_argument("--rounds", type=int, default=2)
-    explore.add_argument("--objective", choices=("pca", "ica"), default="pca")
+    # Choices come from the objective registry, so objectives registered by
+    # user code (e.g. via a sitecustomize or plugin import) show up here.
+    explore.add_argument(
+        "--objective", choices=registry.names(), default="pca"
+    )
     explore.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser("serve", help="run the HTTP session service")
@@ -123,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_list() -> int:
     print("experiments:", ", ".join(sorted(EXPERIMENTS)), "(or: all)")
     print("datasets:   ", ", ".join(sorted(DATASETS)))
+    print("objectives: ", ", ".join(registry.names()))
+    return 0
+
+
+def cmd_objectives() -> int:
+    width = max(len(row["name"]) for row in registry.describe())
+    for row in registry.describe():
+        print(f"{row['name']:<{width}}  {row['description']}")
     return 0
 
 
@@ -168,7 +185,12 @@ def cmd_explore(name: str, rounds: int, objective: str, seed: int) -> int:
         print("  " + view.axis_label(0, feature_names=list(bundle.feature_names)))
         if round_index < len(classes):
             rows = bundle.rows_with_label(classes[round_index])
-            session.mark_cluster(rows, label=str(classes[round_index]))
+            session.apply(
+                ClusterFeedback(
+                    rows=rows,
+                    label=str(classes[round_index]),
+                )
+            )
             print(
                 f"  marked class {classes[round_index]!r} "
                 f"({rows.size} points) as a cluster"
@@ -205,7 +227,9 @@ def cmd_serve(
     server = ReproServer(ServiceAPI(manager), host=host, port=port, quiet=False)
     actual_port = server.server_address[1]
     print(f"repro service on http://{host}:{actual_port}")
-    print(f"datasets: {', '.join(manager.dataset_names())}")
+    print("routes: /v1/... (unversioned paths kept as legacy aliases)")
+    print(f"datasets:   {', '.join(manager.dataset_names())}")
+    print(f"objectives: {', '.join(registry.names())}")
     if store_dir:
         print(f"checkpoints: {store_dir}")
 
@@ -226,6 +250,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_experiment(args.name)
     if args.command == "dataset":
         return cmd_dataset(args.name)
+    if args.command == "objectives":
+        return cmd_objectives()
     if args.command == "explore":
         return cmd_explore(args.name, args.rounds, args.objective, args.seed)
     if args.command == "serve":

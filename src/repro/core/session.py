@@ -16,6 +16,7 @@ driving the SIDER web UI.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -23,6 +24,14 @@ import numpy as np
 
 from repro.core.background import BackgroundModel
 from repro.core.solver import SolverOptions, SolverReport
+from repro.feedback import (
+    ClusterFeedback,
+    CovarianceFeedback,
+    Feedback,
+    MarginFeedback,
+    ViewSelectionFeedback,
+)
+from repro.projection import registry
 from repro.projection.view import Projection2D, most_informative_view
 
 
@@ -56,7 +65,9 @@ class ExplorationSession:
     data:
         Observed data matrix (n x d).
     objective:
-        Default view objective, ``"pca"`` or ``"ica"``.
+        Default view objective — any name registered with
+        :mod:`repro.projection.registry` (built-ins: ``"pca"``, ``"ica"``,
+        ``"kurtosis"``, ``"axis"``).
     standardize:
         Standardise columns before exploring (recommended for raw-scale
         data; see :class:`~repro.core.background.BackgroundModel`).
@@ -83,19 +94,20 @@ class ExplorationSession:
         solver_options: SolverOptions | None = None,
         seed: int | None = 0,
     ) -> None:
-        if objective not in ("pca", "ica"):
-            raise ValueError(f"unknown objective {objective!r}; use 'pca' or 'ica'")
+        # Registry lookup both validates the name and raises a ValueError
+        # subclass, keeping the legacy contract for unknown objectives.
+        self.objective = registry.get(objective).name
         self.model = BackgroundModel(
             data, standardize=standardize, solver_options=solver_options
         )
-        self.objective = objective
         self._rng = np.random.default_rng(seed)
         self._history: list[IterationRecord] = []
         self._current_view: Projection2D | None = None
-        self._pending_labels: list[str] = []
         # Undo stack: (label, number of primitive constraints) per feedback
-        # action, newest last.
+        # action, newest last; _feedback_log holds the typed objects in the
+        # same order (persisted by checkpoints).
         self._feedback_groups: list[tuple[str, int]] = []
+        self._feedback_log: list[Feedback] = []
 
     # ------------------------------------------------------------------
     # The loop
@@ -141,37 +153,120 @@ class ExplorationSession:
             )
             self._history.append(record)
             self._current_view = view
-            self._pending_labels = record.constraints_added
         return self._current_view
 
-    def mark_cluster(self, rows: Sequence[int] | np.ndarray, label: str = "") -> None:
-        """User feedback: "these points form a cluster" (cluster constraint)."""
-        name = label or f"cluster[{self.model.n_constraints}]"
+    # ------------------------------------------------------------------
+    # Feedback: the single typed codepath
+    # ------------------------------------------------------------------
+
+    @property
+    def feedback_log(self) -> tuple[Feedback, ...]:
+        """Typed feedback objects applied so far, oldest first."""
+        return tuple(self._feedback_log)
+
+    def apply(self, feedback: Feedback) -> str:
+        """Apply one feedback object; returns the label it was filed under.
+
+        All user knowledge flows through here (and :meth:`apply_many`):
+        constraint construction, auto-labelling, undo bookkeeping, and the
+        typed feedback log that checkpoints persist.  The refit itself stays
+        lazy — the next :meth:`current_view` performs it.
+        """
+        return self.apply_many([feedback])[0]
+
+    def apply_many(self, batch: Sequence[Feedback]) -> list[str]:
+        """Apply a batch of feedback objects with at most one solver fit.
+
+        View-relative feedback in the batch is resolved against the view
+        the user was looking at when the batch was posted: the axes are
+        captured *once*, before any item mutates the belief state, so a
+        mixed batch costs at most one fit (and none when the view is
+        already current).  The batch is atomic — if any item fails, the
+        items already applied are rolled back before the error propagates.
+
+        Returns the label each item was filed under, in batch order.
+        """
+        items = list(batch)
+        for item in items:
+            if not isinstance(item, Feedback):
+                raise TypeError(
+                    f"expected Feedback objects, got {type(item).__name__}"
+                )
+        view_axes: np.ndarray | None = None
+        if any(isinstance(item, ViewSelectionFeedback) for item in items):
+            view_axes = self.current_view().axes
+        labels: list[str] = []
+        try:
+            for item in items:
+                labels.append(self._apply_one(item, view_axes))
+        except Exception:
+            for _ in labels:
+                self.undo_last_feedback()
+            raise
+        return labels
+
+    def _apply_one(self, item: Feedback, view_axes: np.ndarray | None) -> str:
         before = self.model.n_constraints
-        self.model.add_cluster_constraint(rows, label=name)
+        if isinstance(item, ClusterFeedback):
+            name = item.label or f"cluster[{before}]"
+            self.model.add_cluster_constraint(item.rows, label=name)
+        elif isinstance(item, ViewSelectionFeedback):
+            assert view_axes is not None  # resolved by apply_many
+            name = item.label or f"2d[{before}]"
+            self.model.add_projection_constraints(
+                item.rows, view_axes, label=name
+            )
+        elif isinstance(item, MarginFeedback):
+            name = item.label or "margins"
+            self.model.add_margin_constraints()
+        elif isinstance(item, CovarianceFeedback):
+            name = item.label or "1-cluster"
+            self.model.add_one_cluster_constraint()
+        else:
+            raise TypeError(
+                f"no constraint builder for feedback kind "
+                f"{type(item).kind or type(item).__name__!r}"
+            )
+        self._feedback_log.append(item)
         self._note_feedback(name, self.model.n_constraints - before)
+        return name
+
+    # ------------------------------------------------------------------
+    # Deprecated imperative wrappers (use apply()/apply_many())
+    # ------------------------------------------------------------------
+
+    def mark_cluster(self, rows: Sequence[int] | np.ndarray, label: str = "") -> None:
+        """Deprecated: use ``apply(ClusterFeedback(rows=..., label=...))``."""
+        self._warn_deprecated("mark_cluster", "ClusterFeedback")
+        self.apply(ClusterFeedback(rows=rows, label=label))
 
     def mark_view_selection(
         self, rows: Sequence[int] | np.ndarray, label: str = ""
     ) -> None:
-        """User feedback along the *current view axes* only (2-D constraint)."""
-        view = self.current_view()
-        name = label or f"2d[{self.model.n_constraints}]"
-        before = self.model.n_constraints
-        self.model.add_projection_constraints(rows, view.axes, label=name)
-        self._note_feedback(name, self.model.n_constraints - before)
+        """Deprecated: use ``apply(ViewSelectionFeedback(rows=..., label=...))``."""
+        self._warn_deprecated("mark_view_selection", "ViewSelectionFeedback")
+        self.apply(
+            ViewSelectionFeedback(rows=rows, label=label)
+        )
 
     def assume_margins(self) -> None:
-        """Declare per-attribute means/variances as known (margin constraint)."""
-        before = self.model.n_constraints
-        self.model.add_margin_constraints()
-        self._note_feedback("margins", self.model.n_constraints - before)
+        """Deprecated: use ``apply(MarginFeedback())``."""
+        self._warn_deprecated("assume_margins", "MarginFeedback")
+        self.apply(MarginFeedback())
 
     def assume_overall_covariance(self) -> None:
-        """Declare the overall covariance as known (1-cluster constraint)."""
-        before = self.model.n_constraints
-        self.model.add_one_cluster_constraint()
-        self._note_feedback("1-cluster", self.model.n_constraints - before)
+        """Deprecated: use ``apply(CovarianceFeedback())``."""
+        self._warn_deprecated("assume_overall_covariance", "CovarianceFeedback")
+        self.apply(CovarianceFeedback())
+
+    @staticmethod
+    def _warn_deprecated(method: str, feedback_cls: str) -> None:
+        warnings.warn(
+            f"ExplorationSession.{method}() is deprecated; apply a "
+            f"repro.feedback.{feedback_cls} via session.apply() instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def undo_last_feedback(self) -> str | None:
         """Retract the most recent feedback action (all its constraints).
@@ -183,6 +278,8 @@ class ExplorationSession:
         if not self._feedback_groups:
             return None
         label, count = self._feedback_groups.pop()
+        if self._feedback_log:
+            self._feedback_log.pop()
         self.model.remove_last_constraints(count)
         for record in reversed(self._history):
             if label in record.constraints_added:
@@ -238,6 +335,6 @@ class ExplorationSession:
         views: list[Projection2D] = []
         self.current_view()
         for rows in markings:
-            self.mark_cluster(rows)
+            self.apply(ClusterFeedback(rows=rows))
             views.append(self.current_view())
         return views

@@ -38,7 +38,7 @@ import math
 
 import numpy as np
 
-from repro.core.constraint import Constraint, ConstraintKind
+from repro.core.constraint import Constraint
 from repro.core.equivalence import EquivalenceClasses
 from repro.core.parameters import ClassParameters
 from repro.errors import RootFindError

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.builders import cluster_constraint
 from repro.core.constraint import Constraint
 from repro.datasets.base import DatasetBundle
 from repro.datasets.synthetic import gaussian_clusters

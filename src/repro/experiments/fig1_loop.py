@@ -24,6 +24,7 @@ from repro.core.session import ExplorationSession
 from repro.datasets.paper import three_d_clusters, x5
 from repro.datasets.synthetic import random_centroid_clusters
 from repro.experiments.report import format_table
+from repro.feedback import ClusterFeedback
 
 
 @dataclass(frozen=True)
@@ -127,7 +128,7 @@ def _replay(
     scores = [float(np.max(np.abs(session.current_view().scores)))]
     knowledge = [session.model.knowledge_nats()]
     for rows in markings:
-        session.mark_cluster(rows)
+        session.apply(ClusterFeedback(rows=rows))
         scores.append(float(np.max(np.abs(session.current_view().scores))))
         knowledge.append(session.model.knowledge_nats())
     return LoopTrace(

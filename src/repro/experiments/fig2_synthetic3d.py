@@ -23,8 +23,8 @@ import numpy as np
 from repro.core.session import ExplorationSession
 from repro.datasets.paper import three_d_clusters
 from repro.experiments.report import format_table
+from repro.feedback import ClusterFeedback
 from repro.projection.view import Projection2D
-from repro.ui.selection import select_knn_blob
 
 
 @dataclass(frozen=True)
@@ -117,7 +117,7 @@ def run(seed: int = 0) -> Fig2Result:
 
     # The user marks the three blobs she sees.
     for k, rows in enumerate(blob_rows):
-        session.mark_cluster(rows, label=f"fig2-blob{k}")
+        session.apply(ClusterFeedback(rows=rows, label=f"fig2-blob{k}"))
     matched_view = session.current_view()
     ghosts_after = session.background_sample()
     displacement_after = float(

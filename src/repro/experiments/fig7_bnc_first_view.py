@@ -23,7 +23,6 @@ from repro.datasets.bnc import bnc_surrogate
 from repro.eval.jaccard import best_matching_class, jaccard_to_classes
 from repro.experiments.report import format_table
 from repro.ui.app import Frame, SiderApp
-from repro.ui.selection import select_knn_blob
 
 
 @dataclass(frozen=True)

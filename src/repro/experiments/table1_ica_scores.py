@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.session import ExplorationSession
 from repro.datasets.paper import x5
 from repro.experiments.report import format_floats, format_table
+from repro.feedback import ClusterFeedback
 from repro.projection.view import Projection2D
 
 
@@ -93,7 +94,7 @@ def run(seed: int = 0, n: int = 1000) -> Table1Result:
 
     # Stage 1: the user marks the four clusters visible in dims 1-3.
     for name in ("A", "B", "C", "D"):
-        session.mark_cluster(np.flatnonzero(labels == name), label=f"x5-{name}")
+        session.apply(ClusterFeedback(rows=np.flatnonzero(labels == name), label=f"x5-{name}"))
     view1 = session.current_view()
     score_rows.append(np.asarray(view1.all_scores))
     views.append(view1)
@@ -101,7 +102,7 @@ def run(seed: int = 0, n: int = 1000) -> Table1Result:
 
     # Stage 2: the user marks the three clusters visible in dims 4-5.
     for name in ("E", "F", "G"):
-        session.mark_cluster(np.flatnonzero(labels45 == name), label=f"x5-{name}")
+        session.apply(ClusterFeedback(rows=np.flatnonzero(labels45 == name), label=f"x5-{name}"))
     view2 = session.current_view()
     score_rows.append(np.asarray(view2.all_scores))
     views.append(view2)

@@ -22,9 +22,15 @@ from repro.core.background import BackgroundModel
 from repro.core.constraint import Constraint, ConstraintKind
 from repro.core.session import ExplorationSession
 from repro.errors import DataShapeError
+from repro.feedback import feedback_from_dict
 
 #: Format marker written into every file; bump on breaking changes.
-FORMAT_VERSION = 1
+#: v2 added the typed feedback log (``feedback_log``); v1 files (undo
+#: stack only) are still readable.
+FORMAT_VERSION = 2
+
+#: Payload versions :func:`session_from_payload` accepts.
+SUPPORTED_FORMATS = (1, 2)
 
 
 def data_fingerprint(data: np.ndarray) -> str:
@@ -62,8 +68,10 @@ def session_to_payload(session: ExplorationSession) -> dict:
     """JSON-serialisable knowledge state of a session.
 
     Stored: data shape and fingerprint, objective, all constraints, the
-    undo stack (feedback groups), and the history's feedback labels.  Not
-    stored: the data, fitted parameters (cheap to refit), or RNG state.
+    typed feedback log (:mod:`repro.feedback` objects, via their
+    ``to_dict`` forms), the undo stack (feedback groups), and the
+    history's feedback labels.  Not stored: the data, fitted parameters
+    (cheap to refit), or RNG state.
 
     The ``history`` entries are an audit trail for humans reading the
     file; :func:`session_from_payload` does not replay them (views cannot
@@ -78,6 +86,7 @@ def session_to_payload(session: ExplorationSession) -> dict:
         "constraints": [
             constraint_to_dict(c) for c in session.model.constraints
         ],
+        "feedback_log": [fb.to_dict() for fb in session.feedback_log],
         "feedback_groups": [
             [label, count] for label, count in session.feedback_groups
         ],
@@ -108,10 +117,10 @@ def session_from_payload(
         raise DataShapeError(
             f"expected a session payload dict, got {type(payload).__name__}"
         )
-    if payload.get("format") != FORMAT_VERSION:
+    if payload.get("format") not in SUPPORTED_FORMATS:
         raise DataShapeError(
             f"unsupported session format {payload.get('format')!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(supported: {SUPPORTED_FORMATS})"
         )
     objective = payload.get("objective", "pca")
     try:
@@ -137,7 +146,18 @@ def session_from_payload(
     session.model.add_constraints(constraints)
     groups = _restore_feedback_groups(payload, constraints)
     session._feedback_groups = groups  # noqa: SLF001 — intentional restore
+    session._feedback_log = _restore_feedback_log(payload)  # noqa: SLF001
     return session
+
+
+def _restore_feedback_log(payload: dict) -> list:
+    """Rebuild the typed feedback log (v2 payloads; empty for v1 files)."""
+    raw = payload.get("feedback_log")
+    if raw is None:
+        return []
+    if not isinstance(raw, list):
+        raise DataShapeError("feedback_log must be a list of feedback dicts")
+    return [feedback_from_dict(item) for item in raw]
 
 
 def _restore_feedback_groups(

@@ -1,7 +1,15 @@
-"""Projection-pursuit substrate: PCA, FastICA and view scoring."""
+"""Projection-pursuit substrate: objectives, PCA, FastICA, view scoring.
 
+View objectives are pluggable: see :mod:`repro.projection.registry` for
+the :class:`Objective` protocol, the built-in ``pca`` / ``ica`` /
+``kurtosis`` / ``axis`` objectives, and ``registry.register(...)`` for
+adding your own.
+"""
+
+from repro.projection import registry
 from repro.projection.fastica import ICAResult, fit_fastica
 from repro.projection.pca import PCAResult, fit_pca, unit_deviation_score
+from repro.projection.registry import Objective, UnknownObjectiveError
 from repro.projection.scores import (
     GAUSSIAN_LOGCOSH_MEAN,
     ica_scores,
@@ -11,6 +19,9 @@ from repro.projection.scores import (
 from repro.projection.view import Projection2D, most_informative_view
 
 __all__ = [
+    "registry",
+    "Objective",
+    "UnknownObjectiveError",
     "PCAResult",
     "fit_pca",
     "unit_deviation_score",

@@ -87,14 +87,18 @@ def view_score_summary(
     """Scores for a set of candidate directions, sorted by |score| descending.
 
     This is the ordering used to pick the two axes of the next view and the
-    ordering of the rows of Table I.
+    ordering of the rows of Table I.  Any registered objective name (see
+    :mod:`repro.projection.registry`) is accepted.
     """
-    if objective == "ica":
-        scores = ica_scores(whitened, directions)
-    elif objective == "pca":
-        scores = pca_scores(whitened, directions)
-    else:
-        raise ValueError(f"unknown objective {objective!r}; use 'pca' or 'ica'")
+    # Imported lazily: the registry builds on this module's score functions.
+    from repro.projection import registry
+
+    scores = np.atleast_1d(
+        np.asarray(
+            registry.get(objective).score(whitened, directions),
+            dtype=np.float64,
+        )
+    )
     order = np.argsort(np.abs(scores))[::-1]
     return scores[order]
 

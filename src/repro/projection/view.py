@@ -16,9 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DataShapeError
-from repro.projection.fastica import fit_fastica
-from repro.projection.pca import fit_pca
-from repro.projection.scores import ica_scores, pca_scores
+from repro.projection import registry
 
 
 @dataclass(frozen=True)
@@ -32,7 +30,8 @@ class Projection2D:
     scores:
         Score of each axis under the view objective (PCA or ICA score).
     objective:
-        Which objective ranked the axes: ``"pca"`` or ``"ica"``.
+        Registry name of the objective that ranked the axes (``"pca"``,
+        ``"ica"``, ``"kurtosis"``, ``"axis"``, or a registered plugin).
     all_scores:
         Scores of *all* candidate directions sorted by |score| descending —
         the full rows of Table I.
@@ -84,7 +83,7 @@ class Projection2D:
 
 def most_informative_view(
     whitened: np.ndarray,
-    objective: str = "pca",
+    objective: str | registry.Objective = "pca",
     rng: np.random.Generator | None = None,
 ) -> Projection2D:
     """The 2-D projection in which data and background differ the most.
@@ -93,35 +92,38 @@ def most_informative_view(
     ----------
     whitened:
         Background-whitened data Y.  Structure left in Y *is* the
-        not-yet-explained structure, so the best view maximises a
-        non-gaussianity score on Y.
+        not-yet-explained structure, so the best view maximises the
+        objective's score on Y.
     objective:
-        ``"pca"`` — directions are principal components of Y ranked by the
-        unit-deviation KL score; appropriate when variance differences carry
-        the signal.
-        ``"ica"`` — directions are FastICA components ranked by |log-cosh
-        non-gaussianity|; finds clustered/multimodal structure even when all
-        variances are already matched.  Both FastICA variants are run
-        (symmetric and deflation) and the basis with the stronger top-2
-        |scores| wins — on cluster mixtures the deflation variant often
-        finds strong discriminating directions the symmetric compromise
-        misses.
+        A registered objective name (``registry.names()`` lists them —
+        built-ins are ``"pca"``, ``"ica"``, ``"kurtosis"``, ``"axis"``) or
+        an :class:`~repro.projection.registry.Objective` instance.
     rng:
-        Randomness for FastICA initialisation (ignored for PCA).
+        Randomness for direction-search initialisation (ignored by
+        deterministic objectives such as PCA).
 
     Returns
     -------
     Projection2D
+
+    Raises
+    ------
+    repro.projection.registry.UnknownObjectiveError
+        When the objective name is not registered (a :class:`ValueError`).
     """
+    obj = registry.get(objective)
     arr = np.asarray(whitened, dtype=np.float64)
-    if objective == "pca":
-        result = fit_pca(arr, rank_by_unit_deviation=True)
-        directions = result.components
-        scores = pca_scores(arr, directions)
-    elif objective == "ica":
-        directions, scores = _best_ica_basis(arr, rng)
+    rng = rng or np.random.default_rng(0)
+    found = obj.find_directions(arr, rng)
+    if isinstance(found, tuple):
+        # The objective's search already scored its candidates.
+        directions, scores = found
     else:
-        raise ValueError(f"unknown objective {objective!r}; use 'pca' or 'ica'")
+        directions, scores = found, None
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    if scores is None:
+        scores = obj.score(arr, directions)
+    scores = np.atleast_1d(np.asarray(scores, dtype=np.float64))
 
     order = np.argsort(np.abs(scores))[::-1]
     directions = directions[order]
@@ -134,33 +136,6 @@ def most_informative_view(
     return Projection2D(
         axes=directions[:2].copy(),
         scores=scores[:2].copy(),
-        objective=objective,
+        objective=obj.name,
         all_scores=scores.copy(),
     )
-
-
-def _best_ica_basis(
-    arr: np.ndarray, rng: np.random.Generator | None
-) -> tuple[np.ndarray, np.ndarray]:
-    """Run both FastICA variants and keep the stronger basis.
-
-    "Stronger" = larger sum of the top-2 |log-cosh scores|, i.e. the basis
-    that yields the more informative 2-D view.
-    """
-    rng = rng or np.random.default_rng(0)
-    best_directions: np.ndarray | None = None
-    best_scores: np.ndarray | None = None
-    best_strength = -np.inf
-    for algorithm in ("symmetric", "deflation"):
-        # Child generator per variant keeps the two runs independent while
-        # remaining reproducible from the caller's generator.
-        child = np.random.default_rng(rng.integers(0, 2**63))
-        result = fit_fastica(arr, rng=child, algorithm=algorithm)
-        scores = ica_scores(arr, result.components)
-        strength = float(np.sum(np.sort(np.abs(scores))[::-1][:2]))
-        if strength > best_strength:
-            best_strength = strength
-            best_directions = result.components
-            best_scores = scores
-    assert best_directions is not None and best_scores is not None
-    return best_directions, best_scores

@@ -9,9 +9,17 @@ Layering (each stratum usable on its own):
 ``store``    :class:`SessionStore` checkpoint backends (memory / directory)
 ``cache``    :class:`SolveCache` — reuse fitted background models
 ``manager``  :class:`SessionManager` — locks, LRU eviction, TTL, resume
-``api``      :class:`ServiceAPI` — transport-agnostic JSON routing
+``api``      :class:`ServiceAPI` — transport-agnostic JSON routing,
+             versioned under ``/v1`` (legacy unversioned aliases kept)
 ``server``   :class:`ReproServer` — ``ThreadingHTTPServer`` front-end
 ``client``   :class:`ServiceClient` — urllib-based Python client
+
+The ``/v1`` API speaks the unified vocabularies end-to-end: view
+objectives come from :mod:`repro.projection.registry`
+(``GET /v1/objectives`` lists them, including ones registered by user
+code) and user knowledge travels as :mod:`repro.feedback` objects — a
+mixed batch posted to ``POST /v1/sessions/{id}/feedback`` applies with at
+most one background-model fit.
 
 Quick start
 -----------
@@ -25,7 +33,7 @@ Quick start
 Or from the command line: ``repro serve --port 8000``.
 """
 
-from repro.service.api import ServiceAPI, view_to_dict
+from repro.service.api import API_VERSION, ServiceAPI, view_to_dict
 from repro.service.cache import SolveCache, solve_key
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.manager import (
@@ -44,6 +52,7 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "API_VERSION",
     "DirectoryStore",
     "InvalidSessionIdError",
     "MemoryStore",

@@ -6,33 +6,50 @@ HTTP-shaped request (method, path, query, decoded JSON body) and returns
 :mod:`repro.service.server` is one front-end; tests can call ``dispatch``
 directly without opening a socket.
 
-Routes
-------
-==========  =================================  =================================
-Method      Path                               Meaning
-==========  =================================  =================================
-GET         /health                            liveness probe
-GET         /datasets                          registered dataset names
-GET         /stats                             manager + solve-cache statistics
-GET         /sessions                          list sessions (live + stored)
-POST        /sessions                          create a session
-GET         /sessions/{id}                     session status (resumes if stored)
-DELETE      /sessions/{id}                     delete session + checkpoint
-GET         /sessions/{id}/view                current most-informative view
-POST        /sessions/{id}/constraints         post cluster / 2-D feedback
-POST        /sessions/{id}/undo                retract last feedback action
-POST        /sessions/{id}/checkpoint          persist to the session store
-==========  =================================  =================================
+Routes (canonical, versioned under ``/v1``)
+-------------------------------------------
+==========  ====================================  ===============================
+Method      Path                                  Meaning
+==========  ====================================  ===============================
+GET         /v1/health                            liveness probe
+GET         /v1/datasets                          registered dataset names
+GET         /v1/objectives                        registered view objectives
+GET         /v1/stats                             manager + solve-cache statistics
+GET         /v1/sessions                          list sessions (live + stored)
+POST        /v1/sessions                          create a session
+GET         /v1/sessions/{id}                     session status (resumes if stored)
+DELETE      /v1/sessions/{id}                     delete session + checkpoint
+GET         /v1/sessions/{id}/view                current most-informative view
+POST        /v1/sessions/{id}/feedback            batch of typed feedback objects
+POST        /v1/sessions/{id}/undo                retract last feedback action
+POST        /v1/sessions/{id}/checkpoint          persist to the session store
+==========  ====================================  ===============================
+
+Every route is also reachable without the ``/v1`` prefix (legacy alias),
+and ``POST /sessions/{id}/constraints`` — the pre-``/v1`` feedback route —
+keeps working with its original single-item body shape.
+
+The batch feedback body is ``{"feedback": [<feedback dict>, ...]}`` where
+each item is the ``to_dict`` form of a :mod:`repro.feedback` object, e.g.
+``{"kind": "cluster", "rows": [0, 1, 2], "label": "blob"}``.  The whole
+batch is validated before anything is applied, applies atomically, and
+costs at most one background-model fit.
+
+A known ``/v1`` path hit with the wrong method answers ``405`` with the
+allowed methods in the payload's ``"allow"`` list; unknown paths — and
+wrong-method hits on the legacy unversioned aliases, which keep their
+historical blanket behaviour — answer ``404``.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Callable
 
 import numpy as np
 
 from repro.errors import ConstraintError, DataShapeError, ReproError
+from repro.feedback import feedback_batch_from_payload, feedback_from_dict
+from repro.projection import registry
 from repro.projection.view import Projection2D
 from repro.service.manager import (
     SessionExistsError,
@@ -41,19 +58,35 @@ from repro.service.manager import (
 )
 from repro.service.store import InvalidSessionIdError, SessionNotFoundError
 
+#: Version prefix of the canonical routes.
+API_VERSION = "v1"
+
 _SESSION_PATH = re.compile(r"^/sessions/(?P<sid>[^/]+)(?P<rest>(?:/[^/]+)?)$")
 
 
-def view_to_dict(view: Projection2D, meta: dict | None = None) -> dict:
-    """JSON form of a 2-D view (axes, scores, formatted labels)."""
+def view_to_dict(
+    view: Projection2D,
+    meta: dict | None = None,
+    feature_names: list[str] | None = None,
+) -> dict:
+    """JSON form of a 2-D view (axes, scores, formatted labels).
+
+    ``feature_names`` feeds the axis labels, so real attribute names show
+    up instead of the ``X1..Xd`` placeholders.
+    """
     payload = {
         "objective": view.objective,
         "axes": view.axes.tolist(),
         "scores": view.scores.tolist(),
         "all_scores": view.all_scores.tolist(),
         "top_score": float(np.max(np.abs(view.scores))),
-        "axis_labels": [view.axis_label(0), view.axis_label(1)],
+        "axis_labels": [
+            view.axis_label(0, feature_names=feature_names),
+            view.axis_label(1, feature_names=feature_names),
+        ],
     }
+    if feature_names is not None:
+        payload["feature_names"] = list(feature_names)
     if meta:
         payload.update(meta)
     return payload
@@ -79,10 +112,23 @@ class ServiceAPI:
         """Route one request; always returns ``(status, json_payload)``."""
         body = body if body is not None else {}
         query = query if query is not None else {}
+        method = method.upper()
         try:
-            handler = self._resolve(method.upper(), path.rstrip("/") or "/")
+            normalized, versioned = self._strip_version(path.rstrip("/") or "/")
+            handlers = self._handlers_for(normalized)
+            if handlers is None:
+                return 404, {"error": f"no route {method} {path}"}
+            handler = handlers.get(method)
             if handler is None:
-                return 404, {"error": f"no route {method.upper()} {path}"}
+                if versioned:
+                    allow = sorted(handlers)
+                    return 405, {
+                        "error": f"method {method} not allowed for {path}",
+                        "allow": allow,
+                    }
+                # Legacy aliases keep their historical blanket 404 so
+                # pre-/v1 clients see byte-identical error behaviour.
+                return 404, {"error": f"no route {method} {path}"}
             return handler(body, query)
         except SessionNotFoundError as exc:
             return 404, {"error": str(exc)}
@@ -107,45 +153,67 @@ class ServiceAPI:
             # produce a JSON response, not a dropped connection.
             return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
 
-    def _resolve(
-        self, method: str, path: str
-    ) -> Callable[[dict, dict], tuple[int, dict]] | None:
+    @staticmethod
+    def _strip_version(path: str) -> tuple[str, bool]:
+        """``/v1/...`` and legacy unversioned paths share one route table.
+
+        Returns ``(normalized_path, was_versioned)``.
+        """
+        prefix = f"/{API_VERSION}"
+        if path == prefix:
+            return "/", True
+        if path.startswith(prefix + "/"):
+            return path[len(prefix):], True
+        return path, False
+
+    def _handlers_for(self, path: str) -> dict | None:
+        """Method->handler table for one normalized path (None = 404)."""
         flat = {
-            ("GET", "/health"): self._health,
-            ("GET", "/datasets"): self._datasets,
-            ("GET", "/stats"): self._stats,
-            ("GET", "/sessions"): self._list_sessions,
-            ("POST", "/sessions"): self._create_session,
+            "/health": {"GET": self._health},
+            "/datasets": {"GET": self._datasets},
+            "/objectives": {"GET": self._objectives},
+            "/stats": {"GET": self._stats},
+            "/sessions": {
+                "GET": self._list_sessions,
+                "POST": self._create_session,
+            },
         }
-        if (method, path) in flat:
-            return flat[(method, path)]
+        if path in flat:
+            return flat[path]
         match = _SESSION_PATH.match(path)
         if not match:
             return None
         sid = match.group("sid")
         rest = match.group("rest")
         per_session = {
-            ("GET", ""): self._session_status,
-            ("DELETE", ""): self._delete_session,
-            ("GET", "/view"): self._view,
-            ("POST", "/constraints"): self._constraints,
-            ("POST", "/undo"): self._undo,
-            ("POST", "/checkpoint"): self._checkpoint,
+            "": {"GET": self._session_status, "DELETE": self._delete_session},
+            "/view": {"GET": self._view},
+            "/feedback": {"POST": self._feedback},
+            "/constraints": {"POST": self._constraints},
+            "/undo": {"POST": self._undo},
+            "/checkpoint": {"POST": self._checkpoint},
         }
-        handler = per_session.get((method, rest))
-        if handler is None:
+        table = per_session.get(rest)
+        if table is None:
             return None
-        return lambda body, query: handler(sid, body, query)
+        return {
+            method: (lambda body, query, h=handler: h(sid, body, query))
+            for method, handler in table.items()
+        }
 
     # ------------------------------------------------------------------
     # Collection endpoints
     # ------------------------------------------------------------------
 
     def _health(self, body: dict, query: dict) -> tuple[int, dict]:
+        # Payload kept exactly as in the unversioned API (clients assert on it).
         return 200, {"status": "ok"}
 
     def _datasets(self, body: dict, query: dict) -> tuple[int, dict]:
         return 200, {"datasets": self.manager.dataset_names()}
+
+    def _objectives(self, body: dict, query: dict) -> tuple[int, dict]:
+        return 200, {"objectives": registry.describe()}
 
     def _stats(self, body: dict, query: dict) -> tuple[int, dict]:
         return 200, self.manager.stats()
@@ -157,11 +225,8 @@ class ServiceAPI:
         dataset = body.get("dataset")
         if not isinstance(dataset, str):
             raise ValueError("body must carry a 'dataset' name")
-        objective = body.get("objective", "pca")
-        if objective not in ("pca", "ica"):
-            raise ValueError(
-                f"unknown objective {objective!r}; use 'pca' or 'ica'"
-            )
+        # Raises UnknownObjectiveError (a ValueError -> 400) when unknown.
+        objective = registry.get(body.get("objective", "pca")).name
         seed = body.get("seed", 0)
         if seed is not None:
             seed = int(seed)
@@ -193,33 +258,31 @@ class ServiceAPI:
 
     def _view(self, sid: str, body: dict, query: dict) -> tuple[int, dict]:
         objective = query.get("objective")
-        if objective is not None and objective not in ("pca", "ica"):
-            raise ValueError(
-                f"unknown objective {objective!r}; use 'pca' or 'ica'"
-            )
+        if objective is not None:
+            objective = registry.get(objective).name  # 400 when unknown
         view, meta = self.manager.view(sid, objective=objective)
-        payload = view_to_dict(view, meta)
+        feature_names = meta.pop("feature_names", None)
+        payload = view_to_dict(view, meta, feature_names=feature_names)
         payload["session_id"] = sid
         return 200, payload
+
+    def _feedback(self, sid: str, body: dict, query: dict) -> tuple[int, dict]:
+        batch = feedback_batch_from_payload(body.get("feedback"))
+        stats = self.manager.apply_feedback(sid, batch)
+        return 200, stats
 
     def _constraints(
         self, sid: str, body: dict, query: dict
     ) -> tuple[int, dict]:
-        kind = body.get("kind", "cluster")
-        rows = body.get("rows")
-        if not isinstance(rows, (list, tuple)) or not rows:
-            raise ValueError("body must carry a non-empty 'rows' list")
-        rows = [int(r) for r in rows]
-        label = str(body.get("label", ""))
-        if kind == "cluster":
-            stats = self.manager.mark_cluster(sid, rows, label=label)
-        elif kind in ("view", "2d"):
-            stats = self.manager.mark_view_selection(sid, rows, label=label)
-        else:
-            raise ValueError(
-                f"unknown constraint kind {kind!r}; use 'cluster' or 'view'"
-            )
-        return 200, stats
+        """Legacy single-item feedback route (pre-``/v1`` body shape)."""
+        item = feedback_from_dict(
+            {
+                "kind": body.get("kind", "cluster"),
+                "rows": body.get("rows", []),
+                "label": str(body.get("label", "")),
+            }
+        )
+        return 200, self.manager.apply_feedback(sid, [item])
 
     def _undo(self, sid: str, body: dict, query: dict) -> tuple[int, dict]:
         label = self.manager.undo(sid)

@@ -36,12 +36,19 @@ class _CacheEntry:
     report: SolverReport
 
 
+#: Key-schema marker folded into every cache key.  Bumped alongside the
+#: unified feedback vocabulary (/v1 API): entries written by processes
+#: running a different constraint-building vocabulary must never collide.
+KEY_SCHEMA = "v2"
+
+
 def solve_key(
     data_fp: str, constraints, options: SolverOptions | None = None
 ) -> str:
     """Canonical cache key for one MaxEnt solve."""
     options = options or SolverOptions()
     digest = hashlib.sha256()
+    digest.update(KEY_SCHEMA.encode())
     digest.update(data_fp.encode())
     digest.update(constraint_set_fingerprint(constraints).encode())
     digest.update(

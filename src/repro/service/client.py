@@ -1,14 +1,16 @@
 """Python client for the repro session service.
 
 A thin, dependency-free wrapper over :mod:`urllib.request` that mirrors
-the HTTP API one method per route.  Used by the tests, the examples and
-the throughput benchmark; it is also the reference for writing clients in
-other languages (every payload is plain JSON).
+the versioned ``/v1`` HTTP API one method per route.  Used by the tests,
+the examples and the throughput benchmark; it is also the reference for
+writing clients in other languages (every payload is plain JSON).
 
 >>> client = ServiceClient("http://127.0.0.1:8000")      # doctest: +SKIP
 >>> sid = client.create_session("three-d")               # doctest: +SKIP
 >>> view = client.view(sid)                              # doctest: +SKIP
->>> client.mark_cluster(sid, range(50), label="blob")    # doctest: +SKIP
+>>> client.apply_feedback(sid, [                         # doctest: +SKIP
+...     ClusterFeedback(rows=tuple(range(50)), label="blob"),
+... ])
 """
 
 from __future__ import annotations
@@ -19,6 +21,11 @@ import urllib.request
 from typing import Sequence
 
 from repro.errors import ReproError
+from repro.feedback import (
+    ClusterFeedback,
+    Feedback,
+    ViewSelectionFeedback,
+)
 
 
 class ServiceClientError(ReproError):
@@ -49,16 +56,25 @@ class ServiceClient:
         e.g. ``"http://127.0.0.1:8000"`` (trailing slash optional).
     timeout:
         Per-request socket timeout in seconds.
+    api_version:
+        Route-prefix version; ``"v1"`` (default) talks to the versioned
+        routes, ``None`` falls back to the legacy unversioned aliases.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        api_version: str | None = "v1",
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.prefix = f"/{api_version}" if api_version else ""
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
-            self.base_url + path,
+            self.base_url + self.prefix + path,
             data=data,
             method=method,
             headers={"Content-Type": "application/json"},
@@ -88,6 +104,10 @@ class ServiceClient:
     def datasets(self) -> list[str]:
         """Dataset names sessions can be created on."""
         return self._request("GET", "/datasets")["datasets"]
+
+    def objectives(self) -> list[dict]:
+        """Registered view objectives as ``{"name", "description"}`` rows."""
+        return self._request("GET", "/objectives")["objectives"]
 
     def server_stats(self) -> dict:
         """Manager and solve-cache statistics."""
@@ -143,24 +163,51 @@ class ServiceClient:
             path += f"?objective={objective}"
         return self._request("GET", path)
 
+    def apply_feedback(
+        self, session_id: str, batch: Sequence[Feedback | dict]
+    ) -> dict:
+        """Post a batch of feedback objects (applied with one refit).
+
+        Items may be :mod:`repro.feedback` objects or their ``to_dict``
+        forms; all four kinds (``cluster``, ``view``, ``margins``,
+        ``covariance``) can be mixed in one batch.  Returns the session
+        stats with the applied labels under ``"applied"``.
+        """
+        items = [
+            item.to_dict() if isinstance(item, Feedback) else dict(item)
+            for item in batch
+        ]
+        return self._request(
+            "POST", f"/sessions/{session_id}/feedback", {"feedback": items}
+        )
+
+    def _single_feedback(self, session_id: str, feedback: Feedback) -> dict:
+        """One feedback item, routed per API version.
+
+        In legacy mode (``api_version=None``) this posts the pre-``/v1``
+        ``/constraints`` body shape, so the client stays compatible with
+        servers that predate the batch endpoint.
+        """
+        if self.prefix:
+            return self.apply_feedback(session_id, [feedback])
+        return self._request(
+            "POST", f"/sessions/{session_id}/constraints", feedback.to_dict()
+        )
+
     def mark_cluster(
         self, session_id: str, rows: Sequence[int], label: str = ""
     ) -> dict:
-        """Post "these points form a cluster" feedback."""
-        return self._request(
-            "POST",
-            f"/sessions/{session_id}/constraints",
-            {"kind": "cluster", "rows": [int(r) for r in rows], "label": label},
+        """Post "these points form a cluster" feedback (one-item batch)."""
+        return self._single_feedback(
+            session_id, ClusterFeedback(rows=rows, label=label)
         )
 
     def mark_view_selection(
         self, session_id: str, rows: Sequence[int], label: str = ""
     ) -> dict:
         """Post feedback along the session's current view axes."""
-        return self._request(
-            "POST",
-            f"/sessions/{session_id}/constraints",
-            {"kind": "view", "rows": [int(r) for r in rows], "label": label},
+        return self._single_feedback(
+            session_id, ViewSelectionFeedback(rows=rows, label=label)
         )
 
     def undo(self, session_id: str) -> str | None:

@@ -50,6 +50,11 @@ import numpy as np
 
 from repro.core.session import ExplorationSession
 from repro.errors import ReproError
+from repro.feedback import (
+    ClusterFeedback,
+    Feedback,
+    ViewSelectionFeedback,
+)
 from repro.io import data_fingerprint, session_from_payload, session_to_payload
 from repro.projection.view import Projection2D
 from repro.service.cache import SolveCache
@@ -78,6 +83,7 @@ class _Entry:
         "dataset",
         "standardize",
         "seed",
+        "feature_names",
         "data_fp",
         "lock",
         "pins",
@@ -93,12 +99,14 @@ class _Entry:
         standardize: bool,
         seed: int | None,
         now: float,
+        feature_names: list[str] | None = None,
     ) -> None:
         self.session_id = session_id
         self.session = session
         self.dataset = dataset
         self.standardize = standardize
         self.seed = seed
+        self.feature_names = feature_names
         self.data_fp = data_fingerprint(session.model.data)
         self.lock = threading.RLock()
         # Pinned entries (currently checked out by a request) are never
@@ -153,6 +161,7 @@ class SessionManager:
             raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
         self._datasets = dict(datasets)
         self._resolved: dict[str, np.ndarray] = {}
+        self._feature_names: dict[str, list[str] | None] = {}
         self._entries: dict[str, _Entry] = {}
         self._lock = threading.RLock()
         self.store = store
@@ -192,8 +201,23 @@ class SessionManager:
                 if callable(obj):
                     obj = obj()
                 data = getattr(obj, "data", obj)
+                names = getattr(obj, "feature_names", None)
+                self._feature_names[name] = (
+                    [str(n) for n in names] if names else None
+                )
                 self._resolved[name] = np.asarray(data, dtype=np.float64)
             return self._resolved[name]
+
+    def feature_names(self, name: str) -> list[str] | None:
+        """Attribute names of a registered dataset (None when unnamed).
+
+        Resolved from the dataset bundle's ``feature_names`` the first time
+        the dataset is loaded; plain arrays have no names.
+        """
+        self._data(name)
+        with self._lock:
+            names = self._feature_names.get(name)
+        return list(names) if names else None
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -223,7 +247,13 @@ class SessionManager:
             ):
                 raise SessionExistsError(f"session {sid!r} already exists")
             self._entries[sid] = _Entry(
-                sid, session, dataset, standardize, seed, self._clock()
+                sid,
+                session,
+                dataset,
+                standardize,
+                seed,
+                self._clock(),
+                feature_names=self.feature_names(dataset),
             )
             self._created += 1
             self._expire_stale_locked()
@@ -322,6 +352,7 @@ class SessionManager:
             bool(payload.get("standardize", False)),
             payload.get("seed", 0),
             self._clock(),
+            feature_names=self.feature_names(dataset),
         )
         self._entries[session_id] = entry
         self._resumed += 1
@@ -445,6 +476,7 @@ class SessionManager:
             meta = {
                 "cache_hit": cache_hit,
                 "iteration": len(session.history) - 1,
+                "feature_names": entry.feature_names,
                 "solver": {
                     "converged": bool(report.converged),
                     "sweeps": int(report.sweeps),
@@ -455,16 +487,45 @@ class SessionManager:
             }
             return view, meta
 
+    def apply_feedback(
+        self, session_id: str, batch: Sequence[Feedback]
+    ) -> dict:
+        """Apply a batch of typed feedback objects to one session.
+
+        The single feedback codepath of the service: view-relative items
+        are resolved against the view current at the start of the batch,
+        any fit that needs routes through the solve cache, and the whole
+        batch costs at most one background-model fit
+        (:meth:`ExplorationSession.apply_many`).  Returns the session
+        stats with the applied labels under ``"applied"``.
+        """
+        items = list(batch)
+        with self._checkout(session_id) as entry:
+            if any(isinstance(item, ViewSelectionFeedback) for item in items):
+                # apply_many will need the current view's axes, which may
+                # require a fit — route it through the cache first, exactly
+                # like a view request.
+                self._fit_with_cache(entry)
+            applied = entry.session.apply_many(items)
+            stats = self._stats_locked(entry)
+            stats["applied"] = applied
+            return stats
+
     def mark_cluster(
         self,
         session_id: str,
         rows: Sequence[int] | np.ndarray,
         label: str = "",
     ) -> dict:
-        """Post "these points form a cluster" feedback to one session."""
-        with self._checkout(session_id) as entry:
-            entry.session.mark_cluster(rows, label=label)
-            return self._stats_locked(entry)
+        """Post "these points form a cluster" feedback to one session.
+
+        Thin wrapper over :meth:`apply_feedback`, kept for callers of the
+        pre-vocabulary API.
+        """
+        return self.apply_feedback(
+            session_id,
+            [ClusterFeedback(rows=rows, label=label)],
+        )
 
     def mark_view_selection(
         self,
@@ -472,13 +533,18 @@ class SessionManager:
         rows: Sequence[int] | np.ndarray,
         label: str = "",
     ) -> dict:
-        """Post feedback along the session's current view axes."""
-        with self._checkout(session_id) as entry:
-            # The selection is relative to the current view, which may need
-            # a fit first — route it through the cache like any view request.
-            self._fit_with_cache(entry)
-            entry.session.mark_view_selection(rows, label=label)
-            return self._stats_locked(entry)
+        """Post feedback along the session's current view axes.
+
+        Thin wrapper over :meth:`apply_feedback`.
+        """
+        return self.apply_feedback(
+            session_id,
+            [
+                ViewSelectionFeedback(
+                    rows=rows, label=label
+                )
+            ],
+        )
 
     def undo(self, session_id: str) -> str | None:
         """Retract the session's most recent feedback action."""
@@ -499,9 +565,11 @@ class SessionManager:
             "standardize": entry.standardize,
             "seed": entry.seed,
             "shape": list(session.model.data.shape),
+            "feature_names": entry.feature_names,
             "n_constraints": session.model.n_constraints,
             "n_iterations": len(session.history),
             "feedback": [label for label, _ in session.feedback_groups],
+            "feedback_log": [fb.to_dict() for fb in session.feedback_log],
             "is_fitted": session.model.is_fitted,
         }
 

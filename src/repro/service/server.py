@@ -69,6 +69,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:  # noqa: N802
         self._handle("DELETE")
 
+    # PUT/PATCH have no routes; handling them lets the API layer answer a
+    # proper 405 (with the allowed methods) instead of the socket-level 501.
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self._handle("PATCH")
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:  # type: ignore[attr-defined]
             super().log_message(format, *args)

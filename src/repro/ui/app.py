@@ -23,6 +23,12 @@ import numpy as np
 from repro.core.session import ExplorationSession
 from repro.core.solver import SolverOptions
 from repro.errors import DataShapeError
+from repro.feedback import (
+    ClusterFeedback,
+    CovarianceFeedback,
+    MarginFeedback,
+    ViewSelectionFeedback,
+)
 from repro.projection.view import Projection2D
 from repro.ui.pairplot import PairplotModel, build_pairplot
 from repro.ui.scatterplot import ScatterplotModel, build_scatterplot
@@ -64,7 +70,8 @@ class SiderApp:
     feature_names:
         Optional attribute names used in axis labels and panels.
     objective:
-        Initial view objective, ``"pca"`` or ``"ica"``.
+        Initial view objective — any name registered with
+        :mod:`repro.projection.registry`.
     standardize:
         Standardise columns before exploration.
     solver_options:
@@ -90,7 +97,13 @@ class SiderApp:
             solver_options=solver_options,
             seed=seed,
         )
-        self.state = UIState(objective=Objective(objective))
+        # The session constructor validated the name against the registry;
+        # names outside the PCA/ICA toggle pair land on the custom slot.
+        self.state = UIState()
+        try:
+            self.state.objective = Objective(self.session.objective)
+        except ValueError:
+            self.state.custom_objective = self.session.objective
         self.feature_names = list(feature_names) if feature_names else None
         self._ghosts: np.ndarray | None = None
 
@@ -100,7 +113,7 @@ class SiderApp:
 
     def render(self) -> Frame:
         """Produce the current screen (fits the model if needed)."""
-        view = self.session.current_view(objective=self.state.objective.value)
+        view = self.session.current_view(objective=self.state.objective_name)
         if self._ghosts is None:
             self._ghosts = self.session.background_sample()
         selection = self.state.selection
@@ -130,7 +143,7 @@ class SiderApp:
         self, x_range: tuple[float, float], y_range: tuple[float, float]
     ) -> np.ndarray:
         """Rectangle-select in the current view; returns the selected rows."""
-        view = self.session.current_view(objective=self.state.objective.value)
+        view = self.session.current_view(objective=self.state.objective_name)
         projected = view.project(self.session.data)
         rows = select_rectangle(projected, x_range, y_range)
         self.state.set_selection(rows, self.session.data.shape[0])
@@ -140,7 +153,7 @@ class SiderApp:
         self, centre: tuple[float, float], radii: tuple[float, float]
     ) -> np.ndarray:
         """Ellipse-select in the current view; returns the selected rows."""
-        view = self.session.current_view(objective=self.state.objective.value)
+        view = self.session.current_view(objective=self.state.objective_name)
         projected = view.project(self.session.data)
         rows = select_ellipse(projected, centre, radii)
         self.state.set_selection(rows, self.session.data.shape[0])
@@ -171,7 +184,11 @@ class SiderApp:
         """Button: add a cluster constraint for the current selection."""
         if not self.state.selection.size:
             raise DataShapeError("no selection to constrain")
-        self.session.mark_cluster(self.state.selection, label=label)
+        self.session.apply(
+            ClusterFeedback(
+                rows=self.state.selection, label=label
+            )
+        )
         self.state.mark_dirty(PendingAction.REFIT)
         self.state.action_log.append("add cluster constraint")
 
@@ -179,19 +196,23 @@ class SiderApp:
         """Button: add a 2-D constraint for the current selection."""
         if not self.state.selection.size:
             raise DataShapeError("no selection to constrain")
-        self.session.mark_view_selection(self.state.selection, label=label)
+        self.session.apply(
+            ViewSelectionFeedback(
+                rows=self.state.selection, label=label
+            )
+        )
         self.state.mark_dirty(PendingAction.REFIT)
         self.state.action_log.append("add 2-D constraint")
 
     def add_margin_constraints(self) -> None:
         """Declare column means/variances known."""
-        self.session.assume_margins()
+        self.session.apply(MarginFeedback())
         self.state.mark_dirty(PendingAction.REFIT)
         self.state.action_log.append("add margin constraints")
 
     def add_one_cluster_constraint(self) -> None:
         """Declare the overall covariance known."""
-        self.session.assume_overall_covariance()
+        self.session.apply(CovarianceFeedback())
         self.state.mark_dirty(PendingAction.REFIT)
         self.state.action_log.append("add 1-cluster constraint")
 
@@ -218,7 +239,7 @@ class SiderApp:
         self.state.consume_pending()
         # Invalidate ghosts; the refit happens lazily in current_view().
         self._ghosts = None
-        self.session.current_view(objective=self.state.objective.value)
+        self.session.current_view(objective=self.state.objective_name)
         self._ghosts = self.session.background_sample()
         self.state.action_log.append("update background")
 
@@ -227,3 +248,9 @@ class SiderApp:
         objective = self.state.toggle_objective()
         self.session.objective = objective.value
         return objective.value
+
+    def set_objective(self, name: str) -> str:
+        """Select any registered objective by name (beyond the toggle pair)."""
+        chosen = self.state.set_objective(name)
+        self.session.objective = chosen
+        return chosen

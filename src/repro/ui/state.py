@@ -16,11 +16,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import DataShapeError
+from repro.projection import registry
 from repro.ui.selection import SelectionStore
 
 
 class Objective(enum.Enum):
-    """View-selection objective offered by the UI toggle."""
+    """The two objectives on the UI's quick toggle (PCA <-> ICA).
+
+    Any other registered objective is reachable through
+    :meth:`UIState.set_objective`, which stores it as a custom override.
+    """
 
     PCA = "pca"
     ICA = "ica"
@@ -53,10 +58,35 @@ class UIState:
     """
 
     objective: Objective = Objective.PCA
+    #: A registered objective outside the PCA/ICA toggle pair ("kurtosis",
+    #: a user plugin, ...); overrides ``objective`` while set.
+    custom_objective: str | None = None
     selection: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
     store: SelectionStore = field(default_factory=SelectionStore)
     pending: PendingAction = PendingAction.NONE
     action_log: list[str] = field(default_factory=list)
+
+    @property
+    def objective_name(self) -> str:
+        """The active objective's registry name (toggle pair or custom)."""
+        return self.custom_objective or self.objective.value
+
+    def set_objective(self, name: str) -> str:
+        """Select any registered objective by name; returns it.
+
+        Names on the toggle pair keep using the enum; anything else is
+        stored as a custom override.  Unknown names raise
+        :class:`~repro.projection.registry.UnknownObjectiveError`.
+        """
+        name = registry.get(name).name
+        try:
+            self.objective = Objective(name)
+            self.custom_objective = None
+        except ValueError:
+            self.custom_objective = name
+        self.pending = PendingAction.RECOMPUTE_VIEW
+        self.action_log.append(f"objective -> {name}")
+        return name
 
     def set_selection(self, rows: np.ndarray, n_rows: int) -> None:
         """Replace the selection (validated against the dataset size)."""
@@ -72,10 +102,15 @@ class UIState:
         self.action_log.append("clear selection")
 
     def toggle_objective(self) -> Objective:
-        """Switch PCA <-> ICA; flags the view for recomputation."""
+        """Switch PCA <-> ICA; flags the view for recomputation.
+
+        Toggling leaves any custom objective: the toggle always lands on
+        one of the pair.
+        """
         self.objective = (
             Objective.ICA if self.objective is Objective.PCA else Objective.PCA
         )
+        self.custom_objective = None
         self.pending = PendingAction.RECOMPUTE_VIEW
         self.action_log.append(f"objective -> {self.objective.value}")
         return self.objective

@@ -1,6 +1,5 @@
 """Unit tests for row equivalence classes."""
 
-import numpy as np
 
 from repro.core.builders import cluster_constraint, margin_constraints
 from repro.core.equivalence import build_equivalence_classes

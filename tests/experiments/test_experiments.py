@@ -15,7 +15,6 @@ from repro.experiments import (
     fig3_x5_structure,
     fig5_convergence,
     fig6_whitening,
-    fig7_bnc_first_view,
     fig8_bnc_iterations,
     fig9_segmentation,
     table1_ica_scores,

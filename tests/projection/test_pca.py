@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DataShapeError
-from repro.projection.pca import PCAResult, fit_pca, unit_deviation_score
+from repro.projection.pca import fit_pca, unit_deviation_score
 
 
 class TestFitPca:

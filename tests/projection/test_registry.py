@@ -1,0 +1,156 @@
+"""Tests for the pluggable objective registry."""
+
+import numpy as np
+import pytest
+
+from repro.projection import registry
+from repro.projection.registry import (
+    AxisObjective,
+    KurtosisObjective,
+    UnknownObjectiveError,
+)
+from repro.projection.view import most_informative_view
+
+
+class TestRegistryBasics:
+    def test_builtins_registered(self):
+        assert {"pca", "ica", "kurtosis", "axis"} <= set(registry.names())
+
+    def test_get_unknown_raises_value_error_subclass(self):
+        with pytest.raises(UnknownObjectiveError):
+            registry.get("umap")
+        with pytest.raises(ValueError):
+            registry.get("umap")
+
+    def test_get_passes_instances_through(self):
+        obj = registry.get("pca")
+        assert registry.get(obj) is obj
+
+    def test_get_rejects_non_string_non_objective(self):
+        with pytest.raises(ValueError):
+            registry.get(42)
+
+    def test_describe_rows_are_json_ready(self):
+        rows = registry.describe()
+        assert all(set(row) == {"name", "description"} for row in rows)
+        assert [row["name"] for row in rows] == registry.names()
+
+    def test_register_requires_protocol(self):
+        class Nameless:
+            pass
+
+        with pytest.raises(ValueError):
+            registry.register(Nameless())
+
+        class NoScore:
+            name = "broken"
+
+            def find_directions(self, whitened, rng):
+                return np.eye(2)
+
+        with pytest.raises(ValueError):
+            registry.register(NoScore())
+
+    def test_duplicate_name_rejected_unless_overwrite(self):
+        class Dup:
+            name = "pca"
+            description = "impostor"
+
+            def find_directions(self, whitened, rng):
+                return np.eye(2)
+
+            def score(self, whitened, directions):
+                return np.zeros(2)
+
+        with pytest.raises(ValueError):
+            registry.register(Dup())
+        assert registry.get("pca").description != "impostor"
+
+    def test_register_unregister_roundtrip(self):
+        class Custom:
+            name = "test-roundtrip"
+            description = "just for this test"
+
+            def find_directions(self, whitened, rng):
+                return np.eye(np.asarray(whitened).shape[1])
+
+            def score(self, whitened, directions):
+                return np.ones(np.atleast_2d(directions).shape[0])
+
+        try:
+            registry.register(Custom())
+            assert registry.is_registered("test-roundtrip")
+            view = most_informative_view(
+                np.random.default_rng(0).standard_normal((50, 3)),
+                objective="test-roundtrip",
+            )
+            assert view.objective == "test-roundtrip"
+        finally:
+            registry.unregister("test-roundtrip")
+        assert not registry.is_registered("test-roundtrip")
+
+
+class TestKurtosisObjective:
+    def test_finds_heavy_tailed_direction(self):
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((2000, 4))
+        data[:, 1] = rng.standard_t(df=3, size=2000)  # heavy tails on X2
+        view = most_informative_view(
+            data, objective="kurtosis", rng=np.random.default_rng(0)
+        )
+        assert abs(view.axes[0][1]) > 0.9
+        assert view.objective == "kurtosis"
+
+    def test_orthonormal_basis(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((500, 5))
+        basis = KurtosisObjective().find_directions(
+            data, np.random.default_rng(0)
+        )
+        np.testing.assert_allclose(basis @ basis.T, np.eye(5), atol=1e-8)
+
+    def test_gaussian_scores_near_zero(self):
+        rng = np.random.default_rng(11)
+        data = rng.standard_normal((5000, 3))
+        scores = KurtosisObjective().score(data, np.eye(3))
+        assert np.all(np.abs(scores) < 0.3)
+
+    def test_reproducible_with_seed(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((300, 3))
+        data[:150, 0] += 4.0
+        v1 = most_informative_view(
+            data, "kurtosis", rng=np.random.default_rng(9)
+        )
+        v2 = most_informative_view(
+            data, "kurtosis", rng=np.random.default_rng(9)
+        )
+        np.testing.assert_array_equal(v1.axes, v2.axes)
+
+
+class TestAxisObjective:
+    def test_directions_are_canonical_basis(self):
+        data = np.zeros((10, 4))
+        basis = AxisObjective().find_directions(data, np.random.default_rng(0))
+        np.testing.assert_array_equal(basis, np.eye(4))
+
+    def test_view_picks_most_nongaussian_attribute(self, rng):
+        data = rng.standard_normal((1000, 3))
+        data[:500, 2] += 6.0  # bimodal along X3
+        data[:, 2] -= data[:, 2].mean()
+        data[:, 2] /= data[:, 2].std()
+        view = most_informative_view(data, objective="axis")
+        assert abs(view.axes[0][2]) == 1.0
+        assert view.all_scores.size == 3
+
+
+class TestSessionIntegration:
+    def test_session_accepts_any_registered_objective(self, two_cluster_data):
+        from repro.core.session import ExplorationSession
+
+        data, _ = two_cluster_data
+        for name in ("kurtosis", "axis"):
+            session = ExplorationSession(data, objective=name, seed=0)
+            view = session.current_view()
+            assert view.objective == name
+            assert np.all(np.isfinite(view.axes))

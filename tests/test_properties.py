@@ -14,7 +14,6 @@ generated data and constraint layouts:
 import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.core.background import BackgroundModel
 from repro.core.builders import cluster_constraint
