@@ -1,0 +1,54 @@
+"""Autonomous-exploration workload: the service under policy-driven load.
+
+Runs :mod:`repro.explore.loadgen` against a temporary in-process server —
+N concurrent sessions, each a full policy loop over the ``/v1`` API — and
+records the numbers the capacity plan cares about: total throughput,
+per-route p95 view latency, and the solve-cache hit rate concurrent twin
+sessions achieve.  This is the heavy-traffic profile the single-client
+throughput benchmark cannot show.
+
+Run with::
+
+    pytest benchmarks/bench_explore_loadgen.py -s
+"""
+
+from repro.datasets import three_d_clusters, x5
+from repro.explore import LoadGenConfig, format_report, run_loadgen
+from repro.service import SessionManager, start_background
+
+
+def test_policy_driven_loadgen(report_sink, bench_counters):
+    """8 concurrent policy sessions complete cleanly and measurably."""
+    manager = SessionManager(
+        {
+            "three-d": lambda: three_d_clusters(seed=0),
+            "x5": lambda: x5(seed=0),
+        }
+    )
+    server = start_background(manager)
+    try:
+        config = LoadGenConfig(
+            url=server.base_url,
+            sessions=8,
+            workers=4,
+            policies=("objective-sweep", "surprise"),
+            rounds=2,
+            seed=0,
+        )
+        report = run_loadgen(config)
+    finally:
+        server.stop()
+
+    totals = report.totals
+    assert totals["sessions_failed"] == 0, report.sessions
+    assert totals["requests"] >= 8 * 4  # create + views + feedback + delete
+    view_route = report.routes.get("GET /v1/sessions/{id}/view")
+    assert view_route is not None and view_route["count"] >= 8
+
+    bench_counters(
+        loadgen_throughput_rps=totals["throughput_rps"],
+        loadgen_requests=totals["requests"],
+        view_p95_ms=view_route["p95_ms"],
+        cache_hit_rate=(report.cache or {}).get("hit_rate"),
+    )
+    report_sink("explore/loadgen:\n" + format_report(report))

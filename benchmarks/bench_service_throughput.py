@@ -43,7 +43,7 @@ def _session_with_clusters(manager, rows):
     return sid
 
 
-def test_cache_hit_views_at_least_5x_faster(report_sink):
+def test_cache_hit_views_at_least_5x_faster(report_sink, bench_counters):
     """Acceptance: cache-hit view requests >= 5x faster than cold solves."""
     manager, rows = _x5_manager()
 
@@ -64,6 +64,11 @@ def test_cache_hit_views_at_least_5x_faster(report_sink):
     warm = min(warm_samples)
 
     speedup = cold / warm
+    bench_counters(
+        cold_solve_ms=cold * 1e3,
+        cached_view_ms=warm * 1e3,
+        cache_speedup=speedup,
+    )
     report_sink(
         f"service/cache: cold solve {cold * 1e3:.2f} ms, cached view "
         f"{warm * 1e3:.2f} ms -> {speedup:.1f}x "
@@ -74,7 +79,7 @@ def test_cache_hit_views_at_least_5x_faster(report_sink):
     )
 
 
-def test_http_requests_per_second(benchmark, report_sink):
+def test_http_requests_per_second(benchmark, report_sink, bench_counters):
     """End-to-end JSON-over-HTTP throughput with a warm cache."""
     manager, rows = _x5_manager()
     server = start_background(ServiceAPI(manager))
@@ -94,6 +99,7 @@ def test_http_requests_per_second(benchmark, report_sink):
         benchmark.pedantic(burst, rounds=1, iterations=1)
         elapsed = time.perf_counter() - start
         rps = n_requests / elapsed
+        bench_counters(http_requests_per_second=rps)
         report_sink(
             f"service/http: {n_requests} view requests in {elapsed:.3f} s "
             f"-> {rps:.0f} req/s (single client, warm cache)"

@@ -7,17 +7,115 @@ the regenerated tables/series of the paper, so that running
 
 reproduces every table and figure of the evaluation section on this
 machine.  The printed output is also what EXPERIMENTS.md records.
+
+Every benchmark run additionally writes one ``BENCH_<suite>.json``
+artifact per benchmark module (suite = module name minus the ``bench_``
+prefix): per-test call timings plus any counters the tests record
+through the ``bench_counters`` fixture.  These files are the
+machine-readable perf trajectory — CI uploads them as artifacts so
+regressions are diffable across commits.  Set ``BENCH_OUTPUT_DIR`` to
+redirect them (default: the pytest invocation directory).
 """
 
 from __future__ import annotations
 
+import json
+import os
+from collections import defaultdict
+from pathlib import Path
+
 import pytest
+
+
+def _suite_of(nodeid: str) -> str | None:
+    """``benchmarks/bench_fig5_convergence.py::test_x`` -> ``fig5_convergence``."""
+    module = nodeid.split("::", 1)[0]
+    stem = Path(module).stem
+    if stem.startswith("bench_"):
+        return stem[len("bench_"):]
+    return None
+
+
+class BenchReporter:
+    """Collects per-suite timings and counters; writes BENCH_<suite>.json."""
+
+    def __init__(self, out_dir: Path) -> None:
+        self.out_dir = out_dir
+        self.suites: dict[str, dict] = defaultdict(
+            lambda: {"timings": {}, "counters": {}}
+        )
+
+    def record_timing(self, suite: str, test: str, seconds: float) -> None:
+        self.suites[suite]["timings"][test] = round(float(seconds), 6)
+
+    def record_counter(self, suite: str, name: str, value) -> None:
+        self.suites[suite]["counters"][name] = value
+
+    def write(self) -> list[Path]:
+        written = []
+        for suite, payload in sorted(self.suites.items()):
+            if not payload["timings"] and not payload["counters"]:
+                continue
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            path = self.out_dir / f"BENCH_{suite}.json"
+            body = {
+                "suite": suite,
+                "total_seconds": round(sum(payload["timings"].values()), 6),
+                "timings": dict(sorted(payload["timings"].items())),
+                "counters": dict(sorted(payload["counters"].items())),
+            }
+            path.write_text(json.dumps(body, indent=2) + "\n")
+            written.append(path)
+        return written
+
+
+#: The session-scoped reporter (one conftest module per pytest session).
+_REPORTER: BenchReporter | None = None
 
 
 def pytest_configure(config):
     # Benchmarks live outside the default testpaths; make sure running
     # `pytest benchmarks/` without --benchmark-only still works.
     config.addinivalue_line("markers", "paper_figure(name): reproduces a figure")
+    global _REPORTER
+    _REPORTER = BenchReporter(Path(os.environ.get("BENCH_OUTPUT_DIR", ".")))
+
+
+def pytest_runtest_logreport(report):
+    if _REPORTER is None or report.when != "call" or not report.passed:
+        return
+    suite = _suite_of(report.nodeid)
+    if suite is not None:
+        test = report.nodeid.split("::", 1)[-1]
+        _REPORTER.record_timing(suite, test, report.duration)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _REPORTER is None:
+        return
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    for path in _REPORTER.write():
+        if terminal is not None:
+            terminal.write_line(f"bench artifact: {path}")
+
+
+@pytest.fixture
+def bench_counters(request):
+    """Record machine-readable counters into this suite's BENCH json.
+
+    Usage::
+
+        def test_throughput(bench_counters):
+            ...
+            bench_counters(requests_per_second=rps, cache_hit_rate=rate)
+    """
+    suite = _suite_of(request.node.nodeid) or "misc"
+
+    def _record(**counters) -> None:
+        for name, value in counters.items():
+            _REPORTER.record_counter(suite, name, value)
+
+    return _record
 
 
 @pytest.fixture

@@ -41,6 +41,10 @@ Package map
 ``repro.service``     multi-tenant session server: stores, solve cache,
                       manager, versioned ``/v1`` HTTP API and client
                       (``repro serve``)
+``repro.explore``     autonomous exploration: policies that play the
+                      user, deterministic trace record/replay, and the
+                      concurrent service load generator
+                      (``repro explore --policy ...``, ``repro loadgen``)
 """
 
 from repro.core import (
@@ -81,7 +85,7 @@ from repro.service import (
     SolveCache,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BackgroundModel",

@@ -8,7 +8,11 @@ Usage (after install)::
     python -m repro dataset x5                 # describe a dataset
     python -m repro objectives                 # registered view objectives
     python -m repro explore x5 --rounds 2      # scripted exploration demo
+    python -m repro explore --policy surprise --dataset three-d \\
+        --rounds 5 --trace t.jsonl             # autonomous exploration
+    python -m repro explore --replay t.jsonl   # verify a recorded trace
     python -m repro serve --port 8000          # multi-tenant session service
+    python -m repro loadgen --sessions 8       # policy-driven load generator
 
 The CLI is a thin veneer over :mod:`repro.experiments` and
 :mod:`repro.datasets`; everything it prints is available programmatically.
@@ -42,6 +46,7 @@ from repro.experiments import (
     table1_ica_scores,
     table2_runtime,
 )
+from repro.explore.policies import policy_names
 from repro.feedback import ClusterFeedback
 from repro.projection import registry
 
@@ -90,8 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("objectives", help="list registered view objectives")
 
-    explore = sub.add_parser("explore", help="scripted exploration demo")
-    explore.add_argument("name", choices=sorted(DATASETS))
+    explore = sub.add_parser(
+        "explore",
+        help="scripted exploration demo / autonomous policy runs",
+    )
+    explore.add_argument("name", nargs="?", choices=sorted(DATASETS))
+    explore.add_argument(
+        "--dataset",
+        choices=sorted(DATASETS),
+        default=None,
+        help="dataset to explore (alternative to the positional name)",
+    )
     explore.add_argument("--rounds", type=int, default=2)
     # Choices come from the objective registry, so objectives registered by
     # user code (e.g. via a sitecustomize or plugin import) show up here.
@@ -99,6 +113,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", choices=registry.names(), default="pca"
     )
     explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument(
+        "--policy",
+        choices=policy_names(),
+        default=None,
+        help="run autonomously with this exploration policy",
+    )
+    explore.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record the run as a replayable JSONL trace",
+    )
+    explore.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="replay a recorded trace and verify its knowledge curve",
+    )
+    explore.add_argument(
+        "--url",
+        default=None,
+        help="replay against a running service instead of in-process",
+    )
+    explore.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="NATS",
+        help="absolute per-point slack when verifying a replayed knowledge "
+        "curve (0 = bit-for-bit; use a small value when replaying "
+        "warm-start traces against a server)",
+    )
+    explore.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="seed each refit from the previous solve (incremental path)",
+    )
+    explore.add_argument(
+        "--plateau-nats",
+        type=float,
+        default=None,
+        metavar="NATS",
+        help="also stop after 2 rounds gaining less than NATS of knowledge",
+    )
+    explore.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="also stop once the run exceeds this wall-clock budget",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive concurrent policy sessions against a service"
+    )
+    loadgen.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default: start a temporary in-process server)",
+    )
+    loadgen.add_argument("--sessions", type=int, default=8)
+    loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size (default: min(sessions, 8))",
+    )
+    loadgen.add_argument(
+        "--policy",
+        action="append",
+        choices=policy_names(),
+        default=None,
+        help="policy name; repeat to mix (round-robin over sessions)",
+    )
+    loadgen.add_argument(
+        "--dataset",
+        action="append",
+        choices=sorted(DATASETS),
+        default=None,
+        help="dataset name; repeat to mix (default: all served datasets)",
+    )
+    loadgen.add_argument("--rounds", type=int, default=3)
+    loadgen.add_argument(
+        "--objective", choices=registry.names(), default="pca"
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--output",
+        default="BENCH_loadgen.json",
+        metavar="PATH",
+        help="where to write the JSON report",
+    )
 
     serve = sub.add_parser("serve", help="run the HTTP session service")
     serve.add_argument("--host", default="127.0.0.1")
@@ -200,6 +305,167 @@ def cmd_explore(name: str, rounds: int, objective: str, seed: int) -> int:
     return 0
 
 
+def cmd_explore_policy(
+    dataset: str,
+    policy_name: str,
+    rounds: int,
+    objective: str,
+    seed: int,
+    trace_path: str | None,
+    warm_start: bool,
+    plateau_nats: float | None,
+    max_seconds: float | None,
+) -> int:
+    """Autonomous exploration: a policy plays the user, headlessly."""
+    from repro.explore import (
+        InProcessDriver,
+        KnowledgeGainPlateau,
+        WallClockBudget,
+        make_policy,
+        run_exploration,
+        save_trace,
+    )
+
+    bundle = DATASETS[dataset]()
+    session = ExplorationSession(
+        bundle.data,
+        objective=objective,
+        standardize=True,
+        seed=seed,
+        warm_start=warm_start,
+    )
+    driver = InProcessDriver(
+        session,
+        info={
+            "dataset": dataset,
+            "standardize": True,
+            "session_seed": seed,
+            "warm_start": warm_start,
+        },
+    )
+    stopping = []
+    if plateau_nats is not None:
+        stopping.append(KnowledgeGainPlateau(min_gain_nats=plateau_nats))
+    if max_seconds is not None:
+        stopping.append(WallClockBudget(max_seconds=max_seconds))
+    print(
+        f"exploring {bundle.name} ({bundle.data.shape}) with "
+        f"policy {policy_name!r}, objective {objective!r}, seed {seed}"
+    )
+    result = run_exploration(
+        make_policy(policy_name),
+        driver,
+        rounds=rounds,
+        stopping=stopping,
+        seed=seed,
+    )
+    for record in result.rounds:
+        kinds = ", ".join(type(fb).kind for fb in record.feedback) or "(none)"
+        print(
+            f"round {record.index}: objective {record.objective}, "
+            f"top |score| {record.top_score:.4f}, feedback {kinds}, "
+            f"knowledge {record.knowledge_nats:.3f} nats"
+        )
+    curve = result.knowledge_curve()
+    print(f"knowledge curve (nats): {[round(k, 3) for k in curve]}")
+    print(f"stopped by: {result.stopped_by}")
+    if trace_path:
+        save_trace(result, trace_path)
+        print(f"trace written to {trace_path}")
+    return 0
+
+
+def cmd_explore_replay(
+    trace_path: str, url: str | None, tolerance: float = 0.0
+) -> int:
+    """Replay a recorded trace and verify the knowledge curve matches."""
+    from repro.explore import (
+        in_process_driver_for,
+        load_trace,
+        remote_driver_for,
+        replay_trace,
+    )
+
+    trace = load_trace(trace_path)
+    dataset = trace.session_info.get("dataset")
+    if url is not None:
+        from repro.service import ServiceClient
+
+        driver = remote_driver_for(trace, ServiceClient(url))
+        where = url
+    else:
+        if dataset not in DATASETS:
+            print(
+                f"trace names unknown dataset {dataset!r}; "
+                f"known: {sorted(DATASETS)}",
+                file=sys.stderr,
+            )
+            return 1
+        driver = in_process_driver_for(trace, DATASETS[dataset]().data)
+        where = "in-process"
+    result = replay_trace(trace, driver, tolerance=tolerance)
+    print(f"replaying {trace_path} ({len(trace.rounds)} rounds, {where})")
+    print(f"recorded curve: {[round(k, 3) for k in result.expected_curve]}")
+    print(f"replayed curve: {[round(k, 3) for k in result.actual_curve]}")
+    if result.matches:
+        print("replay matches: identical feedback labels and knowledge curve")
+        return 0
+    print(f"replay MISMATCH: {result.mismatches}", file=sys.stderr)
+    return 1
+
+
+def cmd_loadgen(
+    url: str | None,
+    sessions: int,
+    workers: int | None,
+    policies: list[str] | None,
+    datasets: list[str] | None,
+    rounds: int,
+    objective: str,
+    seed: int,
+    output: str,
+) -> int:
+    """Policy-driven concurrent workload against a (possibly temp) server."""
+    from repro.explore import (
+        LoadGenConfig,
+        format_report,
+        run_loadgen,
+        write_report,
+    )
+
+    server = None
+    if url is None:
+        from repro.service import SessionManager, start_background
+
+        server = start_background(SessionManager(DATASETS))
+        url = server.base_url
+        print(f"started temporary service on {url}")
+    try:
+        config = LoadGenConfig(
+            url=url,
+            sessions=sessions,
+            workers=workers,
+            policies=tuple(policies or ("objective-sweep",)),
+            datasets=tuple(datasets) if datasets else None,
+            rounds=rounds,
+            objective=objective,
+            seed=seed,
+        )
+        print(
+            f"loadgen: {config.sessions} session(s) x {config.rounds} "
+            f"round(s), {config.resolved_workers()} worker(s), "
+            f"policies {list(config.policies)}"
+        )
+        report = run_loadgen(config)
+    finally:
+        if server is not None:
+            server.stop()
+    print(format_report(report))
+    path = write_report(report, output)
+    print(f"report written to {path}")
+    return 0 if report.totals["sessions_failed"] == 0 else 1
+
+
 def cmd_serve(
     host: str,
     port: int,
@@ -253,7 +519,40 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "objectives":
         return cmd_objectives()
     if args.command == "explore":
-        return cmd_explore(args.name, args.rounds, args.objective, args.seed)
+        if args.replay is not None:
+            return cmd_explore_replay(args.replay, args.url, args.tolerance)
+        dataset = args.dataset or args.name
+        if dataset is None:
+            print(
+                "explore needs a dataset (positional name or --dataset)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.policy is not None:
+            return cmd_explore_policy(
+                dataset,
+                args.policy,
+                args.rounds,
+                args.objective,
+                args.seed,
+                args.trace,
+                args.warm_start,
+                args.plateau_nats,
+                args.max_seconds,
+            )
+        return cmd_explore(dataset, args.rounds, args.objective, args.seed)
+    if args.command == "loadgen":
+        return cmd_loadgen(
+            args.url,
+            args.sessions,
+            args.workers,
+            args.policy,
+            args.dataset,
+            args.rounds,
+            args.objective,
+            args.seed,
+            args.output,
+        )
     if args.command == "serve":
         return cmd_serve(
             args.host,

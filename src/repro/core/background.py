@@ -14,7 +14,7 @@ SIDER loop needs:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.core.sampling import sample_background
 from repro.core.solver import SolverOptions, SolverReport, solve_maxent
 from repro.core.whitening import whiten
 from repro.errors import DataShapeError, NotFittedError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.incremental import WarmStartState
 
 
 class BackgroundModel:
@@ -213,6 +216,34 @@ class BackgroundModel:
         self._report = report
         self._dirty = False
         return report
+
+    def fit_warm(
+        self,
+        previous: "WarmStartState | None" = None,
+        options: SolverOptions | None = None,
+    ) -> tuple[SolverReport, "WarmStartState"]:
+        """(Re-)solve, warm-starting from a previous solution when possible.
+
+        The incremental path of :mod:`repro.core.incremental`: when
+        ``previous`` was fitted for a prefix of the current constraint list
+        (the append-only interactive pattern), the new solve is seeded from
+        the previous optimum; otherwise a cold start happens silently.
+        Returns ``(report, state)`` where ``state`` should be passed as
+        ``previous`` to the next call.
+        """
+        from repro.core.incremental import incremental_solve
+
+        params, classes, report, state = incremental_solve(
+            self._data,
+            self._constraints,
+            previous=previous,
+            options=options or self.solver_options,
+        )
+        self._params = params
+        self._classes = classes
+        self._report = report
+        self._dirty = False
+        return report, state
 
     def _require_fit(self) -> tuple[ClassParameters, EquivalenceClasses]:
         if self._params is None or self._classes is None:

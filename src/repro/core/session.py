@@ -76,6 +76,13 @@ class ExplorationSession:
     seed:
         Seed for FastICA initialisation and background sampling, making the
         whole session reproducible.
+    warm_start:
+        Opt-in: seed each refit from the previous solution via
+        :mod:`repro.core.incremental` instead of cold-starting.  The
+        interactive loop appends constraints monotonically, which is
+        exactly the workload warm starts pay off on (long autonomous
+        runs); undo falls back to a cold start automatically.  Default
+        off to keep the paper-faithful cold-restart semantics.
 
     Examples
     --------
@@ -93,6 +100,7 @@ class ExplorationSession:
         standardize: bool = False,
         solver_options: SolverOptions | None = None,
         seed: int | None = 0,
+        warm_start: bool = False,
     ) -> None:
         # Registry lookup both validates the name and raises a ValueError
         # subclass, keeping the legacy contract for unknown objectives.
@@ -108,6 +116,11 @@ class ExplorationSession:
         # same order (persisted by checkpoints).
         self._feedback_groups: list[tuple[str, int]] = []
         self._feedback_log: list[Feedback] = []
+        self.warm_start = bool(warm_start)
+        # Previous solve state for incremental refits; None until the
+        # first warm fit (and after any history rewrite that breaks the
+        # append-only prefix property, the solver cold-starts silently).
+        self._warm_state = None
 
     # ------------------------------------------------------------------
     # The loop
@@ -144,6 +157,8 @@ class ExplorationSession:
         if stale:
             if self.model.is_fitted:
                 report = self.model.last_report
+            elif self.warm_start:
+                report, self._warm_state = self.model.fit_warm(self._warm_state)
             else:
                 report = self.model.fit()
             whitened = self.model.whiten()
@@ -178,11 +193,14 @@ class ExplorationSession:
         """Apply a batch of feedback objects with at most one solver fit.
 
         View-relative feedback in the batch is resolved against the view
-        the user was looking at when the batch was posted: the axes are
-        captured *once*, before any item mutates the belief state, so a
-        mixed batch costs at most one fit (and none when the view is
-        already current).  The batch is atomic — if any item fails, the
-        items already applied are rolled back before the error propagates.
+        the user was looking at when the batch was posted — the cached
+        current view, whatever objective ranked it (an objective-override
+        view counts), falling back to a freshly computed default view
+        when nothing has been shown yet.  The axes are captured *once*,
+        before any item mutates the belief state, so a mixed batch costs
+        at most one fit (and none when the view is already current).  The
+        batch is atomic — if any item fails, the items already applied
+        are rolled back before the error propagates.
 
         Returns the label each item was filed under, in batch order.
         """
@@ -194,7 +212,12 @@ class ExplorationSession:
                 )
         view_axes: np.ndarray | None = None
         if any(isinstance(item, ViewSelectionFeedback) for item in items):
-            view_axes = self.current_view().axes
+            if self._current_view is not None and self.model.is_fitted:
+                # The view the user is actually looking at (possibly an
+                # objective override), not a recomputed default view.
+                view_axes = self._current_view.axes
+            else:
+                view_axes = self.current_view().axes
         labels: list[str] = []
         try:
             for item in items:

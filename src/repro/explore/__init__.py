@@ -1,0 +1,125 @@
+"""repro.explore — autonomous exploration policies, traces, and load generation.
+
+Closes the paper's interactive loop without a human: an
+:class:`~repro.explore.policies.ExplorationPolicy` plays the user —
+looking at each most-informative view and answering with typed
+:mod:`repro.feedback` objects — while the engine handles the
+fit/observe/apply cycle, stopping rules, and record keeping.  One
+subsystem, three layers:
+
+``policies``  the policy vocabulary: ``surprise`` (cluster the rows the
+              background finds most unlikely), ``objective-sweep``
+              (confirm/deny the view of every registered objective),
+              ``random-walk`` (the baseline), plus the
+              :class:`Observation` they see and a name registry
+              (:func:`make_policy`).
+``stopping``  pluggable stopping rules: round budget, knowledge-gain
+              plateau (nats), wall-clock budget.
+``engine``    the closed loop itself, over a :class:`SessionDriver` —
+              :class:`InProcessDriver` (an
+              :class:`~repro.core.session.ExplorationSession`) or
+              :class:`RemoteDriver` (a ``/v1`` service session), same
+              policy code either way.
+``trace``     deterministic JSONL run traces: save, load, and replay
+              bit-for-bit (in-process or against a live server).
+``loadgen``   the service workload generator: N concurrent policy-driven
+              sessions against a running server, reporting per-route
+              latency percentiles, throughput and solve-cache hit rate
+              (``BENCH_loadgen.json``).
+
+Quick start
+-----------
+>>> from repro.datasets import three_d_clusters
+>>> from repro.explore import InProcessDriver, make_policy, run_exploration
+>>> from repro.core.session import ExplorationSession
+>>> bundle = three_d_clusters(seed=0)
+>>> session = ExplorationSession(bundle.data, standardize=True, seed=0)
+>>> result = run_exploration(
+...     make_policy("surprise"), InProcessDriver(session), rounds=3, seed=0)
+>>> curve = result.knowledge_curve()        # non-decreasing, in nats
+
+Or from the command line: ``repro explore --policy surprise --dataset
+three-d --rounds 5 --trace t.jsonl`` and ``repro loadgen --sessions 8``.
+"""
+
+from repro.explore.engine import (
+    ExplorationResult,
+    InProcessDriver,
+    RemoteDriver,
+    RoundRecord,
+    SessionDriver,
+    run_exploration,
+)
+from repro.explore.loadgen import (
+    InstrumentedClient,
+    LatencyRecorder,
+    LoadGenConfig,
+    LoadGenReport,
+    format_report,
+    run_loadgen,
+    write_report,
+)
+from repro.explore.policies import (
+    POLICIES,
+    ExplorationPolicy,
+    Observation,
+    ObjectiveSweep,
+    RandomWalk,
+    SurpriseGreedy,
+    UnknownPolicyError,
+    make_policy,
+    policy_names,
+)
+from repro.explore.stopping import (
+    KnowledgeGainPlateau,
+    RoundBudget,
+    RunState,
+    StoppingRule,
+    WallClockBudget,
+)
+from repro.explore.trace import (
+    ReplayResult,
+    Trace,
+    in_process_driver_for,
+    load_trace,
+    remote_driver_for,
+    replay_trace,
+    save_trace,
+)
+
+__all__ = [
+    "POLICIES",
+    "ExplorationPolicy",
+    "ExplorationResult",
+    "InProcessDriver",
+    "InstrumentedClient",
+    "KnowledgeGainPlateau",
+    "LatencyRecorder",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "Observation",
+    "ObjectiveSweep",
+    "RandomWalk",
+    "RemoteDriver",
+    "ReplayResult",
+    "RoundBudget",
+    "RoundRecord",
+    "RunState",
+    "SessionDriver",
+    "StoppingRule",
+    "SurpriseGreedy",
+    "Trace",
+    "UnknownPolicyError",
+    "WallClockBudget",
+    "format_report",
+    "in_process_driver_for",
+    "load_trace",
+    "make_policy",
+    "policy_names",
+    "remote_driver_for",
+    "replay_trace",
+    "run_exploration",
+    "run_loadgen",
+    "save_trace",
+    "write_report",
+]

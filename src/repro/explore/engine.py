@@ -1,0 +1,341 @@
+"""The autonomous exploration engine: policy + session, closed loop.
+
+Drives the paper's interactive cycle without a human: each round the
+engine shows the policy an :class:`~repro.explore.policies.Observation`
+of the current belief state, applies whatever typed feedback the policy
+proposes through the single ``apply_many`` codepath, refits, and records
+what happened.  The *same* engine runs against an in-process
+:class:`~repro.core.session.ExplorationSession` or a remote ``/v1``
+service session — the :class:`SessionDriver` protocol is the seam — so a
+policy debugged locally generates service workload unchanged.
+
+Determinism contract: a run is a pure function of (policy + config,
+dataset, session seed, engine seed).  All policy randomness flows through
+one seeded generator, observations are computed from deterministic fits,
+and the wall-clock stopping rule takes an injectable clock — which is
+what lets :mod:`repro.explore.trace` replay a recorded run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.session import ExplorationSession
+from repro.explore.policies import ExplorationPolicy, Observation
+from repro.explore.stopping import (
+    RoundBudget,
+    RunState,
+    StoppingRule,
+    first_reason,
+)
+from repro.feedback import Feedback, feedback_from_dict
+
+
+class SessionDriver(Protocol):
+    """Uniform loop surface over a local or remote exploration session."""
+
+    def observe(
+        self, round_index: int, objective: str | None
+    ) -> tuple[Observation, dict]:
+        """Fit (if needed) and describe the current belief state.
+
+        Returns ``(observation, meta)`` where ``meta`` carries solver
+        diagnostics (``solver``, ``cache_hit``) when available.
+        """
+        ...
+
+    def apply(self, batch: Sequence[Feedback]) -> dict:
+        """Apply one feedback batch; returns ``{"labels", "n_constraints"}``."""
+        ...
+
+    def describe(self) -> dict:
+        """Static session facts for trace headers (dataset, seed, ...)."""
+        ...
+
+
+class InProcessDriver:
+    """Drive an :class:`ExplorationSession` directly (no sockets).
+
+    Parameters
+    ----------
+    session:
+        The session to drive.
+    info:
+        Facts the session object itself does not know — dataset name,
+        the ``standardize`` flag it was built with — recorded into trace
+        headers so a replay can reconstruct the same session.
+    """
+
+    def __init__(self, session: ExplorationSession, info: dict | None = None) -> None:
+        self.session = session
+        self.info = dict(info or {})
+
+    def observe(
+        self, round_index: int, objective: str | None
+    ) -> tuple[Observation, dict]:
+        session = self.session
+        view = session.current_view(objective)
+        model = session.model
+        observation = Observation(
+            round_index=round_index,
+            objective=view.objective,
+            axes=view.axes.copy(),
+            scores=view.scores.copy(),
+            top_score=float(np.max(np.abs(view.scores))),
+            knowledge_nats=float(model.knowledge_nats()),
+            row_surprise=model.row_surprise(),
+            projected=view.project(model.data),
+        )
+        report = model.last_report
+        meta = {
+            "cache_hit": False,
+            "solver": {
+                "converged": bool(report.converged),
+                "sweeps": int(report.sweeps),
+                "elapsed": float(report.elapsed),
+            }
+            if report is not None
+            else None,
+        }
+        return observation, meta
+
+    def apply(self, batch: Sequence[Feedback]) -> dict:
+        labels = self.session.apply_many(list(batch))
+        return {
+            "labels": labels,
+            "n_constraints": self.session.model.n_constraints,
+        }
+
+    def describe(self) -> dict:
+        info = {"mode": "in-process", "objective": self.session.objective}
+        info.update(self.info)
+        return info
+
+
+class RemoteDriver:
+    """Drive a ``/v1`` service session through a :class:`ServiceClient`.
+
+    Observations come from the detail view payload
+    (``GET /v1/sessions/{id}/view?detail=1``), which carries the per-row
+    surprise, projected coordinates and accumulated knowledge alongside
+    the axes; feedback goes through the batch endpoint.  The driver is a
+    pure client — everything it does maps 1:1 onto public API routes.
+    """
+
+    def __init__(self, client, session_id: str) -> None:
+        self.client = client
+        self.session_id = session_id
+
+    def observe(
+        self, round_index: int, objective: str | None
+    ) -> tuple[Observation, dict]:
+        payload = self.client.view(
+            self.session_id, objective=objective, detail=True
+        )
+        observation = Observation(
+            round_index=round_index,
+            objective=str(payload["objective"]),
+            axes=np.asarray(payload["axes"], dtype=np.float64),
+            scores=np.asarray(payload["scores"], dtype=np.float64),
+            top_score=float(payload["top_score"]),
+            knowledge_nats=float(payload["knowledge_nats"]),
+            row_surprise=np.asarray(payload["row_surprise"], dtype=np.float64),
+            projected=np.asarray(payload["projected"], dtype=np.float64),
+        )
+        meta = {
+            "cache_hit": bool(payload.get("cache_hit", False)),
+            "solver": payload.get("solver"),
+        }
+        return observation, meta
+
+    def apply(self, batch: Sequence[Feedback]) -> dict:
+        stats = self.client.apply_feedback(self.session_id, list(batch))
+        return {
+            "labels": list(stats.get("applied", [])),
+            "n_constraints": stats.get("n_constraints"),
+        }
+
+    def describe(self) -> dict:
+        stats = self.client.session(self.session_id)
+        return {
+            "mode": "remote",
+            "dataset": stats.get("dataset"),
+            "objective": stats.get("objective"),
+            "standardize": stats.get("standardize"),
+            "session_seed": stats.get("seed"),
+        }
+
+
+@dataclass
+class RoundRecord:
+    """One completed engine round (what traces persist).
+
+    ``knowledge_nats`` is the accumulated knowledge *after* this round's
+    feedback was applied and the background refit; ``top_score`` is the
+    view score the policy saw *before* proposing.
+    """
+
+    index: int
+    objective: str
+    feedback: list[Feedback]
+    labels: list[str]
+    knowledge_nats: float
+    top_score: float
+    n_constraints: int | None
+    solver: dict | None = None
+    cache_hit: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "round",
+            "index": self.index,
+            "objective": self.objective,
+            "feedback": [fb.to_dict() for fb in self.feedback],
+            "labels": list(self.labels),
+            "knowledge_nats": self.knowledge_nats,
+            "top_score": self.top_score,
+            "n_constraints": self.n_constraints,
+            "solver": self.solver,
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoundRecord":
+        return cls(
+            index=int(payload["index"]),
+            objective=str(payload["objective"]),
+            feedback=[feedback_from_dict(fb) for fb in payload["feedback"]],
+            labels=[str(x) for x in payload.get("labels", [])],
+            knowledge_nats=float(payload["knowledge_nats"]),
+            top_score=float(payload["top_score"]),
+            n_constraints=payload.get("n_constraints"),
+            solver=payload.get("solver"),
+            cache_hit=bool(payload.get("cache_hit", False)),
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one autonomous run produced."""
+
+    policy: str
+    policy_config: dict
+    session: dict
+    seed: int | None
+    initial_knowledge_nats: float
+    rounds: list[RoundRecord] = field(default_factory=list)
+    stopped_by: str = ""
+    elapsed: float = 0.0
+
+    def knowledge_curve(self) -> list[float]:
+        """``knowledge_nats`` per round, with the baseline at index 0."""
+        return [self.initial_knowledge_nats] + [
+            record.knowledge_nats for record in self.rounds
+        ]
+
+    def feedback_sequence(self) -> list[Feedback]:
+        """Every feedback object applied, in order."""
+        return [fb for record in self.rounds for fb in record.feedback]
+
+
+def run_exploration(
+    policy: ExplorationPolicy,
+    driver: SessionDriver,
+    rounds: int | None = None,
+    stopping: Sequence[StoppingRule] | None = None,
+    seed: int | None = 0,
+    clock: Callable[[], float] = time.monotonic,
+) -> ExplorationResult:
+    """Run one policy against one session until a stopping rule fires.
+
+    Parameters
+    ----------
+    policy:
+        The exploration policy (reset before the run starts).
+    driver:
+        In-process or remote session driver.
+    rounds:
+        Convenience round budget; folded into ``stopping``.
+    stopping:
+        Additional stopping rules (checked in order, first reason wins).
+        A policy that proposes nothing for ``policy.patience`` consecutive
+        rounds ends the run regardless ("policy-exhausted").
+    seed:
+        Seed of the generator handed to every ``policy.propose`` call.
+    clock:
+        Time source for the wall-clock budget and ``elapsed`` (injectable
+        so tests and replays stay deterministic).
+    """
+    rules: list[StoppingRule] = list(stopping or [])
+    if rounds is not None:
+        rules.append(RoundBudget(max_rounds=int(rounds)))
+    if not rules:
+        raise ValueError(
+            "run_exploration needs a round budget or at least one stopping rule"
+        )
+    policy.reset()
+    rng = np.random.default_rng(seed)
+    state = RunState(started_at=clock(), clock=clock)
+
+    observation, _ = driver.observe(0, policy.objective_for_round(0))
+    state.knowledge_curve.append(observation.knowledge_nats)
+    result = ExplorationResult(
+        policy=policy.name,
+        policy_config=policy.config(),
+        session=driver.describe(),
+        seed=seed,
+        initial_knowledge_nats=observation.knowledge_nats,
+    )
+
+    patience = max(1, int(getattr(policy, "patience", 1)))
+    empty_streak = 0
+    n_constraints: int | None = None
+    index = 0
+    while True:
+        reason = first_reason(rules, state)
+        if reason is not None:
+            result.stopped_by = reason
+            break
+        batch = policy.propose(observation, rng)
+        if batch:
+            applied = driver.apply(batch)
+            labels = applied["labels"]
+            if applied.get("n_constraints") is not None:
+                n_constraints = int(applied["n_constraints"])
+            empty_streak = 0
+        else:
+            labels = []
+            empty_streak += 1
+        next_observation, next_meta = driver.observe(
+            index + 1, policy.objective_for_round(index + 1)
+        )
+        result.rounds.append(
+            RoundRecord(
+                index=index,
+                objective=observation.objective,
+                feedback=list(batch),
+                labels=labels,
+                knowledge_nats=next_observation.knowledge_nats,
+                top_score=observation.top_score,
+                n_constraints=n_constraints,
+                solver=next_meta.get("solver"),
+                cache_hit=bool(next_meta.get("cache_hit", False)),
+            )
+        )
+        state.rounds_completed += 1
+        state.knowledge_curve.append(next_observation.knowledge_nats)
+        if not batch and empty_streak >= patience:
+            result.stopped_by = (
+                f"policy-exhausted ({empty_streak} empty round"
+                f"{'s' if empty_streak != 1 else ''})"
+            )
+            break
+        observation = next_observation
+        index += 1
+
+    result.elapsed = clock() - state.started_at
+    return result

@@ -1,0 +1,335 @@
+"""Service workload generator: concurrent policy-driven sessions.
+
+Replays N autonomous exploration sessions against a running ``/v1``
+service from a thread pool — each worker is a full policy loop
+(:mod:`repro.explore.engine` over a :class:`RemoteDriver`), not a
+synthetic request stream, so the traffic mix (session creation, detail
+views, feedback batches) is exactly what real autonomous clients
+generate.  Every request is timed per route template, and the run ends
+with a ``BENCH_loadgen.json``-shaped report: p50/p95/p99 latency per
+route, total throughput, solve-cache hit rate, and a per-session
+outcome table.
+
+Sessions default to ``seed + index`` seeds over a round-robin of
+datasets and policies, so the workload is deterministic in *content*
+(identical feedback sequences run to run) while the interleaving stays
+genuinely concurrent — which is what makes the solve-cache hit rate a
+meaningful number: concurrent twins of the same belief state should hit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.explore.engine import RemoteDriver, run_exploration
+from repro.explore.policies import make_policy
+from repro.service.client import ServiceClient, ServiceClientError
+
+#: Percentiles reported per route.
+_PERCENTILES = (50, 95, 99)
+
+_SESSION_SEGMENT = "/sessions/"
+
+
+def route_template(method: str, prefix: str, path: str) -> str:
+    """Collapse per-session paths onto one route key (``{id}`` placeholder)."""
+    if path.startswith(_SESSION_SEGMENT) and path != _SESSION_SEGMENT:
+        rest = path[len(_SESSION_SEGMENT):]
+        head, _, tail = rest.partition("/")
+        if head:
+            path = _SESSION_SEGMENT + "{id}" + (f"/{tail}" if tail else "")
+    # Query strings vary per request; the route is the path alone.
+    path = path.split("?", 1)[0]
+    return f"{method} {prefix}{path}"
+
+
+class LatencyRecorder:
+    """Thread-safe per-route latency samples (seconds) and error counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: dict[str, list[float]] = {}
+        self._errors: dict[str, int] = {}
+
+    def record(self, route: str, seconds: float, ok: bool) -> None:
+        with self._lock:
+            self._samples.setdefault(route, []).append(seconds)
+            if not ok:
+                self._errors[route] = self._errors.get(route, 0) + 1
+
+    def summary(self) -> dict:
+        """Per-route count / mean / percentiles (milliseconds) + errors."""
+        with self._lock:
+            samples = {route: list(vals) for route, vals in self._samples.items()}
+            errors = dict(self._errors)
+        routes = {}
+        for route in sorted(samples):
+            values = np.asarray(samples[route], dtype=np.float64) * 1e3
+            stats = {
+                "count": int(values.size),
+                "mean_ms": float(values.mean()),
+                "max_ms": float(values.max()),
+                "errors": int(errors.get(route, 0)),
+            }
+            for q in _PERCENTILES:
+                stats[f"p{q}_ms"] = float(np.percentile(values, q))
+            routes[route] = stats
+        return routes
+
+    def totals(self) -> tuple[int, int]:
+        """(total requests, total errors) recorded so far."""
+        with self._lock:
+            requests = sum(len(vals) for vals in self._samples.values())
+            errors = sum(self._errors.values())
+        return requests, errors
+
+
+class InstrumentedClient(ServiceClient):
+    """A :class:`ServiceClient` that times every request into a recorder.
+
+    Instrumentation wraps the single-attempt layer, so each retry of a
+    refused connection is its own sample — percentiles reflect wire
+    latency, not the client's backoff sleeps.
+    """
+
+    def __init__(self, base_url: str, recorder: LatencyRecorder, **kwargs) -> None:
+        super().__init__(base_url, **kwargs)
+        self.recorder = recorder
+
+    def _request_once(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        route = route_template(method, self.prefix, path)
+        start = time.perf_counter()
+        try:
+            payload = super()._request_once(method, path, body)
+        except ServiceClientError:
+            self.recorder.record(route, time.perf_counter() - start, ok=False)
+            raise
+        self.recorder.record(route, time.perf_counter() - start, ok=True)
+        return payload
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One workload run.
+
+    Attributes
+    ----------
+    url:
+        Base URL of the running service (e.g. ``http://127.0.0.1:8000``).
+    sessions:
+        Number of policy-driven sessions to run.
+    workers:
+        Thread-pool size (default: ``min(sessions, 8)``).
+    policies:
+        Policy names assigned round-robin over sessions.
+    datasets:
+        Dataset names assigned round-robin (default: every dataset the
+        server advertises).
+    rounds:
+        Round budget per session.
+    objective:
+        Default session objective.
+    seed:
+        Session ``i`` runs with seed ``seed + i`` (policy and session).
+    timeout:
+        Per-request client timeout, seconds.
+    cleanup:
+        Delete each session from the server after its run.
+    """
+
+    url: str
+    sessions: int = 8
+    workers: int | None = None
+    policies: tuple[str, ...] = ("objective-sweep",)
+    datasets: tuple[str, ...] | None = None
+    rounds: int = 3
+    objective: str = "pca"
+    seed: int = 0
+    timeout: float = 60.0
+    cleanup: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "url": self.url,
+            "sessions": self.sessions,
+            "workers": self.resolved_workers(),
+            "policies": list(self.policies),
+            "datasets": list(self.datasets) if self.datasets else None,
+            "rounds": self.rounds,
+            "objective": self.objective,
+            "seed": self.seed,
+            "timeout": self.timeout,
+            "cleanup": self.cleanup,
+        }
+
+    def resolved_workers(self) -> int:
+        return self.workers if self.workers else min(self.sessions, 8)
+
+
+@dataclass
+class LoadGenReport:
+    """Everything one workload run measured (JSON-ready via ``to_dict``)."""
+
+    config: dict
+    routes: dict
+    totals: dict
+    cache: dict | None
+    server: dict | None
+    sessions: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": "loadgen",
+            "config": self.config,
+            "routes": self.routes,
+            "totals": self.totals,
+            "cache": self.cache,
+            "server": self.server,
+            "sessions": self.sessions,
+        }
+
+
+def _run_one_session(
+    index: int, config: LoadGenConfig, datasets: Sequence[str],
+    recorder: LatencyRecorder,
+) -> dict:
+    dataset = datasets[index % len(datasets)]
+    policy_name = config.policies[index % len(config.policies)]
+    seed = config.seed + index
+    client = InstrumentedClient(
+        config.url, recorder, timeout=config.timeout
+    )
+    outcome = {
+        "index": index,
+        "dataset": dataset,
+        "policy": policy_name,
+        "seed": seed,
+        "session_id": None,
+        "rounds": 0,
+        "final_knowledge_nats": None,
+        "stopped_by": None,
+        "error": None,
+    }
+    try:
+        policy = make_policy(policy_name)
+        sid = client.create_session(
+            dataset,
+            objective=config.objective,
+            standardize=True,
+            seed=seed,
+        )
+        outcome["session_id"] = sid
+        driver = RemoteDriver(client, sid)
+        result = run_exploration(
+            policy, driver, rounds=config.rounds, seed=seed
+        )
+        outcome["rounds"] = len(result.rounds)
+        outcome["final_knowledge_nats"] = result.knowledge_curve()[-1]
+        outcome["stopped_by"] = result.stopped_by
+        if config.cleanup:
+            client.delete_session(sid)
+    except Exception as exc:  # noqa: BLE001 — one failed session must be
+        # reported as a failed session, not abort the whole run (and lose
+        # every other worker's measurements).
+        outcome["error"] = f"{type(exc).__name__}: {exc}"
+    return outcome
+
+
+def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
+    """Drive the configured workload; returns the measured report.
+
+    Raises :class:`ServiceClientError` when the server is unreachable at
+    startup (after the client's bounded connection retries).
+    """
+    if config.sessions <= 0:
+        raise ValueError(f"sessions must be positive, got {config.sessions}")
+    if not config.policies:
+        raise ValueError("loadgen needs at least one policy name")
+    for name in config.policies:
+        make_policy(name)  # fail fast on unknown policies
+    recorder = LatencyRecorder()
+    control = ServiceClient(config.url, timeout=config.timeout)
+    datasets = (
+        list(config.datasets) if config.datasets else control.datasets()
+    )
+    if not datasets:
+        raise ValueError("the server advertises no datasets to explore")
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(
+        max_workers=config.resolved_workers(), thread_name_prefix="loadgen"
+    ) as pool:
+        outcomes = list(
+            pool.map(
+                lambda i: _run_one_session(i, config, datasets, recorder),
+                range(config.sessions),
+            )
+        )
+    wall = time.perf_counter() - started
+
+    requests, errors = recorder.totals()
+    try:
+        server_stats = control.server_stats()
+    except ServiceClientError:
+        server_stats = None
+    cache = (server_stats or {}).get("cache")
+    return LoadGenReport(
+        config=config.to_dict(),
+        routes=recorder.summary(),
+        totals={
+            "requests": requests,
+            "errors": errors,
+            "wall_seconds": wall,
+            "throughput_rps": (requests / wall) if wall > 0 else 0.0,
+            "sessions_ok": sum(1 for o in outcomes if o["error"] is None),
+            "sessions_failed": sum(
+                1 for o in outcomes if o["error"] is not None
+            ),
+        },
+        cache=cache,
+        server=server_stats,
+        sessions=outcomes,
+    )
+
+
+def write_report(report: LoadGenReport, path: str | Path) -> Path:
+    """Write the report as a ``BENCH_loadgen.json`` artifact; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return target
+
+
+def format_report(report: LoadGenReport) -> str:
+    """Human-readable summary table (what the CLI prints)."""
+    lines = ["route                                    count    p50ms    p95ms    p99ms  err"]
+    for route, stats in report.routes.items():
+        lines.append(
+            f"{route:<40} {stats['count']:>5} "
+            f"{stats['p50_ms']:>8.2f} {stats['p95_ms']:>8.2f} "
+            f"{stats['p99_ms']:>8.2f} {stats['errors']:>4}"
+        )
+    totals = report.totals
+    lines.append(
+        f"total: {totals['requests']} requests in "
+        f"{totals['wall_seconds']:.2f}s -> "
+        f"{totals['throughput_rps']:.1f} req/s; "
+        f"{totals['sessions_ok']} session(s) ok, "
+        f"{totals['sessions_failed']} failed"
+    )
+    if report.cache:
+        lines.append(
+            f"solve cache: hit rate {report.cache.get('hit_rate', 0.0):.2%} "
+            f"({report.cache.get('hits', 0)} hits / "
+            f"{report.cache.get('misses', 0)} misses)"
+        )
+    return "\n".join(lines)

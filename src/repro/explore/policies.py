@@ -1,0 +1,394 @@
+"""Exploration policies: programmable stand-ins for the SIDER user.
+
+The paper's loop needs a human to look at the most informative view and
+say what they now know.  A policy is that human, written down: given an
+:class:`Observation` of the current belief state (the view, per-row
+surprise, projected coordinates, accumulated knowledge) it proposes a
+batch of typed :mod:`repro.feedback` objects — the *only* channel
+policies get, so everything a policy can do a real user could have done
+through the UI or the ``/v1`` API.
+
+Built-in policies (see :data:`POLICIES`):
+
+``surprise``         :class:`SurpriseGreedy` — cluster the most surprising
+                     rows in the current projected view and mark the
+                     largest unseen group as a cluster.
+``objective-sweep``  :class:`ObjectiveSweep` — rotate through registered
+                     view objectives, confirming each informative view
+                     with :class:`~repro.feedback.ViewSelectionFeedback`
+                     (or denying it by proposing nothing).
+``random-walk``      :class:`RandomWalk` — seeded random row sets and
+                     feedback kinds; the baseline other policies are
+                     measured against.
+
+Policies are deterministic given a seed: all randomness flows through the
+``numpy`` generator the engine hands to :meth:`ExplorationPolicy.propose`,
+which is what makes recorded traces replayable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.feedback import ClusterFeedback, Feedback, ViewSelectionFeedback
+from repro.projection import registry
+
+
+class UnknownPolicyError(ReproError, ValueError):
+    """The requested policy name is not in :data:`POLICIES`."""
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a policy sees before proposing feedback for one round.
+
+    Attributes
+    ----------
+    round_index:
+        Loop round, starting at 0.
+    objective:
+        Name of the objective that ranked the current view.
+    axes, scores:
+        The view's ``(2, d)`` direction vectors and their two scores.
+    top_score:
+        ``max(|scores|)`` — the "is anything left unexplained?" number.
+    knowledge_nats:
+        Accumulated knowledge KL(p || prior) of the belief state, nats.
+    row_surprise:
+        Per-row negative log density under the current background (n,).
+    projected:
+        Data projected onto the view axes, ``(n, 2)``.
+    """
+
+    round_index: int
+    objective: str
+    axes: np.ndarray
+    scores: np.ndarray
+    top_score: float
+    knowledge_nats: float
+    row_surprise: np.ndarray
+    projected: np.ndarray
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.row_surprise.shape[0])
+
+
+@runtime_checkable
+class ExplorationPolicy(Protocol):
+    """What an exploration policy must provide.
+
+    Attributes
+    ----------
+    name:
+        Registry key, recorded in trace headers.
+    patience:
+        How many *consecutive* empty proposals the engine tolerates before
+        declaring the policy exhausted (an objective sweep legitimately
+        denies several views in a row; a greedy policy is done after one).
+    """
+
+    name: str
+    patience: int
+
+    def reset(self) -> None:
+        """Forget per-run state; called by the engine before each run."""
+        ...
+
+    def objective_for_round(self, round_index: int) -> str | None:
+        """Objective to rank this round's view with (None = session default)."""
+        ...
+
+    def propose(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> list[Feedback]:
+        """Feedback for this round; an empty list means "nothing to mark"."""
+        ...
+
+    def config(self) -> dict:
+        """JSON-serialisable parameters, recorded in trace headers."""
+        ...
+
+
+def _components_within(points: np.ndarray, eps: float) -> list[np.ndarray]:
+    """Connected components of points linked when closer than ``eps``.
+
+    Single linkage on the capped candidate set: the dense pairwise
+    adjacency goes through scipy's C-speed connected-components pass.
+    Returns index arrays into ``points``, largest component first;
+    deterministic.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    diff = points[:, None, :] - points[None, :, :]
+    close = np.einsum("ijk,ijk->ij", diff, diff) <= eps * eps
+    _, labels = connected_components(csr_matrix(close), directed=False)
+    components = [np.flatnonzero(labels == r) for r in np.unique(labels)]
+    # Largest first; ties break on the smallest member index (stable).
+    components.sort(key=lambda idx: (-idx.size, int(idx[0])))
+    return components
+
+
+class SurpriseGreedy:
+    """Mark the largest unseen group of high-surprise rows as a cluster.
+
+    The principled version of what a user does with the ghost overlay:
+    find the rows the current belief state considers most unlikely, see
+    whether they group together in the view shown, and tell the system
+    "that is a cluster".  Candidate rows are the top ``fraction`` by
+    :meth:`~repro.core.background.BackgroundModel.row_surprise`, grouped by
+    single linkage in the projected 2-D view; the largest group with at
+    least ``min_rows`` members that has not been proposed before becomes a
+    :class:`~repro.feedback.ClusterFeedback`.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of rows treated as surprising (by surprise quantile).
+    min_rows:
+        Smallest group worth marking (tiny groups overfit the background).
+    max_candidates:
+        Cap on the candidate set (keeps the linkage pass O(k^2)-small on
+        big datasets).
+    link_scale:
+        Linkage distance as a multiple of the candidate cloud's RMS spread.
+    """
+
+    name = "surprise"
+    patience = 1
+
+    def __init__(
+        self,
+        fraction: float = 0.25,
+        min_rows: int = 8,
+        max_candidates: int = 512,
+        link_scale: float = 0.25,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if min_rows < 2:
+            raise ValueError(f"min_rows must be >= 2, got {min_rows}")
+        self.fraction = float(fraction)
+        self.min_rows = int(min_rows)
+        self.max_candidates = int(max_candidates)
+        self.link_scale = float(link_scale)
+        self._seen: set[frozenset[int]] = set()
+
+    def reset(self) -> None:
+        self._seen = set()
+
+    def objective_for_round(self, round_index: int) -> str | None:
+        return None  # the session's default objective
+
+    def propose(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> list[Feedback]:
+        surprise = observation.row_surprise
+        n = surprise.shape[0]
+        k = max(self.min_rows, int(round(n * self.fraction)))
+        k = min(k, n, self.max_candidates)
+        # Descending-surprise order with index tiebreak: deterministic.
+        order = np.lexsort((np.arange(n), -surprise))
+        candidates = np.sort(order[:k])
+        points = observation.projected[candidates]
+        spread = float(np.sqrt(np.mean(np.sum(
+            (points - points.mean(axis=0)) ** 2, axis=1
+        ))))
+        eps = self.link_scale * spread if spread > 0.0 else 1e-12
+        for component in _components_within(points, eps):
+            if component.size < self.min_rows:
+                break  # components are sorted largest-first
+            rows = frozenset(int(r) for r in candidates[component])
+            if rows in self._seen:
+                continue
+            self._seen.add(rows)
+            return [
+                ClusterFeedback(
+                    rows=sorted(rows),
+                    label=f"surprise[{observation.round_index}]",
+                )
+            ]
+        return []
+
+    def config(self) -> dict:
+        return {
+            "fraction": self.fraction,
+            "min_rows": self.min_rows,
+            "max_candidates": self.max_candidates,
+            "link_scale": self.link_scale,
+        }
+
+
+class ObjectiveSweep:
+    """Rotate through view objectives, confirming or denying each view.
+
+    Round ``i`` ranks the view with objective ``i mod len(objectives)``.
+    If the view still shows signal (``top_score`` at least
+    ``score_threshold``), the rows most prominent in it — the top
+    ``select_fraction`` by projected distance from the view's centre — are
+    confirmed via :class:`~repro.feedback.ViewSelectionFeedback` ("yes, I
+    see this, along exactly these axes").  A quiet view, or a selection
+    already confirmed, is denied by proposing nothing; after a full sweep
+    of denials the engine declares the policy exhausted
+    (``patience == len(objectives)``).
+
+    Parameters
+    ----------
+    objectives:
+        Names to sweep (default: every objective in the registry at
+        :meth:`reset` time, sorted — so plugins join the sweep).
+    score_threshold:
+        Minimum ``top_score`` for a view to count as informative.
+    select_fraction:
+        Fraction of rows confirmed from an informative view.
+    min_rows:
+        Floor on the confirmed selection size.
+    """
+
+    name = "objective-sweep"
+
+    def __init__(
+        self,
+        objectives: list[str] | None = None,
+        score_threshold: float = 5e-3,
+        select_fraction: float = 0.2,
+        min_rows: int = 5,
+    ) -> None:
+        self._requested = list(objectives) if objectives is not None else None
+        self.score_threshold = float(score_threshold)
+        self.select_fraction = float(select_fraction)
+        self.min_rows = int(min_rows)
+        self.objectives: list[str] = list(self._requested or [])
+        self._seen: set[frozenset[int]] = set()
+
+    @property
+    def patience(self) -> int:
+        return max(1, len(self.objectives))
+
+    def reset(self) -> None:
+        if self._requested is not None:
+            unknown = [n for n in self._requested if not registry.is_registered(n)]
+            if unknown:
+                raise UnknownPolicyError(
+                    f"objective sweep over unregistered objectives: {unknown}"
+                )
+            self.objectives = list(self._requested)
+        else:
+            self.objectives = registry.names()
+        self._seen = set()
+
+    def objective_for_round(self, round_index: int) -> str | None:
+        if not self.objectives:
+            return None
+        return self.objectives[round_index % len(self.objectives)]
+
+    def propose(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> list[Feedback]:
+        if observation.top_score < self.score_threshold:
+            return []  # deny: this view shows nothing
+        centred = observation.projected - observation.projected.mean(axis=0)
+        distance = np.einsum("ij,ij->i", centred, centred)
+        n = distance.shape[0]
+        k = min(n, max(self.min_rows, int(round(n * self.select_fraction))))
+        order = np.lexsort((np.arange(n), -distance))
+        rows = frozenset(int(r) for r in order[:k])
+        if rows in self._seen:
+            return []  # deny: already confirmed this selection
+        self._seen.add(rows)
+        return [
+            ViewSelectionFeedback(
+                rows=sorted(rows),
+                label=f"{observation.objective}[{observation.round_index}]",
+            )
+        ]
+
+    def config(self) -> dict:
+        return {
+            "objectives": self._requested,
+            "score_threshold": self.score_threshold,
+            "select_fraction": self.select_fraction,
+            "min_rows": self.min_rows,
+        }
+
+
+class RandomWalk:
+    """Seeded random feedback: the baseline autonomous explorer.
+
+    Each round marks a uniformly random row subset, alternating between
+    cluster and view-selection feedback by coin flip.  Useless as an
+    analyst, invaluable as a load profile and as the floor any smarter
+    policy must beat on knowledge gained per round.
+    """
+
+    name = "random-walk"
+    patience = 1
+
+    def __init__(
+        self, min_rows: int = 5, max_fraction: float = 0.3
+    ) -> None:
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValueError(
+                f"max_fraction must be in (0, 1], got {max_fraction}"
+            )
+        self.min_rows = int(min_rows)
+        self.max_fraction = float(max_fraction)
+
+    def reset(self) -> None:
+        pass
+
+    def objective_for_round(self, round_index: int) -> str | None:
+        return None
+
+    def propose(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> list[Feedback]:
+        n = observation.n_rows
+        upper = max(self.min_rows, int(round(n * self.max_fraction)))
+        upper = min(upper, n)
+        lower = min(self.min_rows, n)
+        k = int(rng.integers(lower, upper + 1))
+        rows = np.sort(rng.choice(n, size=k, replace=False))
+        label = f"random[{observation.round_index}]"
+        if rng.random() < 0.5:
+            return [ClusterFeedback(rows=rows, label=label)]
+        return [ViewSelectionFeedback(rows=rows, label=label)]
+
+    def config(self) -> dict:
+        return {"min_rows": self.min_rows, "max_fraction": self.max_fraction}
+
+
+#: Policy registry: name -> zero-config factory.  ``make_policy`` passes
+#: keyword overrides through to the concrete constructor.
+POLICIES: dict[str, Callable[..., ExplorationPolicy]] = {
+    SurpriseGreedy.name: SurpriseGreedy,
+    ObjectiveSweep.name: ObjectiveSweep,
+    RandomWalk.name: RandomWalk,
+}
+
+
+def policy_names() -> list[str]:
+    """Registered policy names, sorted."""
+    return sorted(POLICIES)
+
+
+def make_policy(name: str, **kwargs) -> ExplorationPolicy:
+    """Instantiate a registered policy by name.
+
+    Raises
+    ------
+    UnknownPolicyError
+        When the name is not in :data:`POLICIES` (a :class:`ValueError`,
+        matching the objective-registry convention).
+    """
+    factory = POLICIES.get(name)
+    if factory is None:
+        raise UnknownPolicyError(
+            f"unknown policy {name!r}; registered: {policy_names()}"
+        )
+    return factory(**kwargs)

@@ -1,0 +1,115 @@
+"""Stopping rules: when an autonomous exploration run should end.
+
+The paper's loop stops when the user is satisfied; an autonomous run
+needs that judgement written down.  A stopping rule inspects the engine's
+:class:`RunState` after every round and returns a reason string to stop,
+or ``None`` to keep going.  Rules compose as a plain list — the first one
+that fires wins — and every built-in is deterministic given the same
+round sequence (the wall-clock rule takes an injectable clock so tests
+and replays stay reproducible).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+
+@dataclass
+class RunState:
+    """What stopping rules get to look at after each round.
+
+    Attributes
+    ----------
+    rounds_completed:
+        Number of policy rounds finished so far.
+    knowledge_curve:
+        ``knowledge_nats`` after every round, oldest first, with the
+        pre-feedback baseline at index 0.
+    started_at:
+        Engine clock reading when the run began.
+    clock:
+        The engine's time source (monotonic by default).
+    """
+
+    rounds_completed: int = 0
+    knowledge_curve: list[float] = field(default_factory=list)
+    started_at: float = 0.0
+    clock: Callable[[], float] = time.monotonic
+
+
+@runtime_checkable
+class StoppingRule(Protocol):
+    """One run-termination criterion."""
+
+    def should_stop(self, state: RunState) -> str | None:
+        """A human-readable reason to stop now, or ``None``."""
+        ...
+
+
+@dataclass(frozen=True)
+class RoundBudget:
+    """Stop after a fixed number of rounds (the ``--rounds`` flag)."""
+
+    max_rounds: int
+
+    def should_stop(self, state: RunState) -> str | None:
+        if state.rounds_completed >= self.max_rounds:
+            return f"round-budget ({self.max_rounds})"
+        return None
+
+
+@dataclass(frozen=True)
+class KnowledgeGainPlateau:
+    """Stop when feedback has (nearly) stopped moving the belief state.
+
+    Fires when each of the last ``patience`` rounds gained less than
+    ``min_gain_nats`` of knowledge — the autonomous analogue of
+    "no projection shows anything notable any more".
+
+    Attributes
+    ----------
+    min_gain_nats:
+        Gain below this counts as a plateau round.
+    patience:
+        Consecutive plateau rounds required before stopping.
+    """
+
+    min_gain_nats: float = 1e-3
+    patience: int = 2
+
+    def should_stop(self, state: RunState) -> str | None:
+        curve = state.knowledge_curve
+        if len(curve) < self.patience + 1:
+            return None
+        recent = curve[-(self.patience + 1):]
+        gains = [after - before for before, after in zip(recent, recent[1:])]
+        if all(gain < self.min_gain_nats for gain in gains):
+            return (
+                f"knowledge-plateau (< {self.min_gain_nats:g} nats "
+                f"for {self.patience} rounds)"
+            )
+        return None
+
+
+@dataclass(frozen=True)
+class WallClockBudget:
+    """Stop once the run has used its wall-clock budget (seconds)."""
+
+    max_seconds: float
+
+    def should_stop(self, state: RunState) -> str | None:
+        elapsed = state.clock() - state.started_at
+        if elapsed >= self.max_seconds:
+            return f"wall-clock-budget ({self.max_seconds:g}s)"
+        return None
+
+
+def first_reason(rules: list[StoppingRule], state: RunState) -> str | None:
+    """The first rule that wants to stop, in list order (None = continue)."""
+    for rule in rules:
+        reason = rule.should_stop(state)
+        if reason is not None:
+            return reason
+    return None

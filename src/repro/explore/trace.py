@@ -1,0 +1,255 @@
+"""Deterministic run traces: record, persist, and replay explorations.
+
+Every engine run can be written as a JSON-lines file — one ``header``
+line (policy + config, session facts, seeds), one ``round`` line per
+engine round (the typed feedback applied, the knowledge reached, solver
+diagnostics), and one ``summary`` line.  Because the engine is
+deterministic, the trace is not a log but a *program*: replaying its
+feedback sequence against a fresh session — in-process or over a live
+``/v1`` service — must land on the identical ``knowledge_nats`` curve,
+and :func:`replay_trace` verifies exactly that.
+
+The subtle part of faithful replay is view-relative feedback:
+:class:`~repro.feedback.ViewSelectionFeedback` resolves against the view
+current at apply time, so the replay performs the same observe sequence
+(same objectives, hence the same session-RNG consumption) as the
+original run before each apply.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.session import ExplorationSession
+from repro.errors import DataShapeError
+from repro.explore.engine import (
+    ExplorationResult,
+    InProcessDriver,
+    RemoteDriver,
+    RoundRecord,
+    SessionDriver,
+)
+
+#: Trace format marker; bump on breaking changes.
+TRACE_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A parsed trace file: header facts, round records, summary."""
+
+    header: dict
+    rounds: list[RoundRecord] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    def knowledge_curve(self) -> list[float]:
+        """Recorded ``knowledge_nats`` curve (baseline at index 0)."""
+        return [float(self.header.get("initial_knowledge_nats", 0.0))] + [
+            record.knowledge_nats for record in self.rounds
+        ]
+
+    @property
+    def session_info(self) -> dict:
+        return dict(self.header.get("session", {}))
+
+
+def trace_lines(result: ExplorationResult) -> list[dict]:
+    """The JSONL payloads of one run, in file order."""
+    header = {
+        "type": "header",
+        "version": TRACE_VERSION,
+        "policy": result.policy,
+        "policy_config": result.policy_config,
+        "session": result.session,
+        "seed": result.seed,
+        "initial_knowledge_nats": result.initial_knowledge_nats,
+    }
+    summary = {
+        "type": "summary",
+        "rounds": len(result.rounds),
+        "stopped_by": result.stopped_by,
+        "final_knowledge_nats": result.knowledge_curve()[-1],
+        "elapsed": result.elapsed,
+    }
+    return [header, *[record.to_dict() for record in result.rounds], summary]
+
+
+def save_trace(result: ExplorationResult, path: str | Path) -> None:
+    """Write one run as a JSONL trace file."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for line in trace_lines(result):
+            handle.write(json.dumps(line) + "\n")
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Parse a trace file written by :func:`save_trace`.
+
+    Raises
+    ------
+    DataShapeError
+        On unreadable files, malformed lines, a missing/duplicate header,
+        or an unsupported trace version.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DataShapeError(f"cannot read trace file {path}: {exc}") from exc
+    header: dict | None = None
+    rounds: list[RoundRecord] = []
+    summary: dict = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if not raw.strip():
+            continue
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise DataShapeError(
+                f"trace line {lineno} is not JSON: {exc}"
+            ) from exc
+        kind = payload.get("type") if isinstance(payload, dict) else None
+        if kind == "header":
+            if header is not None:
+                raise DataShapeError(f"trace line {lineno}: duplicate header")
+            if payload.get("version") != TRACE_VERSION:
+                raise DataShapeError(
+                    f"unsupported trace version {payload.get('version')!r} "
+                    f"(supported: {TRACE_VERSION})"
+                )
+            header = payload
+        elif kind == "round":
+            try:
+                rounds.append(RoundRecord.from_dict(payload))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DataShapeError(
+                    f"trace line {lineno}: malformed round: {exc}"
+                ) from exc
+        elif kind == "summary":
+            summary = payload
+        else:
+            raise DataShapeError(
+                f"trace line {lineno}: unknown record type {kind!r}"
+            )
+    if header is None:
+        raise DataShapeError(f"trace file {path} has no header line")
+    rounds.sort(key=lambda record: record.index)
+    return Trace(header=header, rounds=rounds, summary=summary)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-running a trace's feedback sequence."""
+
+    expected_curve: list[float]
+    actual_curve: list[float]
+    mismatches: list[dict] = field(default_factory=list)
+
+    @property
+    def matches(self) -> bool:
+        return not self.mismatches
+
+
+def replay_trace(
+    trace: Trace,
+    driver: SessionDriver,
+    tolerance: float = 0.0,
+) -> ReplayResult:
+    """Re-apply a trace's feedback through a fresh session and verify it.
+
+    The driver must wrap a *fresh* session built with the trace's session
+    facts (same dataset, ``standardize`` flag and session seed) — use
+    :func:`in_process_driver_for` / :func:`remote_driver_for`.  Replays
+    the recorded observe/apply sequence and compares the resulting
+    ``knowledge_nats`` curve (and applied labels) against the recording;
+    ``tolerance`` is an absolute slack per point, 0.0 meaning bit-for-bit.
+    """
+    expected = trace.knowledge_curve()
+    mismatches: list[dict] = []
+    first_objective = trace.rounds[0].objective if trace.rounds else None
+    observation, _ = driver.observe(0, first_objective)
+    actual = [observation.knowledge_nats]
+    for position, record in enumerate(trace.rounds):
+        if record.feedback:
+            applied = driver.apply(record.feedback)
+            if list(applied["labels"]) != list(record.labels):
+                mismatches.append(
+                    {
+                        "round": record.index,
+                        "field": "labels",
+                        "expected": list(record.labels),
+                        "actual": list(applied["labels"]),
+                    }
+                )
+        next_objective = (
+            trace.rounds[position + 1].objective
+            if position + 1 < len(trace.rounds)
+            else None
+        )
+        observation, _ = driver.observe(position + 1, next_objective)
+        actual.append(observation.knowledge_nats)
+    for position, (want, got) in enumerate(zip(expected, actual)):
+        if abs(want - got) > tolerance:
+            mismatches.append(
+                {
+                    "round": position - 1,
+                    "field": "knowledge_nats",
+                    "expected": want,
+                    "actual": got,
+                }
+            )
+    if len(expected) != len(actual):
+        mismatches.append(
+            {
+                "field": "curve_length",
+                "expected": len(expected),
+                "actual": len(actual),
+            }
+        )
+    return ReplayResult(
+        expected_curve=expected, actual_curve=actual, mismatches=mismatches
+    )
+
+
+def in_process_driver_for(trace: Trace, data) -> InProcessDriver:
+    """Fresh in-process driver matching a trace's session facts.
+
+    The caller supplies the data matrix for the trace's dataset (traces,
+    like checkpoints, never embed the data itself).
+    """
+    info = trace.session_info
+    session = ExplorationSession(
+        data,
+        objective=info.get("objective", "pca"),
+        standardize=bool(info.get("standardize", False)),
+        seed=info.get("session_seed", 0),
+        warm_start=bool(info.get("warm_start", False)),
+    )
+    return InProcessDriver(session, info=info)
+
+
+def remote_driver_for(
+    trace: Trace, client, session_id: str | None = None
+) -> RemoteDriver:
+    """Fresh remote driver: creates a server session with the trace's facts.
+
+    The server must have the trace's dataset registered under the same
+    name.  (Server sessions have no warm-start knob; the curve comparison
+    still holds because warm and cold solves converge to the same optimum
+    only within solver tolerance — replay warm-started traces remotely
+    with a nonzero ``tolerance``.)
+    """
+    info = trace.session_info
+    dataset = info.get("dataset")
+    if not isinstance(dataset, str) or not dataset:
+        raise DataShapeError(
+            "trace header names no dataset; cannot create a remote session"
+        )
+    sid = client.create_session(
+        dataset,
+        objective=info.get("objective", "pca"),
+        standardize=bool(info.get("standardize", False)),
+        seed=info.get("session_seed", 0),
+        session_id=session_id,
+    )
+    return RemoteDriver(client, sid)

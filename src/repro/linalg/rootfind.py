@@ -84,7 +84,9 @@ def find_monotone_root(
             f_nxt = func(nxt)
             if f_nxt == 0.0:
                 return nxt
-            if f_right * f_nxt < 0.0:
+            # Compare signs directly: a product of a subnormal and a
+            # normal value can underflow to -0.0 and hide the crossing.
+            if (f_nxt > 0.0) != (f_right > 0.0):
                 return float(brentq(func, right, nxt, xtol=tolerance))
             right, f_right = nxt, f_nxt
 
@@ -96,7 +98,7 @@ def find_monotone_root(
             f_nxt = func(nxt)
             if f_nxt == 0.0:
                 return nxt
-            if f_left * f_nxt < 0.0:
+            if (f_nxt > 0.0) != (f_left > 0.0):
                 return float(brentq(func, nxt, left, xtol=tolerance))
             left, f_left = nxt, f_nxt
 

@@ -29,6 +29,11 @@ Every route is also reachable without the ``/v1`` prefix (legacy alias),
 and ``POST /sessions/{id}/constraints`` — the pre-``/v1`` feedback route —
 keeps working with its original single-item body shape.
 
+The view route accepts ``?objective=<name>`` (rank with a different
+registered objective) and ``?detail=1`` (include ``row_surprise`` and
+``projected`` alongside ``knowledge_nats`` — the observation payload
+autonomous exploration policies run on).
+
 The batch feedback body is ``{"feedback": [<feedback dict>, ...]}`` where
 each item is the ``to_dict`` form of a :mod:`repro.feedback` object, e.g.
 ``{"kind": "cluster", "rows": [0, 1, 2], "label": "blob"}``.  The whole
@@ -256,11 +261,15 @@ class ServiceAPI:
             raise SessionNotFoundError(f"no session {sid!r}")
         return 200, {"session_id": sid, "deleted": True}
 
+    #: Query values accepted as "yes" for boolean flags like ``detail``.
+    _TRUTHY = frozenset({"1", "true", "yes", "on", "full"})
+
     def _view(self, sid: str, body: dict, query: dict) -> tuple[int, dict]:
         objective = query.get("objective")
         if objective is not None:
             objective = registry.get(objective).name  # 400 when unknown
-        view, meta = self.manager.view(sid, objective=objective)
+        detail = str(query.get("detail", "")).lower() in self._TRUTHY
+        view, meta = self.manager.view(sid, objective=objective, detail=detail)
         feature_names = meta.pop("feature_names", None)
         payload = view_to_dict(view, meta, feature_names=feature_names)
         payload["session_id"] = sid

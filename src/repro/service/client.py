@@ -15,7 +15,9 @@ writing clients in other languages (every payload is plain JSON).
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Sequence
@@ -37,11 +39,17 @@ class ServiceClientError(ReproError):
         HTTP status code.
     payload:
         Decoded JSON error payload (carries an ``"error"`` message).
+    connection_refused:
+        True when the failure was a refused TCP connection (status 0) —
+        the one transport error :class:`ServiceClient` will retry.
     """
 
-    def __init__(self, status: int, payload: dict) -> None:
+    def __init__(
+        self, status: int, payload: dict, connection_refused: bool = False
+    ) -> None:
         self.status = status
         self.payload = payload
+        self.connection_refused = bool(connection_refused)
         super().__init__(
             f"HTTP {status}: {payload.get('error', 'unknown error')}"
         )
@@ -59,6 +67,15 @@ class ServiceClient:
     api_version:
         Route-prefix version; ``"v1"`` (default) talks to the versioned
         routes, ``None`` falls back to the legacy unversioned aliases.
+    connect_retries:
+        How many times a connection-refused request is retried (with
+        ``retry_delay`` seconds between attempts) before giving up.  This
+        bridges the race between launching a server and its socket
+        actually listening — load generators can start their workers
+        first.  Only connection-refused is retried; anything the server
+        *answered* is never resent.
+    retry_delay:
+        Sleep between connection retries, in seconds.
     """
 
     def __init__(
@@ -66,12 +83,32 @@ class ServiceClient:
         base_url: str,
         timeout: float = 30.0,
         api_version: str | None = "v1",
+        connect_retries: int = 3,
+        retry_delay: float = 0.1,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.prefix = f"/{api_version}" if api_version else ""
+        if connect_retries < 0:
+            raise ValueError(
+                f"connect_retries must be non-negative, got {connect_retries}"
+            )
+        self.connect_retries = int(connect_retries)
+        self.retry_delay = float(retry_delay)
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        for attempt in range(self.connect_retries + 1):
+            try:
+                return self._request_once(method, path, body)
+            except ServiceClientError as exc:
+                if not exc.connection_refused or attempt >= self.connect_retries:
+                    raise
+                time.sleep(self.retry_delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             self.base_url + self.prefix + path,
@@ -81,16 +118,46 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read() or b"{}")
+                raw = resp.read()
+                status = resp.status
         except urllib.error.HTTPError as exc:
             try:
                 payload = json.loads(exc.read() or b"{}")
-            except json.JSONDecodeError:
+            except (json.JSONDecodeError, OSError, http.client.HTTPException):
                 payload = {"error": str(exc)}
             raise ServiceClientError(exc.code, payload) from exc
         except urllib.error.URLError as exc:
+            refused = isinstance(exc.reason, ConnectionRefusedError)
             raise ServiceClientError(
-                0, {"error": f"cannot reach {self.base_url}: {exc.reason}"}
+                0,
+                {"error": f"cannot reach {self.base_url}: {exc.reason}"},
+                connection_refused=refused,
+            ) from exc
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
+            # The server died mid-response (truncated read, reset socket).
+            raise ServiceClientError(
+                0,
+                {
+                    "error": (
+                        f"connection to {self.base_url} failed mid-request: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                },
+            ) from exc
+        try:
+            return json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            # A dying or misbehaving server can emit a non-JSON (or
+            # truncated) success body; surface it as a client error rather
+            # than a raw JSONDecodeError.
+            raise ServiceClientError(
+                status,
+                {
+                    "error": (
+                        f"server returned invalid JSON "
+                        f"({len(raw)} bytes): {exc}"
+                    )
+                },
             ) from exc
 
     # ------------------------------------------------------------------
@@ -156,11 +223,26 @@ class ServiceClient:
     # The interactive loop
     # ------------------------------------------------------------------
 
-    def view(self, session_id: str, objective: str | None = None) -> dict:
-        """Current most-informative 2-D view (axes, scores, labels)."""
+    def view(
+        self,
+        session_id: str,
+        objective: str | None = None,
+        detail: bool = False,
+    ) -> dict:
+        """Current most-informative 2-D view (axes, scores, labels).
+
+        ``detail=True`` asks for the exploration-policy observation
+        payload: per-row ``row_surprise``, the data ``projected`` onto
+        the view axes, and ``knowledge_nats``.
+        """
         path = f"/sessions/{session_id}/view"
+        query = []
         if objective is not None:
-            path += f"?objective={objective}"
+            query.append(f"objective={objective}")
+        if detail:
+            query.append("detail=1")
+        if query:
+            path += "?" + "&".join(query)
         return self._request("GET", path)
 
     def apply_feedback(

@@ -457,15 +457,21 @@ class SessionManager:
         return hit
 
     def view(
-        self, session_id: str, objective: str | None = None
+        self,
+        session_id: str,
+        objective: str | None = None,
+        detail: bool = False,
     ) -> tuple[Projection2D, dict]:
         """Current most-informative view of one session.
 
         Fits route through the solve cache: if any session has already
         solved this exact belief state, the fitted parameters are installed
         instead of re-solving.  Returns ``(view, meta)`` where ``meta``
-        carries ``cache_hit``, the iteration index, and solver diagnostics.
-
+        carries ``cache_hit``, the iteration index, accumulated
+        ``knowledge_nats``, and solver diagnostics.  With ``detail=True``
+        the meta additionally carries the per-row ``row_surprise`` vector
+        and the data ``projected`` onto the view axes — the observation an
+        autonomous exploration policy needs to act like a user.
         """
         with self._checkout(session_id) as entry:
             session = entry.session
@@ -477,6 +483,7 @@ class SessionManager:
                 "cache_hit": cache_hit,
                 "iteration": len(session.history) - 1,
                 "feature_names": entry.feature_names,
+                "knowledge_nats": float(model.knowledge_nats()),
                 "solver": {
                     "converged": bool(report.converged),
                     "sweeps": int(report.sweeps),
@@ -485,6 +492,9 @@ class SessionManager:
                 if report is not None
                 else None,
             }
+            if detail:
+                meta["row_surprise"] = model.row_surprise().tolist()
+                meta["projected"] = view.project(model.data).tolist()
             return view, meta
 
     def apply_feedback(

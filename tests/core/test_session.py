@@ -102,3 +102,32 @@ class TestSessionLoop:
         np.testing.assert_array_equal(
             s1.current_view().axes, s2.current_view().axes
         )
+
+
+class TestViewRelativeFeedbackResolution:
+    def test_view_feedback_uses_the_shown_view_axes(self, two_cluster_data):
+        """A 2-D constraint binds to the view the user was looking at —
+        including an objective-override view — not a recomputed default."""
+        import numpy as np
+
+        from repro.core.session import ExplorationSession
+        from repro.feedback import ViewSelectionFeedback
+
+        data, _ = two_cluster_data
+        session = ExplorationSession(data, objective="pca", seed=0)
+        shown = session.current_view("axis")  # override, as over the API
+        session.apply(ViewSelectionFeedback(rows=range(20), label="seen"))
+        new_constraints = session.model.constraints[-4:]
+        ws = {tuple(np.round(c.w, 12)) for c in new_constraints}
+        assert ws <= {tuple(np.round(axis, 12)) for axis in shown.axes}
+
+    def test_view_feedback_without_a_view_falls_back_to_default(
+        self, two_cluster_data
+    ):
+        from repro.core.session import ExplorationSession
+        from repro.feedback import ViewSelectionFeedback
+
+        data, _ = two_cluster_data
+        session = ExplorationSession(data, objective="pca", seed=0)
+        session.apply(ViewSelectionFeedback(rows=range(20)))
+        assert session.model.n_constraints > 0

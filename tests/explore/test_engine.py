@@ -1,0 +1,219 @@
+"""Tests for the exploration engine: determinism, stopping, warm starts."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.session import ExplorationSession
+from repro.explore import (
+    InProcessDriver,
+    KnowledgeGainPlateau,
+    RoundBudget,
+    RunState,
+    WallClockBudget,
+    make_policy,
+    run_exploration,
+)
+from repro.feedback import ViewSelectionFeedback
+from repro.projection import registry
+
+
+def in_process(data, seed=0, warm_start=False, objective="pca"):
+    session = ExplorationSession(
+        data,
+        objective=objective,
+        standardize=True,
+        seed=seed,
+        warm_start=warm_start,
+    )
+    info = {
+        "dataset": "test",
+        "standardize": True,
+        "session_seed": seed,
+        "warm_start": warm_start,
+    }
+    return InProcessDriver(session, info=info)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "policy_name", ["surprise", "objective-sweep", "random-walk"]
+    )
+    def test_same_seed_same_run(self, two_cluster_data, policy_name):
+        data, _ = two_cluster_data
+        results = [
+            run_exploration(
+                make_policy(policy_name),
+                in_process(data, seed=0),
+                rounds=3,
+                seed=42,
+            )
+            for _ in range(2)
+        ]
+        a, b = results
+        assert [fb.to_dict() for fb in a.feedback_sequence()] == [
+            fb.to_dict() for fb in b.feedback_sequence()
+        ]
+        assert a.knowledge_curve() == b.knowledge_curve()
+        assert a.stopped_by == b.stopped_by
+
+    def test_knowledge_curve_non_decreasing(self, two_cluster_data):
+        data, _ = two_cluster_data
+        result = run_exploration(
+            make_policy("surprise"), in_process(data), rounds=4, seed=0
+        )
+        curve = result.knowledge_curve()
+        assert curve[0] == 0.0  # no knowledge before any feedback
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_no_deprecated_calls(self, two_cluster_data):
+        """Policies flow through apply/apply_many only (no mark_*/assume_*)."""
+        data, _ = two_cluster_data
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_exploration(
+                make_policy("objective-sweep"),
+                in_process(data),
+                rounds=2,
+                seed=0,
+            )
+
+
+class TestStopping:
+    def test_requires_some_rule(self, two_cluster_data):
+        data, _ = two_cluster_data
+        with pytest.raises(ValueError):
+            run_exploration(make_policy("surprise"), in_process(data))
+
+    def test_round_budget(self, two_cluster_data):
+        data, _ = two_cluster_data
+        result = run_exploration(
+            make_policy("random-walk"), in_process(data), rounds=2, seed=0
+        )
+        assert len(result.rounds) == 2
+        assert result.stopped_by.startswith("round-budget")
+
+    def test_policy_exhaustion(self, two_cluster_data):
+        data, _ = two_cluster_data
+        result = run_exploration(
+            make_policy("surprise"), in_process(data), rounds=50, seed=0
+        )
+        assert len(result.rounds) < 50
+        assert result.stopped_by.startswith("policy-exhausted")
+
+    def test_knowledge_plateau(self, two_cluster_data):
+        data, _ = two_cluster_data
+        # An absurdly high bar makes every round a plateau round.
+        result = run_exploration(
+            make_policy("random-walk"),
+            in_process(data),
+            rounds=50,
+            stopping=[KnowledgeGainPlateau(min_gain_nats=1e9, patience=2)],
+            seed=0,
+        )
+        assert len(result.rounds) == 2
+        assert result.stopped_by.startswith("knowledge-plateau")
+
+    def test_wall_clock_budget_with_fake_clock(self, two_cluster_data):
+        data, _ = two_cluster_data
+        ticks = iter(np.arange(0.0, 1000.0, 10.0))
+        result = run_exploration(
+            make_policy("random-walk"),
+            in_process(data),
+            rounds=50,
+            stopping=[WallClockBudget(max_seconds=25.0)],
+            seed=0,
+            clock=lambda: float(next(ticks)),
+        )
+        assert result.stopped_by.startswith("wall-clock-budget")
+        assert len(result.rounds) < 50
+
+    def test_plateau_rule_unit(self):
+        rule = KnowledgeGainPlateau(min_gain_nats=0.5, patience=2)
+        state = RunState(knowledge_curve=[0.0, 1.0, 1.1, 1.2])
+        assert rule.should_stop(state) is not None
+        state = RunState(knowledge_curve=[0.0, 1.0, 1.1, 2.2])
+        assert rule.should_stop(state) is None
+
+    def test_round_budget_unit(self):
+        rule = RoundBudget(max_rounds=3)
+        assert rule.should_stop(RunState(rounds_completed=2)) is None
+        assert rule.should_stop(RunState(rounds_completed=3)) is not None
+
+
+class TestWarmStart:
+    def test_warm_start_matches_cold_run(self, two_cluster_data):
+        """The incremental path lands on the same optimum (same feedback)."""
+        data, _ = two_cluster_data
+        cold = run_exploration(
+            make_policy("random-walk"), in_process(data), rounds=3, seed=5
+        )
+        warm = run_exploration(
+            make_policy("random-walk"),
+            in_process(data, warm_start=True),
+            rounds=3,
+            seed=5,
+        )
+        assert [fb.to_dict() for fb in cold.feedback_sequence()] == [
+            fb.to_dict() for fb in warm.feedback_sequence()
+        ]
+        # Warm and cold solves stop at the same optimum within solver
+        # tolerance; the knowledge readings must agree closely.
+        np.testing.assert_allclose(
+            cold.knowledge_curve(), warm.knowledge_curve(), rtol=0.05, atol=0.05
+        )
+
+    def test_warm_start_survives_undo(self, two_cluster_data):
+        """Undo breaks the append-only prefix; the session must cold-start."""
+        data, _ = two_cluster_data
+        session = ExplorationSession(
+            data, standardize=True, seed=0, warm_start=True
+        )
+        from repro.feedback import ClusterFeedback
+
+        session.current_view()
+        session.apply(ClusterFeedback(rows=range(10), label="a"))
+        session.current_view()
+        session.undo_last_feedback()
+        session.apply(ClusterFeedback(rows=range(20, 40), label="b"))
+        view = session.current_view()  # must not raise, must refit cleanly
+        assert view is not None
+        assert session.model.is_fitted
+
+
+class TestCustomObjective:
+    def test_sweep_over_a_test_registered_objective(self, two_cluster_data):
+        """Policies work with any registry-registered objective."""
+        data, _ = two_cluster_data
+
+        class VarianceSpread:
+            name = "variance-spread-test"
+            description = "axis directions ranked by |variance - 1|"
+
+            def find_directions(self, whitened, rng):
+                return np.eye(whitened.shape[1])
+
+            def score(self, whitened, directions):
+                proj = whitened @ np.atleast_2d(directions).T
+                return proj.var(axis=0, ddof=1) - 1.0
+
+        registry.register(VarianceSpread())
+        try:
+            policy = make_policy(
+                "objective-sweep",
+                objectives=["variance-spread-test", "pca"],
+                score_threshold=0.0,
+            )
+            result = run_exploration(
+                policy, in_process(data), rounds=2, seed=0
+            )
+            objectives_seen = [record.objective for record in result.rounds]
+            assert objectives_seen == ["variance-spread-test", "pca"]
+            applied = result.feedback_sequence()
+            assert applied, "the sweep should have confirmed something"
+            assert all(
+                isinstance(fb, ViewSelectionFeedback) for fb in applied
+            )
+        finally:
+            registry.unregister("variance-spread-test")

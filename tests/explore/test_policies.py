@@ -1,0 +1,194 @@
+"""Tests for the exploration-policy vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.explore.policies import (
+    POLICIES,
+    Observation,
+    ObjectiveSweep,
+    RandomWalk,
+    SurpriseGreedy,
+    UnknownPolicyError,
+    make_policy,
+    policy_names,
+)
+from repro.feedback import ClusterFeedback, Feedback, ViewSelectionFeedback
+
+
+def make_observation(
+    n=60,
+    round_index=0,
+    objective="pca",
+    top_score=0.5,
+    knowledge=0.0,
+    surprise=None,
+    projected=None,
+):
+    rng = np.random.default_rng(7)
+    if surprise is None:
+        surprise = rng.uniform(1.0, 2.0, n)
+    if projected is None:
+        projected = rng.standard_normal((n, 2))
+    scores = np.array([top_score, top_score / 2])
+    return Observation(
+        round_index=round_index,
+        objective=objective,
+        axes=np.eye(2, projected.shape[1] if projected.ndim == 2 else 2),
+        scores=scores,
+        top_score=float(top_score),
+        knowledge_nats=float(knowledge),
+        row_surprise=np.asarray(surprise, dtype=np.float64),
+        projected=np.asarray(projected, dtype=np.float64),
+    )
+
+
+class TestRegistry:
+    def test_names_cover_builtins(self):
+        assert policy_names() == sorted(POLICIES)
+        assert {"surprise", "objective-sweep", "random-walk"} <= set(
+            policy_names()
+        )
+
+    def test_make_policy_unknown_raises_value_error(self):
+        with pytest.raises(UnknownPolicyError):
+            make_policy("nope")
+        with pytest.raises(ValueError):  # subclass contract
+            make_policy("nope")
+
+    def test_make_policy_passes_kwargs(self):
+        policy = make_policy("surprise", min_rows=3, fraction=0.5)
+        assert policy.min_rows == 3
+        assert policy.fraction == 0.5
+
+
+class TestSurpriseGreedy:
+    def _planted_observation(self):
+        # Rows 0..14 are very surprising and sit together in the view;
+        # everything else is quiet background scattered far away.
+        n = 80
+        surprise = np.full(n, 1.0)
+        surprise[:15] = 10.0
+        rng = np.random.default_rng(0)
+        projected = rng.standard_normal((n, 2)) * 8.0
+        projected[:15] = [20.0, 20.0] + rng.standard_normal((15, 2)) * 0.1
+        return make_observation(n=n, surprise=surprise, projected=projected)
+
+    def test_marks_the_planted_cluster(self):
+        policy = SurpriseGreedy(fraction=0.2, min_rows=5)
+        policy.reset()
+        rng = np.random.default_rng(0)
+        batch = policy.propose(self._planted_observation(), rng)
+        assert len(batch) == 1
+        feedback = batch[0]
+        assert isinstance(feedback, ClusterFeedback)
+        assert set(feedback.rows) == set(range(15))
+
+    def test_never_reproposes_a_seen_cluster(self):
+        policy = SurpriseGreedy(fraction=0.2, min_rows=5)
+        policy.reset()
+        rng = np.random.default_rng(0)
+        observation = self._planted_observation()
+        assert policy.propose(observation, rng)
+        assert policy.propose(observation, rng) == []
+
+    def test_reset_forgets_seen_clusters(self):
+        policy = SurpriseGreedy(fraction=0.2, min_rows=5)
+        policy.reset()
+        rng = np.random.default_rng(0)
+        observation = self._planted_observation()
+        first = policy.propose(observation, rng)
+        policy.reset()
+        again = policy.propose(observation, rng)
+        assert [fb.to_dict() for fb in first] == [fb.to_dict() for fb in again]
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            SurpriseGreedy(fraction=0.0)
+        with pytest.raises(ValueError):
+            SurpriseGreedy(min_rows=1)
+
+
+class TestObjectiveSweep:
+    def test_rotates_through_registered_objectives(self):
+        policy = ObjectiveSweep(objectives=["pca", "ica"])
+        policy.reset()
+        assert [policy.objective_for_round(i) for i in range(4)] == [
+            "pca", "ica", "pca", "ica",
+        ]
+        assert policy.patience == 2
+
+    def test_default_sweep_is_the_whole_registry(self):
+        from repro.projection import registry
+
+        policy = ObjectiveSweep()
+        policy.reset()
+        assert policy.objectives == registry.names()
+
+    def test_denies_a_quiet_view(self):
+        policy = ObjectiveSweep(score_threshold=0.1)
+        policy.reset()
+        rng = np.random.default_rng(0)
+        assert policy.propose(make_observation(top_score=0.01), rng) == []
+
+    def test_confirms_an_informative_view(self):
+        policy = ObjectiveSweep(score_threshold=0.1, select_fraction=0.25)
+        policy.reset()
+        rng = np.random.default_rng(0)
+        batch = policy.propose(make_observation(top_score=0.5), rng)
+        assert len(batch) == 1
+        assert isinstance(batch[0], ViewSelectionFeedback)
+        assert len(batch[0].rows) >= policy.min_rows
+
+    def test_denies_an_already_confirmed_selection(self):
+        policy = ObjectiveSweep(score_threshold=0.1)
+        policy.reset()
+        rng = np.random.default_rng(0)
+        observation = make_observation(top_score=0.5)
+        assert policy.propose(observation, rng)
+        assert policy.propose(observation, rng) == []
+
+    def test_unregistered_objective_rejected_at_reset(self):
+        policy = ObjectiveSweep(objectives=["pca", "not-a-thing"])
+        with pytest.raises(UnknownPolicyError):
+            policy.reset()
+
+
+class TestRandomWalk:
+    def test_deterministic_given_seed(self):
+        policy = RandomWalk()
+        policy.reset()
+        observation = make_observation()
+        first = policy.propose(observation, np.random.default_rng(3))
+        second = policy.propose(observation, np.random.default_rng(3))
+        assert [fb.to_dict() for fb in first] == [
+            fb.to_dict() for fb in second
+        ]
+
+    def test_rows_in_range(self):
+        policy = RandomWalk(min_rows=4, max_fraction=0.2)
+        policy.reset()
+        rng = np.random.default_rng(1)
+        for i in range(10):
+            batch = policy.propose(make_observation(n=50, round_index=i), rng)
+            (feedback,) = batch
+            assert 4 <= len(feedback.rows) <= 50
+            assert all(0 <= r < 50 for r in feedback.rows)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWalk(max_fraction=1.5)
+
+
+class TestTypedFeedbackOnly:
+    """Every built-in policy speaks the typed vocabulary exclusively."""
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_policy_emits_only_feedback_objects(self, name):
+        policy = make_policy(name)
+        policy.reset()
+        rng = np.random.default_rng(0)
+        for i in range(4):
+            batch = policy.propose(make_observation(round_index=i), rng)
+            assert isinstance(batch, list)
+            assert all(isinstance(fb, Feedback) for fb in batch)

@@ -1,0 +1,150 @@
+"""Trace determinism: record, persist, replay — in-process and over HTTP."""
+
+import json
+
+import pytest
+
+from repro.core.session import ExplorationSession
+from repro.errors import DataShapeError
+from repro.explore import (
+    InProcessDriver,
+    load_trace,
+    make_policy,
+    remote_driver_for,
+    replay_trace,
+    run_exploration,
+    save_trace,
+)
+from repro.explore.trace import in_process_driver_for
+from repro.service import ServiceClient, SessionManager
+from repro.service.server import start_background
+
+
+@pytest.fixture
+def recorded(two_cluster_data, tmp_path):
+    """One recorded surprise-policy run plus its data and trace path."""
+    data, _ = two_cluster_data
+    session = ExplorationSession(data, standardize=True, seed=0)
+    driver = InProcessDriver(
+        session,
+        info={
+            "dataset": "two",
+            "standardize": True,
+            "session_seed": 0,
+            "warm_start": False,
+        },
+    )
+    result = run_exploration(
+        make_policy("surprise"), driver, rounds=3, seed=0
+    )
+    path = tmp_path / "run.jsonl"
+    save_trace(result, path)
+    return data, result, path
+
+
+class TestPersistence:
+    def test_round_trip(self, recorded):
+        _, result, path = recorded
+        trace = load_trace(path)
+        assert trace.header["policy"] == "surprise"
+        assert trace.header["seed"] == 0
+        assert trace.session_info["dataset"] == "two"
+        assert len(trace.rounds) == len(result.rounds)
+        assert trace.knowledge_curve() == result.knowledge_curve()
+        assert trace.summary["stopped_by"] == result.stopped_by
+        for recorded_round, original in zip(trace.rounds, result.rounds):
+            assert [fb.to_dict() for fb in recorded_round.feedback] == [
+                fb.to_dict() for fb in original.feedback
+            ]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(json.dumps({"type": "summary"}) + "\n")
+        with pytest.raises(DataShapeError, match="no header"):
+            load_trace(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"type": "header", "version": 99}) + "\n")
+        with pytest.raises(DataShapeError, match="version"):
+            load_trace(path)
+
+    def test_garbage_line_rejected(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(DataShapeError, match="not JSON"):
+            load_trace(path)
+
+
+class TestInProcessReplay:
+    def test_replay_is_bit_for_bit(self, recorded):
+        data, _, path = recorded
+        trace = load_trace(path)
+        outcome = replay_trace(trace, in_process_driver_for(trace, data))
+        assert outcome.matches, outcome.mismatches
+        assert outcome.actual_curve == outcome.expected_curve
+
+    def test_tampered_trace_is_detected(self, recorded):
+        data, _, path = recorded
+        trace = load_trace(path)
+        trace.rounds[0].knowledge_nats += 0.5
+        outcome = replay_trace(trace, in_process_driver_for(trace, data))
+        assert not outcome.matches
+        assert any(
+            m.get("field") == "knowledge_nats" for m in outcome.mismatches
+        )
+
+    def test_replay_respects_tolerance(self, recorded):
+        data, _, path = recorded
+        trace = load_trace(path)
+        trace.rounds[0].knowledge_nats += 1e-6
+        outcome = replay_trace(
+            trace, in_process_driver_for(trace, data), tolerance=1e-3
+        )
+        assert outcome.matches
+
+
+class TestHttpReplay:
+    def test_replay_through_a_live_server(self, recorded):
+        """Same trace, same curve — through the full service stack."""
+        data, _, path = recorded
+        trace = load_trace(path)
+        server = start_background(SessionManager({"two": data}))
+        try:
+            client = ServiceClient(server.base_url)
+            outcome = replay_trace(trace, remote_driver_for(trace, client))
+        finally:
+            server.stop()
+        assert outcome.matches, outcome.mismatches
+        assert outcome.actual_curve == outcome.expected_curve
+
+    def test_remote_replay_needs_a_dataset_name(self, recorded, two_cluster_data):
+        data, _, path = recorded
+        trace = load_trace(path)
+        trace.header["session"].pop("dataset")
+        with pytest.raises(DataShapeError, match="dataset"):
+            remote_driver_for(trace, object())
+
+
+class TestObjectiveSweepReplay:
+    def test_view_feedback_replays_exactly(self, two_cluster_data, tmp_path):
+        """View-relative feedback needs the observe sequence re-enacted."""
+        data, _ = two_cluster_data
+        session = ExplorationSession(data, standardize=True, seed=3)
+        driver = InProcessDriver(
+            session,
+            info={
+                "dataset": "two",
+                "standardize": True,
+                "session_seed": 3,
+                "warm_start": False,
+            },
+        )
+        result = run_exploration(
+            make_policy("objective-sweep"), driver, rounds=4, seed=3
+        )
+        path = tmp_path / "sweep.jsonl"
+        save_trace(result, path)
+        trace = load_trace(path)
+        outcome = replay_trace(trace, in_process_driver_for(trace, data))
+        assert outcome.matches, outcome.mismatches

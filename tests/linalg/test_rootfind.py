@@ -78,3 +78,16 @@ class TestFindMonotoneRoot:
             lambda x: x**3 - 0.2, lower=-1.0, upper=1.0, start=0.0
         )
         assert root == pytest.approx(0.2 ** (1.0 / 3.0))
+
+
+class TestSubnormalOffsets:
+    def test_subnormal_intercept_does_not_hide_the_crossing(self):
+        """The sign-change test must not rely on a product that can
+        underflow: 5e-324 * -0.5 rounds to -0.0 and previously made the
+        bracketer discard a genuine crossing (found by hypothesis)."""
+        root = find_monotone_root(lambda x: 0.5 * x + 5e-324)
+        assert abs(0.5 * root + 5e-324) < 1e-6
+
+    def test_negative_subnormal_slope_side(self):
+        root = find_monotone_root(lambda x: -0.5 * x - 5e-324)
+        assert abs(-0.5 * root - 5e-324) < 1e-6

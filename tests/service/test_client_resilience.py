@@ -1,0 +1,155 @@
+"""Client resilience: non-JSON bodies, dying servers, connection retries."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceClientError
+
+
+class _MisbehavingHandler(BaseHTTPRequestHandler):
+    """Answers per-path with the failure modes a dying server produces."""
+
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):  # noqa: N802 — http.server naming
+        if self.path.endswith("/html-error"):
+            body = b"<html>504 Gateway Timeout</html>"
+            self.send_response(504)
+            self.send_header("Content-Type", "text/html")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.endswith("/garbage"):
+            body = b"this is not json"
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.endswith("/truncated"):
+            # Promise more bytes than are sent, then drop the connection.
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", "1000")
+            self.end_headers()
+            self.wfile.write(b'{"partial":')
+            self.wfile.flush()
+            self.connection.close()
+        else:
+            body = json.dumps({"status": "ok"}).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+
+@pytest.fixture
+def misbehaving_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _MisbehavingHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+class TestNonJsonBodies:
+    def test_html_error_body_becomes_client_error(self, misbehaving_server):
+        client = ServiceClient(misbehaving_server)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request("GET", "/html-error")
+        assert excinfo.value.status == 504
+
+    def test_non_json_success_body_becomes_client_error(
+        self, misbehaving_server
+    ):
+        client = ServiceClient(misbehaving_server)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request("GET", "/garbage")
+        assert excinfo.value.status == 200
+        assert "invalid JSON" in str(excinfo.value)
+
+    def test_truncated_body_becomes_client_error(self, misbehaving_server):
+        client = ServiceClient(misbehaving_server)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request("GET", "/truncated")
+        # Either surfaced as a mid-request connection failure (status 0)
+        # or as invalid JSON, never as a raw json/http exception.
+        assert excinfo.value.status in (0, 200)
+
+    def test_ok_path_still_works(self, misbehaving_server):
+        client = ServiceClient(misbehaving_server)
+        assert client._request("GET", "/ok") == {"status": "ok"}
+
+
+class TestConnectionRetry:
+    def test_refused_connection_is_retried(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", connect_retries=3, retry_delay=0.0
+        )
+        calls = []
+
+        def flaky(method, path, body=None):
+            calls.append(1)
+            if len(calls) < 3:
+                raise ServiceClientError(
+                    0, {"error": "refused"}, connection_refused=True
+                )
+            return {"status": "ok"}
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        assert client._request("GET", "/health") == {"status": "ok"}
+        assert len(calls) == 3
+
+    def test_retries_are_bounded(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", connect_retries=2, retry_delay=0.0
+        )
+        calls = []
+
+        def always_refused(method, path, body=None):
+            calls.append(1)
+            raise ServiceClientError(
+                0, {"error": "refused"}, connection_refused=True
+            )
+
+        monkeypatch.setattr(client, "_request_once", always_refused)
+        with pytest.raises(ServiceClientError):
+            client._request("GET", "/health")
+        assert len(calls) == 3  # initial + 2 retries
+
+    def test_answered_errors_are_never_retried(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", connect_retries=5, retry_delay=0.0
+        )
+        calls = []
+
+        def not_found(method, path, body=None):
+            calls.append(1)
+            raise ServiceClientError(404, {"error": "no route"})
+
+        monkeypatch.setattr(client, "_request_once", not_found)
+        with pytest.raises(ServiceClientError):
+            client._request("GET", "/missing")
+        assert len(calls) == 1
+
+    def test_real_refused_connection_sets_flag(self):
+        # Port 1 is never listening; no retries so the test is instant.
+        client = ServiceClient("http://127.0.0.1:1", connect_retries=0)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+        assert excinfo.value.connection_refused
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://x", connect_retries=-1)

@@ -412,3 +412,57 @@ class TestCheckpointResume:
         assert stats["feedback"] == ["left", "margins"]
         status, undone = fresh.dispatch("POST", f"/v1/sessions/{sid}/undo")
         assert (status, undone["undone"]) == (200, "margins")
+
+
+class TestDetailView:
+    """The ?detail=1 observation payload exploration policies run on."""
+
+    def test_plain_view_has_knowledge_but_no_arrays(self, api):
+        sid = api.dispatch("POST", "/v1/sessions", body={"dataset": "two"})[1][
+            "session_id"
+        ]
+        status, view = api.dispatch("GET", f"/v1/sessions/{sid}/view")
+        assert status == 200
+        assert view["knowledge_nats"] == pytest.approx(0.0)
+        assert "row_surprise" not in view
+        assert "projected" not in view
+
+    def test_detail_view_carries_the_observation(self, api, two_cluster_data):
+        data, labels = two_cluster_data
+        sid = api.dispatch("POST", "/v1/sessions", body={"dataset": "two"})[1][
+            "session_id"
+        ]
+        status, view = api.dispatch(
+            "GET", f"/v1/sessions/{sid}/view", query={"detail": "1"}
+        )
+        assert status == 200
+        assert len(view["row_surprise"]) == data.shape[0]
+        assert len(view["projected"]) == data.shape[0]
+        assert len(view["projected"][0]) == 2
+        assert view["knowledge_nats"] == pytest.approx(0.0)
+
+        rows = [int(r) for r in np.flatnonzero(labels == 0)]
+        api.dispatch(
+            "POST",
+            f"/v1/sessions/{sid}/feedback",
+            body={"feedback": [{"kind": "cluster", "rows": rows}]},
+        )
+        status, after = api.dispatch(
+            "GET", f"/v1/sessions/{sid}/view", query={"detail": "true"}
+        )
+        assert status == 200
+        assert after["knowledge_nats"] > 0.0
+
+    def test_detail_over_http_client(self, two_cluster_data):
+        data, _ = two_cluster_data
+        server = start_background(SessionManager({"two": data}))
+        try:
+            client = ServiceClient(server.base_url)
+            sid = client.create_session("two")
+            payload = client.view(sid, detail=True)
+            assert len(payload["row_surprise"]) == data.shape[0]
+            assert payload["knowledge_nats"] == pytest.approx(0.0)
+            plain = client.view(sid)
+            assert "row_surprise" not in plain
+        finally:
+            server.stop()

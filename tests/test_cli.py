@@ -74,3 +74,70 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "round 0" in out
         assert "final top |score|" in out
+
+
+class TestAutonomousExploreCLI:
+    def test_parser_policy_flags(self):
+        args = build_parser().parse_args(
+            [
+                "explore", "--policy", "surprise", "--dataset", "three-d",
+                "--rounds", "3", "--seed", "1", "--trace", "t.jsonl",
+                "--warm-start",
+            ]
+        )
+        assert args.policy == "surprise"
+        assert args.dataset == "three-d"
+        assert args.trace == "t.jsonl"
+        assert args.warm_start is True
+        assert args.replay is None
+
+    def test_parser_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--policy", "nope", "x5"])
+
+    def test_parser_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.sessions == 8
+        assert args.rounds == 3
+        assert args.url is None
+        assert args.output == "BENCH_loadgen.json"
+
+    def test_explore_without_dataset_errors(self, capsys):
+        assert main(["explore", "--policy", "surprise"]) == 2
+        assert "dataset" in capsys.readouterr().err
+
+    def test_policy_run_trace_and_replay(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "explore", "--policy", "surprise", "--dataset",
+                    "three-d", "--rounds", "2", "--seed", "0",
+                    "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "knowledge curve" in out
+        assert trace.exists()
+
+        assert main(["explore", "--replay", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "replay matches" in out
+
+    def test_loadgen_smoke_against_temp_server(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_loadgen.json"
+        assert (
+            main(
+                [
+                    "loadgen", "--sessions", "2", "--workers", "2",
+                    "--rounds", "1", "--dataset", "three-d",
+                    "--policy", "random-walk", "--output", str(output),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert output.exists()
