@@ -45,6 +45,9 @@ Package map
                       user, deterministic trace record/replay, and the
                       concurrent service load generator
                       (``repro explore --policy ...``, ``repro loadgen``)
+``repro.perf``        nested timers + counters wired through solver and
+                      service; zero overhead unless enabled
+``repro.bench``       vectorized-core benchmark suites (``repro bench``)
 """
 
 from repro.core import (
@@ -85,7 +88,7 @@ from repro.service import (
     SolveCache,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BackgroundModel",

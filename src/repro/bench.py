@@ -1,0 +1,309 @@
+"""`repro bench`: measured proof of the vectorized solver core.
+
+Runs the core kernel suites — OPTIM sweep, whitening, sampling, one-shot
+INIT, equivalence building — with the batched implementations against the
+preserved pre-vectorization loops in :mod:`repro.core.reference`, on a
+many-class workload (margin-style constraints across every class plus one
+block constraint pair per class, the paper's interactive shape).  Writes
+``BENCH_core_solver.json`` with wall-clock timings and speedups; with
+``--check`` the vectorized timings are compared against the committed
+``benchmarks/baselines.json`` and the run fails on a >tolerance
+regression (CI's ``bench-smoke`` job).
+
+All timings are best-of-``repeats`` to damp scheduler jitter; speedups
+are reference/vectorized on the same workload and sweep count.  The
+whitening/sampling numbers are steady-state: repeated calls between fits
+(the view-request pattern) hit the version-keyed decomposition cache,
+while the reference loops re-eigendecompose every class every call.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.constraint import Constraint, ConstraintKind
+from repro.core.equivalence import build_equivalence_classes
+from repro.core.parameters import ClassParameters
+from repro.core.reference import (
+    reference_build_equivalence_classes,
+    reference_init_targets,
+    reference_optim_sweeps,
+    reference_sample_background,
+    reference_whiten,
+)
+from repro.core.sampling import sample_background
+from repro.core.solver import SolverOptions, init_targets, solve_maxent
+from repro.core.whitening import whiten
+
+#: Workload sizes.  ``quick`` keeps CI smoke runs in single-digit seconds;
+#: ``full`` doubles the class count and data size.
+SIZES = {
+    "quick": {"structural": 7, "d": 12, "n": 2048, "sweeps": 4, "repeats": 3},
+    "full": {"structural": 8, "d": 12, "n": 4096, "sweeps": 6, "repeats": 5},
+}
+
+
+def many_class_workload(
+    structural: int, d: int, n: int, seed: int = 0
+) -> tuple[np.ndarray, list[Constraint]]:
+    """A workload whose constraints each span many equivalence classes.
+
+    ``2d`` margin-style constraints (linear + quadratic along random unit
+    vectors) touch every row, and ``structural`` quadratic constraints
+    each cover a random half of the rows.  The structural overlaps
+    shatter the rows into up to ``2^structural`` equivalence classes, so
+    *every* constraint step spans hundreds of classes — the regime where
+    the batched Woodbury kernel replaces a per-class Python loop (and the
+    regime Fig. 5's adversarial overlapping clusters live in).
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, d))
+    all_rows = np.arange(n)
+
+    def unit(v: np.ndarray) -> np.ndarray:
+        return v / np.linalg.norm(v)
+
+    constraints: list[Constraint] = []
+    for axis in range(d):
+        constraints.append(
+            Constraint(
+                ConstraintKind.LINEAR,
+                all_rows,
+                unit(rng.standard_normal(d)),
+                label=f"margin-lin[{axis}]",
+            )
+        )
+        constraints.append(
+            Constraint(
+                ConstraintKind.QUADRATIC,
+                all_rows,
+                unit(rng.standard_normal(d)),
+                label=f"margin-quad[{axis}]",
+            )
+        )
+    for s in range(structural):
+        rows = np.sort(rng.choice(n, n // 2, replace=False))
+        constraints.append(
+            Constraint(
+                ConstraintKind.QUADRATIC,
+                rows,
+                unit(rng.standard_normal(d)),
+                label=f"half[{s}]",
+            )
+        )
+    return data, constraints
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock over ``repeats`` calls of ``fn``."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def run_core_solver_suite(quick: bool = True, seed: int = 0) -> dict:
+    """Time every vectorized kernel against its reference loop.
+
+    Returns the ``BENCH_core_solver.json`` payload (see module docstring).
+    """
+    size = SIZES["quick" if quick else "full"]
+    d = size["d"]
+    sweeps, repeats = size["sweeps"], size["repeats"]
+    data, constraints = many_class_workload(
+        size["structural"], d, size["n"], seed=seed
+    )
+    classes = build_equivalence_classes(data.shape[0], constraints)
+
+    # Sentinel negative tolerances force solve_maxent to run exactly
+    # `sweeps` sweeps, matching the fixed work of the reference loop.
+    forced = SolverOptions(
+        lambda_tolerance=-1.0,
+        drift_tolerance_factor=-1.0,
+        time_cutoff=None,
+        max_sweeps=sweeps,
+    )
+
+    def optim_vectorized() -> float:
+        # Pure OPTIM: the report's sweep-loop time, classes prebuilt.
+        fresh = ClassParameters.prior(classes.n_classes, d)
+        _, _, report = solve_maxent(
+            data, constraints, options=forced, params=fresh, classes=classes
+        )
+        return report.optim_seconds
+
+    ref_targets, ref_anchors = reference_init_targets(data, constraints)
+
+    def optim_reference() -> None:
+        # Same fixed sweep count, targets precomputed outside the clock.
+        reference_optim_sweeps(
+            data, constraints, classes, sweeps, ref_targets, ref_anchors
+        )
+
+    params, _, _ = solve_maxent(data, constraints, options=forced)
+    rng_seed = seed + 1
+
+    timings = {
+        "optim_sweep_vectorized_s": min(
+            optim_vectorized() for _ in range(repeats)
+        ),
+        "optim_sweep_reference_s": _best_of(repeats, optim_reference),
+        "whiten_vectorized_s": _best_of(
+            repeats, lambda: whiten(data, params, classes)
+        ),
+        "whiten_reference_s": _best_of(
+            repeats, lambda: reference_whiten(data, params, classes)
+        ),
+        "sample_vectorized_s": _best_of(
+            repeats,
+            lambda: sample_background(
+                params, classes, rng=np.random.default_rng(rng_seed)
+            ),
+        ),
+        "sample_reference_s": _best_of(
+            repeats,
+            lambda: reference_sample_background(
+                params, classes, rng=np.random.default_rng(rng_seed)
+            ),
+        ),
+        "init_vectorized_s": _best_of(
+            repeats, lambda: init_targets(data, constraints)
+        ),
+        "init_reference_s": _best_of(
+            repeats, lambda: reference_init_targets(data, constraints)
+        ),
+        "equivalence_vectorized_s": _best_of(
+            repeats,
+            lambda: build_equivalence_classes(data.shape[0], constraints),
+        ),
+        "equivalence_reference_s": _best_of(
+            repeats,
+            lambda: reference_build_equivalence_classes(
+                data.shape[0], constraints
+            ),
+        ),
+    }
+    timings = {k: round(v, 6) for k, v in timings.items()}
+
+    def speedup(name: str) -> float:
+        vec = max(timings[f"{name}_vectorized_s"], 1e-9)
+        return round(timings[f"{name}_reference_s"] / vec, 2)
+
+    return {
+        "suite": "core_solver",
+        "mode": "quick" if quick else "full",
+        "workload": {
+            "n": int(data.shape[0]),
+            "d": d,
+            "classes": int(classes.n_classes),
+            "constraints": len(constraints),
+            "sweeps": sweeps,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "timings": timings,
+        "speedups": {
+            "optim_sweep": speedup("optim_sweep"),
+            "whiten": speedup("whiten"),
+            "sample": speedup("sample"),
+            "init": speedup("init"),
+            "equivalence": speedup("equivalence"),
+        },
+    }
+
+
+def write_payload(payload: dict, output_dir: str | Path = ".") -> Path:
+    """Write the suite payload to ``BENCH_<suite>.json`` in ``output_dir``."""
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{payload['suite']}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def check_baselines(payload: dict, baselines_path: str | Path) -> list[str]:
+    """Compare vectorized timings against committed baselines.
+
+    The baselines file maps mode -> {timing key -> baseline seconds} plus
+    a top-level ``tolerance`` factor.  Returns a list of human-readable
+    failures (empty = within budget).  Only ``*_vectorized_s`` keys are
+    gated — the reference loops exist to be slow.
+    """
+    spec = json.loads(Path(baselines_path).read_text())
+    tolerance = float(spec.get("tolerance", 2.0))
+    budgets = spec.get(payload["mode"])
+    if budgets is None:
+        # A gate that checks nothing must not report success.
+        return [
+            f"baselines file has no {payload['mode']!r} section; "
+            "the regression gate would check nothing"
+        ]
+    failures = []
+    for key, baseline in budgets.items():
+        measured = payload["timings"].get(key)
+        if measured is None:
+            failures.append(f"{key}: baseline present but metric missing")
+            continue
+        limit = float(baseline) * tolerance
+        if measured > limit:
+            failures.append(
+                f"{key}: {measured:.4f}s exceeds {limit:.4f}s "
+                f"(baseline {float(baseline):.4f}s x{tolerance:g})"
+            )
+    return failures
+
+
+def format_payload(payload: dict) -> str:
+    """Terminal rendering of the suite result."""
+    lines = [
+        f"suite {payload['suite']} ({payload['mode']}): "
+        f"n={payload['workload']['n']}, d={payload['workload']['d']}, "
+        f"C={payload['workload']['classes']}, "
+        f"T={payload['workload']['constraints']}",
+    ]
+    for name, factor in payload["speedups"].items():
+        ref = payload["timings"][f"{name}_reference_s"]
+        vec = payload["timings"][f"{name}_vectorized_s"]
+        lines.append(
+            f"  {name:<12} {ref:>9.4f}s -> {vec:>9.4f}s  ({factor:g}x)"
+        )
+    return "\n".join(lines)
+
+
+def refresh_existing(output_dir: str | Path = ".") -> int:
+    """Re-run the pytest benchmark smoke suites to refresh BENCH_*.json.
+
+    Uses the service/loadgen modules CI already exercises.  The suite
+    paths are resolved relative to the repository this package was
+    imported from, so the command works from any working directory;
+    returns the pytest exit code (or 2 when the benchmarks directory is
+    not present, e.g. for a wheel install without the repo checkout).
+    """
+    import os
+    import subprocess
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    suites = [
+        bench_dir / "bench_service_throughput.py",
+        bench_dir / "bench_explore_loadgen.py",
+    ]
+    missing = [str(p) for p in suites if not p.exists()]
+    if missing:
+        print(
+            "cannot refresh pytest benchmarks; suite files not found: "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+    env = dict(os.environ)
+    env["BENCH_OUTPUT_DIR"] = str(Path(output_dir).resolve())
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", *map(str, suites), "-q"], env=env
+    )

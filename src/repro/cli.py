@@ -13,6 +13,7 @@ Usage (after install)::
     python -m repro explore --replay t.jsonl   # verify a recorded trace
     python -m repro serve --port 8000          # multi-tenant session service
     python -m repro loadgen --sessions 8       # policy-driven load generator
+    python -m repro bench --quick              # vectorized-core benchmarks
 
 The CLI is a thin veneer over :mod:`repro.experiments` and
 :mod:`repro.datasets`; everything it prints is available programmatically.
@@ -204,6 +205,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="where to write the JSON report",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the core benchmark suites, write BENCH_*.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--output-dir",
+        default=".",
+        metavar="DIR",
+        help="where to write BENCH_core_solver.json",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help="fail if vectorized timings regress past the baselines file "
+        "(e.g. benchmarks/baselines.json)",
+    )
+    bench.add_argument(
+        "--refresh-existing",
+        action="store_true",
+        help="also re-run the pytest benchmark smoke suites to refresh "
+        "their BENCH_*.json artifacts",
+    )
+    bench.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser("serve", help="run the HTTP session service")
     serve.add_argument("--host", default="127.0.0.1")
@@ -466,6 +497,41 @@ def cmd_loadgen(
     return 0 if report.totals["sessions_failed"] == 0 else 1
 
 
+def cmd_bench(
+    quick: bool,
+    output_dir: str,
+    check: str | None,
+    refresh: bool,
+    seed: int,
+) -> int:
+    """Run the vectorized-core benchmark suites; optionally gate on baselines."""
+    from repro.bench import (
+        check_baselines,
+        format_payload,
+        refresh_existing,
+        run_core_solver_suite,
+        write_payload,
+    )
+
+    payload = run_core_solver_suite(quick=quick, seed=seed)
+    print(format_payload(payload))
+    path = write_payload(payload, output_dir)
+    print(f"bench artifact: {path}")
+
+    status = 0
+    if refresh:
+        print("refreshing pytest benchmark artifacts ...")
+        status = refresh_existing(output_dir)
+    if check is not None:
+        failures = check_baselines(payload, check)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"baselines ok ({check})")
+    return status
+
+
 def cmd_serve(
     host: str,
     port: int,
@@ -552,6 +618,14 @@ def main(argv: list[str] | None = None) -> int:
             args.objective,
             args.seed,
             args.output,
+        )
+    if args.command == "bench":
+        return cmd_bench(
+            args.quick,
+            args.output_dir,
+            args.check,
+            args.refresh_existing,
+            args.seed,
         )
     if args.command == "serve":
         return cmd_serve(

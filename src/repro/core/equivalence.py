@@ -10,6 +10,7 @@ OPTIM phase of Table II is independent of the number of data points.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -52,6 +53,20 @@ class EquivalenceClasses:
         """Number of rows involved in constraint ``t`` (i.e. ``|I_t|``)."""
         return int(np.sum(self.class_counts[self.members[t]]))
 
+    @cached_property
+    def scatter_plan(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(order, offsets)`` grouping rows into contiguous class blocks.
+
+        ``order`` sorts rows by class (stably); rows of class c occupy
+        ``order[offsets[c]:offsets[c + 1]]``.  Computed once per partition
+        (the partition is immutable) and reused by every grouped per-class
+        kernel application — whitening and sampling call these on every
+        view request.
+        """
+        order = np.argsort(self.class_of_row, kind="stable")
+        offsets = np.concatenate(([0], np.cumsum(self.class_counts)))
+        return order, offsets
+
 
 def build_equivalence_classes(
     n_rows: int, constraints: list[Constraint]
@@ -63,39 +78,60 @@ def build_equivalence_classes(
     unconstrained rows (empty pattern) form a class of their own, which
     keeps the prior parameters ``(0, I)`` for the whole run.
 
-    Complexity: O(k·|I_t| + n) time, O(n) memory — the membership signature
-    is built incrementally as a hash over constraint indices.
+    Fully vectorized: rows become columns of a ``(T, n)`` boolean
+    membership mask, identical columns are collapsed with one
+    ``np.unique`` call, and classes are renumbered by first row of
+    occurrence — the exact numbering the original per-row Python loop
+    produced, so fitted parameters and checkpoints stay index-compatible.
     """
-    # Incremental signature: for each row keep a tuple key built from the
-    # constraints that touch it.  Using a per-row list of constraint ids and
-    # converting to tuple keys is O(total membership size).
-    touching: list[list[int]] = [[] for _ in range(n_rows)]
+    t_count = len(constraints)
+    if t_count == 0 or n_rows == 0:
+        # No constraints: every row shares the prior class (no rows at all
+        # degenerates to zero classes, as the scan version produced).
+        n_classes = 1 if n_rows > 0 else 0
+        return EquivalenceClasses(
+            n_rows=n_rows,
+            class_of_row=np.zeros(n_rows, dtype=np.intp),
+            class_counts=np.full(n_classes, n_rows, dtype=np.intp),
+            members=tuple(
+                np.arange(n_classes, dtype=np.intp) for _ in constraints
+            ),
+            representative_rows=np.zeros(n_classes, dtype=np.intp),
+        )
+
+    mask = np.zeros((t_count, n_rows), dtype=bool)
     for t, constraint in enumerate(constraints):
-        for row in constraint.rows:
-            touching[int(row)].append(t)
+        mask[t, constraint.rows] = True
 
-    class_index_by_key: dict[tuple[int, ...], int] = {}
-    class_of_row = np.empty(n_rows, dtype=np.intp)
-    representatives: list[int] = []
-    for row in range(n_rows):
-        key = tuple(touching[row])
-        idx = class_index_by_key.get(key)
-        if idx is None:
-            idx = len(class_index_by_key)
-            class_index_by_key[key] = idx
-            representatives.append(row)
-        class_of_row[row] = idx
+    # One signature per row: its mask column, bit-packed so each row
+    # compares as a short byte string.  A 1-D void-dtype unique is an
+    # order of magnitude faster than np.unique(..., axis=0) on the raw
+    # boolean matrix (memcmp keys instead of the structured-sort path).
+    packed = np.ascontiguousarray(np.packbits(mask, axis=0).T)
+    signatures = packed.view(
+        np.dtype((np.void, packed.shape[1]))
+    ).ravel()
+    _, first_row, inverse = np.unique(
+        signatures, return_index=True, return_inverse=True
+    )
+    # np.unique numbers the distinct signatures in sort order; remap to
+    # first-occurrence order to reproduce the scan-order numbering of the
+    # per-row loop this replaced (checkpoint/warm-start compatibility).
+    order = np.argsort(first_row, kind="stable")
+    rank = np.empty(order.size, dtype=np.intp)
+    rank[order] = np.arange(order.size, dtype=np.intp)
 
-    n_classes = len(class_index_by_key)
+    class_of_row = rank[inverse.reshape(-1)]
+    n_classes = order.size
     class_counts = np.bincount(class_of_row, minlength=n_classes).astype(np.intp)
+    representatives = first_row[order].astype(np.intp)
 
-    # For each constraint, the classes fully contained in its row set.
-    members_sets: list[set[int]] = [set() for _ in constraints]
-    for key, idx in class_index_by_key.items():
-        for t in key:
-            members_sets[t].add(idx)
+    # For each constraint, the classes fully contained in its row set
+    # (ascending, as before): read each class's membership off its
+    # representative row.
+    rep_mask = mask[:, representatives]  # (T, C)
     members = tuple(
-        np.array(sorted(s), dtype=np.intp) for s in members_sets
+        np.flatnonzero(rep_mask[t]).astype(np.intp) for t in range(t_count)
     )
 
     return EquivalenceClasses(
@@ -103,5 +139,5 @@ def build_equivalence_classes(
         class_of_row=class_of_row,
         class_counts=class_counts,
         members=members,
-        representative_rows=np.array(representatives, dtype=np.intp),
+        representative_rows=representatives,
     )

@@ -1,0 +1,55 @@
+"""Grouped application of per-class matrices to row blocks.
+
+Whitening and sampling both need ``out[i] = values[i] @ M_{class(i)}^T``
+for an ``(n, d)`` value matrix and a ``(C, d, d)`` stack of per-class
+matrices.  The historical implementation scanned ``class_of_row == c``
+once per class — O(n·C) index work before any arithmetic.  Here the rows
+are grouped into contiguous class blocks using the partition's cached
+``scatter_plan`` (one argsort per :class:`EquivalenceClasses` lifetime,
+not per call), each class is one contiguous BLAS matmul, and the results
+are scattered back with a single fancy-index assignment.
+
+Materialising a gathered ``(n, d, d)`` stack would avoid the class loop
+entirely but costs O(n·d²) memory (a gigabyte at n=8192, d=128), so the
+contiguous-block form is the right trade: the remaining Python loop runs
+C times and does nothing but dispatch matmuls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.equivalence import EquivalenceClasses
+
+
+def apply_by_class(
+    values: np.ndarray,
+    classes: EquivalenceClasses,
+    matrices: np.ndarray,
+) -> np.ndarray:
+    """Per-row matrix application ``out[i] = values[i] @ M_{class(i)}^T``.
+
+    Parameters
+    ----------
+    values:
+        (n, d) input rows, ordered like the partition's rows.
+    classes:
+        The row partition; supplies the cached (order, offsets) plan.
+    matrices:
+        (C, d, d) stack of per-class matrices, ``C == classes.n_classes``.
+
+    Returns
+    -------
+    numpy.ndarray
+        (n, d) output in original row order.
+    """
+    order, offsets = classes.scatter_plan
+    blocks = values[order]
+    for c in range(classes.n_classes):
+        lo, hi = offsets[c], offsets[c + 1]
+        if lo == hi:
+            continue
+        blocks[lo:hi] = blocks[lo:hi] @ matrices[c].T
+    out = np.empty_like(values)
+    out[order] = blocks
+    return out

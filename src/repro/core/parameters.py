@@ -17,12 +17,13 @@ rank-1 identity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.errors import DataShapeError
-from repro.linalg import woodbury_rank1_inverse
+from repro.linalg import woodbury_rank1_inverse_batched
 
 
 @dataclass
@@ -37,6 +38,11 @@ class ClassParameters:
         (C, d, d) array — dual covariance matrices per class.
     mean:
         (C, d) array — dual means per class (always ``sigma @ theta1``).
+    versions:
+        (C,) int64 array — per-class update counter, bumped whenever a
+        constraint step touches a class.  Lets the solver cache projected
+        stats per constraint and recompute them only for classes modified
+        since the constraint's last visit.
 
     Notes
     -----
@@ -48,6 +54,12 @@ class ClassParameters:
     theta1: np.ndarray
     sigma: np.ndarray
     mean: np.ndarray
+    versions: np.ndarray | None = None
+    _kernel_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.versions is None:
+            self.versions = np.zeros(self.theta1.shape[0], dtype=np.int64)
 
     @classmethod
     def prior(cls, n_classes: int, dim: int) -> "ClassParameters":
@@ -84,6 +96,7 @@ class ClassParameters:
         self.mean[classes] = np.einsum(
             "cij,cj->ci", self.sigma[classes], self.theta1[classes]
         )
+        self.versions[classes] += 1
 
     def apply_quadratic_update(
         self, classes: np.ndarray, w: np.ndarray, lam: float, delta: float
@@ -92,15 +105,18 @@ class ClassParameters:
 
         Natural side:  ``Sigma^-1 += lam w w^T`` and ``theta1 += lam*delta*w``
         where ``delta = w^T m̂_I`` (the observed anchor mean projection).
-        Dual side: covariance via Woodbury rank-1 (O(d^2)), then
+        Dual side: one batched Woodbury rank-1 over the whole selected class
+        stack (O(C d^2), no Python-level per-class loop), then
         ``m = Sigma theta1``.
         """
         self.theta1[classes] += (lam * delta) * w
-        for c in classes:
-            self.sigma[c] = woodbury_rank1_inverse(self.sigma[c], w, lam)
+        self.sigma[classes] = woodbury_rank1_inverse_batched(
+            self.sigma[classes], w, lam
+        )
         self.mean[classes] = np.einsum(
             "cij,cj->ci", self.sigma[classes], self.theta1[classes]
         )
+        self.versions[classes] += 1
 
     def projected_stats(
         self, classes: np.ndarray, w: np.ndarray
@@ -108,22 +124,52 @@ class ClassParameters:
         """Per-class ``(w^T m, w^T Sigma w)`` for the given classes.
 
         These scalars fully determine the expectation of any linear or
-        quadratic constraint function along ``w``.
+        quadratic constraint function along ``w``.  The quadratic form is
+        evaluated as ``(Sigma w) · w`` — two BLAS products instead of a
+        three-operand einsum contraction.
         """
         means = self.mean[classes] @ w
-        variances = np.einsum(
-            "ci,cij,cj->c", np.broadcast_to(w, (classes.size, w.size)),
-            self.sigma[classes],
-            np.broadcast_to(w, (classes.size, w.size)),
-        )
+        variances = (self.sigma[classes] @ w) @ w
         # Numerical floors: variance can dip epsilon-negative after many
         # rank-1 updates.
         return means, np.maximum(variances, 0.0)
 
+    def bump_versions(self, classes: np.ndarray) -> None:
+        """Mark the given classes as modified (invalidates cached stats).
+
+        Call this after writing to ``sigma``/``mean``/``theta1`` directly
+        (outside the ``apply_*`` methods) so version-keyed caches — the
+        solver's projected-stats cache and :meth:`cached_kernel` — see the
+        change.
+        """
+        self.versions[classes] += 1
+
+    def cached_kernel(self, name: str, compute: Callable[[], np.ndarray]):
+        """Per-parameter-state memo for derived kernels (whitening roots).
+
+        Whitening transforms and sampling roots are pure functions of the
+        sigma stack; views and ghost-point requests recompute them many
+        times between fits.  The result of ``compute()`` is cached under
+        ``name`` together with a snapshot of :attr:`versions` and reused
+        until any class's counter moves (i.e. until the next constraint
+        update).  Mutating the arrays directly without
+        :meth:`bump_versions` bypasses the invalidation — the documented
+        contract of all version-keyed caching here.
+        """
+        entry = self._kernel_cache.get(name)
+        if entry is not None and np.array_equal(entry[0], self.versions):
+            return entry[1]
+        value = compute()
+        self._kernel_cache[name] = (self.versions.copy(), value)
+        return value
+
     def copy(self) -> "ClassParameters":
         """Deep copy (used by tests and by solver snapshots)."""
         return ClassParameters(
-            theta1=self.theta1.copy(), sigma=self.sigma.copy(), mean=self.mean.copy()
+            theta1=self.theta1.copy(),
+            sigma=self.sigma.copy(),
+            mean=self.mean.copy(),
+            versions=self.versions.copy(),
         )
 
     def is_finite(self) -> bool:

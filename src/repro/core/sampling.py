@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.core.equivalence import EquivalenceClasses
+from repro.core.grouping import apply_by_class
 from repro.core.parameters import ClassParameters
-from repro.linalg import sqrt_psd
+from repro.linalg import sqrt_psd_batched, symmetric_eig_batched
 
 
 def sample_background(
@@ -45,13 +47,17 @@ def sample_background(
     supported subspace.
     """
     rng = rng or np.random.default_rng()
-    n, d = classes.n_rows, params.dim
-    out = np.empty((n, d))
-    noise = rng.standard_normal((n, d))
-    for c in range(params.n_classes):
-        rows = np.flatnonzero(classes.class_of_row == c)
-        if rows.size == 0:
-            continue
-        root = sqrt_psd(params.sigma[c])
-        out[rows] = params.mean[c] + noise[rows] @ root.T
-    return out
+    with perf.timer("sample_background"):
+        n, d = classes.n_rows, params.dim
+        noise = rng.standard_normal((n, d))
+        # Version-keyed memo: repeated ghost-point draws between fits pay
+        # for the per-class PSD roots once, and the eigendecomposition is
+        # shared with the whitening transforms of the same state.
+        eig = params.cached_kernel(
+            "symmetric_eig", lambda: symmetric_eig_batched(params.sigma)
+        )
+        roots = params.cached_kernel(
+            "sqrt_psd", lambda: sqrt_psd_batched(params.sigma, eig=eig)
+        )
+        scaled = apply_by_class(noise, classes, roots)
+        return params.mean[classes.class_of_row] + scaled

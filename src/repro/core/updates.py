@@ -60,10 +60,18 @@ def linear_step(
     params: ClassParameters,
     classes: EquivalenceClasses,
     t: int,
+    stats: tuple | None = None,
 ) -> float:
     """Solve and apply the exact multiplier change for a linear constraint.
 
     Closed form (Eq. 9): ``lam = (v̂ - v) / sum_{i in I} w^T Sigma_i w``.
+
+    Parameters
+    ----------
+    stats:
+        Optional precomputed ``(means, variances)`` pair for the affected
+        classes (the solver's per-constraint stats cache); computed here
+        when absent.
 
     Returns
     -------
@@ -74,7 +82,7 @@ def linear_step(
     affected = classes.members[t]
     counts = classes.class_counts[affected].astype(np.float64)
     w = constraint.w
-    means, variances = params.projected_stats(affected, w)
+    means, variances = stats or params.projected_stats(affected, w)
     current = float(np.dot(counts, means))
     denom = float(np.dot(counts, variances))
     if denom <= 0.0:
@@ -94,6 +102,7 @@ def quadratic_step(
     params: ClassParameters,
     classes: EquivalenceClasses,
     t: int,
+    stats: tuple | None = None,
 ) -> float:
     """Solve and apply the multiplier change for a quadratic constraint.
 
@@ -107,6 +116,10 @@ def quadratic_step(
         ``delta = w^T m̂_I`` — projection of the observed anchor mean.
     params, classes, t:
         Parameter store, equivalence classes and the constraint's index.
+    stats:
+        Optional precomputed ``(means, variances)`` pair for the affected
+        classes (the solver's per-constraint stats cache); computed here
+        when absent.
 
     Returns
     -------
@@ -117,7 +130,7 @@ def quadratic_step(
     affected = classes.members[t]
     counts = classes.class_counts[affected].astype(np.float64)
     w = constraint.w
-    means, variances = params.projected_stats(affected, w)
+    means, variances = stats or params.projected_stats(affected, w)
     offsets_sq = (means - anchor_projection) ** 2
 
     s_max = float(np.max(variances))

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.core.equivalence import EquivalenceClasses
+from repro.core.grouping import apply_by_class
 from repro.core.parameters import ClassParameters
 from repro.errors import DataShapeError
-from repro.linalg import inverse_sqrt_psd
+from repro.linalg import inverse_sqrt_psd_batched, symmetric_eig_batched
 
 
 def whiten(
@@ -58,27 +60,31 @@ def whiten(
             f"data dimension {data.shape[1]} != parameter dimension {params.dim}"
         )
 
-    transforms = whitening_transforms(params)
-    out = np.empty_like(data)
-    for c in range(params.n_classes):
-        rows = np.flatnonzero(classes.class_of_row == c)
-        if rows.size == 0:
-            continue
-        centred = data[rows] - params.mean[c]
-        out[rows] = centred @ transforms[c].T
-    return out
+    with perf.timer("whiten"):
+        transforms = whitening_transforms(params)
+        centred = data - params.mean[classes.class_of_row]
+        return apply_by_class(centred, classes, transforms)
 
 
 def whitening_transforms(params: ClassParameters) -> np.ndarray:
     """The (C, d, d) stack of symmetric whitening matrices ``Sigma_c^{-1/2}``.
 
     Computed once per class (not per row) — another consequence of the
-    equivalence-class sharing that keeps the pipeline independent of n.
-    Near-singular covariances are regularised by eigenvalue clamping, which
-    maps pinned directions to large-but-finite scalings.
+    equivalence-class sharing that keeps the pipeline independent of n —
+    and for all classes at once through one batched ``eigh`` over the
+    stacked sigma tensor.  The stack is memoised on the parameter object
+    (version-counter keyed), so repeated whitening between fits — every
+    view request — skips the decompositions entirely.  Near-singular
+    covariances are regularised by eigenvalue clamping, which maps pinned
+    directions to large-but-finite scalings.
     """
-    c_count, d = params.n_classes, params.dim
-    transforms = np.empty((c_count, d, d))
-    for c in range(c_count):
-        transforms[c] = inverse_sqrt_psd(params.sigma[c])
-    return transforms
+    with perf.timer("whitening_transforms"):
+        # The eigendecomposition memo is shared with sampling's PSD roots:
+        # one batched eigh per parameter state serves both kernels.
+        eig = params.cached_kernel(
+            "symmetric_eig", lambda: symmetric_eig_batched(params.sigma)
+        )
+        return params.cached_kernel(
+            "inverse_sqrt_psd",
+            lambda: inverse_sqrt_psd_batched(params.sigma, eig=eig),
+        )

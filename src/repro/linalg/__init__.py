@@ -2,22 +2,35 @@
 
 These are the low-level building blocks of the MaxEnt solver.  They are kept
 separate from :mod:`repro.core` so that they can be tested (and reasoned
-about) in isolation.
+about) in isolation.  Each kernel exists in a scalar (one matrix) and a
+batched (``(C, d, d)`` stack) form; the solver hot paths only use the
+batched forms.
 """
 
-from repro.linalg.woodbury import woodbury_rank1_downdate, woodbury_rank1_inverse
 from repro.linalg.eig import (
     inverse_sqrt_psd,
+    inverse_sqrt_psd_batched,
     sqrt_psd,
+    sqrt_psd_batched,
     symmetric_eig,
+    symmetric_eig_batched,
 )
 from repro.linalg.rootfind import find_monotone_root
+from repro.linalg.woodbury import (
+    woodbury_rank1_downdate,
+    woodbury_rank1_inverse,
+    woodbury_rank1_inverse_batched,
+)
 
 __all__ = [
     "woodbury_rank1_downdate",
     "woodbury_rank1_inverse",
+    "woodbury_rank1_inverse_batched",
     "symmetric_eig",
+    "symmetric_eig_batched",
     "sqrt_psd",
+    "sqrt_psd_batched",
     "inverse_sqrt_psd",
+    "inverse_sqrt_psd_batched",
     "find_monotone_root",
 ]

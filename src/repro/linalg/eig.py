@@ -36,6 +36,30 @@ def symmetric_eig(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return vals, vecs
 
 
+def symmetric_eig_batched(
+    matrices: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`symmetric_eig` over a ``(C, d, d)`` stack.
+
+    One LAPACK-dispatched ``np.linalg.eigh`` call replaces C Python-level
+    decompositions — the per-class loop this module used to force on the
+    whitening/sampling pipeline.
+
+    Returns
+    -------
+    (eigenvalues, eigenvectors):
+        Shapes ``(C, d)`` (ascending per matrix, clamped at zero) and
+        ``(C, d, d)`` with eigenvectors in columns.
+    """
+    if matrices.ndim != 3 or matrices.shape[-1] != matrices.shape[-2]:
+        raise DataShapeError(
+            f"expected a (C, d, d) stack of square matrices, got {matrices.shape}"
+        )
+    sym = 0.5 * (matrices + np.swapaxes(matrices, -1, -2))
+    vals, vecs = np.linalg.eigh(sym)
+    return np.maximum(vals, 0.0), vecs
+
+
 def sqrt_psd(matrix: np.ndarray) -> np.ndarray:
     """Symmetric PSD square root: returns S with ``S @ S = matrix``."""
     vals, vecs = symmetric_eig(matrix)
@@ -63,3 +87,39 @@ def inverse_sqrt_psd(matrix: np.ndarray, floor: float | None = None) -> np.ndarr
         floor = _EIG_FLOOR * max(float(vals[-1]) if vals.size else 1.0, 1.0)
     clamped = np.maximum(vals, floor)
     return (vecs / np.sqrt(clamped)) @ vecs.T
+
+
+def sqrt_psd_batched(
+    matrices: np.ndarray,
+    eig: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Batched :func:`sqrt_psd`: ``(C, d, d)`` stack of symmetric roots.
+
+    Pass ``eig`` (a :func:`symmetric_eig_batched` result for the same
+    stack) to reuse one decomposition between this and
+    :func:`inverse_sqrt_psd_batched` — the whitening/sampling pair needs
+    both roots of the same sigma stack.
+    """
+    vals, vecs = eig if eig is not None else symmetric_eig_batched(matrices)
+    return (vecs * np.sqrt(vals)[:, None, :]) @ np.swapaxes(vecs, -1, -2)
+
+
+def inverse_sqrt_psd_batched(
+    matrices: np.ndarray,
+    floor: float | None = None,
+    eig: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Batched :func:`inverse_sqrt_psd` with the same per-matrix clamping.
+
+    Each matrix gets its own relative eigenvalue floor (matching the
+    scalar routine applied matrix-by-matrix), unless an absolute ``floor``
+    is given, which then applies to the whole stack.  ``eig`` reuses a
+    precomputed :func:`symmetric_eig_batched` result for the stack.
+    """
+    vals, vecs = eig if eig is not None else symmetric_eig_batched(matrices)
+    if floor is None:
+        floors = _EIG_FLOOR * np.maximum(vals[:, -1], 1.0)
+    else:
+        floors = np.full(matrices.shape[0], float(floor))
+    clamped = np.maximum(vals, floors[:, None])
+    return (vecs / np.sqrt(clamped)[:, None, :]) @ np.swapaxes(vecs, -1, -2)

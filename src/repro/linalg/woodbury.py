@@ -62,6 +62,39 @@ def woodbury_rank1_inverse(
     return 0.5 * (updated + updated.T)
 
 
+def woodbury_rank1_inverse_batched(
+    sigmas: np.ndarray, w: np.ndarray, lam: float
+) -> np.ndarray:
+    """Batched Sherman–Morrison over a ``(C, d, d)`` covariance stack.
+
+    Computes ``(sigma_c^-1 + lam * w w^T)^-1`` for every matrix in the
+    stack with two matmuls and one outer product — the vectorized form of
+    calling :func:`woodbury_rank1_inverse` per class, and the O(C d^2)
+    kernel behind every quadratic constraint update.
+
+    Raises
+    ------
+    ConvergenceError
+        If *any* class's update would make its covariance singular or
+        indefinite.  Raised before anything is written, so the stack is
+        never left partially updated.
+    """
+    g = sigmas @ w                               # (C, d) projected columns
+    denoms = 1.0 + lam * (g @ w)                 # (C,)
+    bad = denoms <= _DENOM_EPS
+    if np.any(bad):
+        worst = float(np.min(denoms))
+        raise ConvergenceError(
+            "rank-1 covariance update is not positive definite "
+            f"(denominator {worst:.3e} <= 0); lambda step too large"
+        )
+    updated = sigmas - (lam / denoms)[:, None, None] * (
+        g[:, :, None] * g[:, None, :]
+    )
+    # Same exact-symmetry enforcement as the scalar routine.
+    return 0.5 * (updated + np.swapaxes(updated, -1, -2))
+
+
 def woodbury_rank1_downdate(
     sigma: np.ndarray, w: np.ndarray, lam: float
 ) -> np.ndarray:

@@ -52,6 +52,7 @@ import re
 
 import numpy as np
 
+from repro import perf
 from repro.errors import ConstraintError, DataShapeError, ReproError
 from repro.feedback import feedback_batch_from_payload, feedback_from_dict
 from repro.projection import registry
@@ -118,6 +119,7 @@ class ServiceAPI:
         body = body if body is not None else {}
         query = query if query is not None else {}
         method = method.upper()
+        perf.add("api.requests")
         try:
             normalized, versioned = self._strip_version(path.rstrip("/") or "/")
             handlers = self._handlers_for(normalized)

@@ -48,6 +48,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro import perf
 from repro.core.session import ExplorationSession
 from repro.errors import ReproError
 from repro.feedback import (
@@ -453,7 +454,9 @@ class SessionManager:
         model = entry.session.model
         if model.is_fitted or self.cache is None:
             return False
-        _, hit = self.cache.fit(model, data_fp=entry.data_fp)
+        with perf.timer("service_fit"):
+            _, hit = self.cache.fit(model, data_fp=entry.data_fp)
+        perf.add("service.solve_cache_hits" if hit else "service.solves")
         return hit
 
     def view(
@@ -473,7 +476,7 @@ class SessionManager:
         and the data ``projected`` onto the view axes — the observation an
         autonomous exploration policy needs to act like a user.
         """
-        with self._checkout(session_id) as entry:
+        with self._checkout(session_id) as entry, perf.timer("service_view"):
             session = entry.session
             model = session.model
             cache_hit = self._fit_with_cache(entry)
@@ -510,7 +513,7 @@ class SessionManager:
         stats with the applied labels under ``"applied"``.
         """
         items = list(batch)
-        with self._checkout(session_id) as entry:
+        with self._checkout(session_id) as entry, perf.timer("service_feedback"):
             if any(isinstance(item, ViewSelectionFeedback) for item in items):
                 # apply_many will need the current view's axes, which may
                 # require a fit — route it through the cache first, exactly
@@ -584,7 +587,12 @@ class SessionManager:
         }
 
     def stats(self) -> dict:
-        """Manager-level counters plus cache statistics."""
+        """Manager-level counters plus cache statistics.
+
+        When the :mod:`repro.perf` registry is enabled the snapshot of its
+        timers/counters is embedded under ``"perf"`` (``None`` otherwise),
+        so ``GET /v1/stats`` doubles as the live profiling endpoint.
+        """
         with self._lock:
             in_memory = len(self._entries)
         return {
@@ -599,4 +607,5 @@ class SessionManager:
             "datasets": self.dataset_names(),
             "store": type(self.store).__name__ if self.store is not None else None,
             "cache": self.cache.stats() if self.cache is not None else None,
+            "perf": perf.snapshot() if perf.is_enabled() else None,
         }

@@ -1,0 +1,110 @@
+"""Tests for the `repro bench` suites and baseline regression gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.bench as bench
+from repro.cli import main
+from repro.core.equivalence import build_equivalence_classes
+
+
+#: Tiny workload so the whole CLI path runs in well under a second.
+_TINY = {"structural": 3, "d": 4, "n": 64, "sweeps": 2, "repeats": 1}
+
+
+@pytest.fixture
+def tiny_sizes(monkeypatch):
+    monkeypatch.setitem(bench.SIZES, "quick", dict(_TINY))
+
+
+class TestWorkload:
+    def test_many_class_workload_shape(self):
+        data, constraints = bench.many_class_workload(4, 5, 128, seed=0)
+        assert data.shape == (128, 5)
+        # 2d margins + `structural` half constraints.
+        assert len(constraints) == 2 * 5 + 4
+        classes = build_equivalence_classes(128, constraints)
+        # Random halves shatter the rows into many classes (up to 2^4).
+        assert classes.n_classes > 4
+
+    def test_workload_is_deterministic(self):
+        data1, cs1 = bench.many_class_workload(3, 4, 64, seed=7)
+        data2, cs2 = bench.many_class_workload(3, 4, 64, seed=7)
+        np.testing.assert_array_equal(data1, data2)
+        for a, b in zip(cs1, cs2):
+            np.testing.assert_array_equal(a.w, b.w)
+            np.testing.assert_array_equal(a.rows, b.rows)
+
+
+class TestSuite:
+    def test_payload_shape_and_artifact(self, tiny_sizes, tmp_path):
+        payload = bench.run_core_solver_suite(quick=True, seed=0)
+        assert payload["suite"] == "core_solver"
+        assert payload["mode"] == "quick"
+        for key in ("optim_sweep", "whiten", "sample", "init", "equivalence"):
+            assert f"{key}_vectorized_s" in payload["timings"]
+            assert f"{key}_reference_s" in payload["timings"]
+            assert payload["speedups"][key] > 0
+        path = bench.write_payload(payload, tmp_path)
+        assert path.name == "BENCH_core_solver.json"
+        assert json.loads(path.read_text())["workload"]["n"] == _TINY["n"]
+
+    def test_check_baselines_passes_and_fails(self, tiny_sizes, tmp_path):
+        payload = bench.run_core_solver_suite(quick=True, seed=0)
+        generous = tmp_path / "ok.json"
+        generous.write_text(
+            json.dumps({"tolerance": 2.0, "quick": {
+                "optim_sweep_vectorized_s": 1000.0}})
+        )
+        assert bench.check_baselines(payload, generous) == []
+        strict = tmp_path / "bad.json"
+        strict.write_text(
+            json.dumps({"tolerance": 1.0, "quick": {
+                "optim_sweep_vectorized_s": 1e-12,
+                "missing_metric_s": 1.0}})
+        )
+        failures = bench.check_baselines(payload, strict)
+        assert len(failures) == 2
+        assert any("exceeds" in f for f in failures)
+        assert any("missing" in f for f in failures)
+
+    def test_check_baselines_missing_mode_section_fails(self, tmp_path):
+        payload = {"mode": "quick", "timings": {"optim_sweep_vectorized_s": 0.1}}
+        no_mode = tmp_path / "no_mode.json"
+        no_mode.write_text(json.dumps({"tolerance": 2.0, "full": {}}))
+        failures = bench.check_baselines(payload, no_mode)
+        assert failures and "no 'quick' section" in failures[0]
+
+
+class TestCli:
+    def test_bench_command_writes_artifact(self, tiny_sizes, tmp_path, capsys):
+        status = main(
+            ["bench", "--quick", "--output-dir", str(tmp_path)]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "suite core_solver (quick)" in out
+        assert (tmp_path / "BENCH_core_solver.json").exists()
+
+    def test_bench_command_check_failure_exits_nonzero(
+        self, tiny_sizes, tmp_path, capsys
+    ):
+        strict = tmp_path / "strict.json"
+        strict.write_text(
+            json.dumps({"tolerance": 1.0, "quick": {
+                "optim_sweep_vectorized_s": 1e-12}})
+        )
+        status = main(
+            [
+                "bench",
+                "--quick",
+                "--output-dir",
+                str(tmp_path),
+                "--check",
+                str(strict),
+            ]
+        )
+        assert status == 1
+        assert "REGRESSION" in capsys.readouterr().err

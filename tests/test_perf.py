@@ -1,0 +1,149 @@
+"""Tests for the perf instrumentation layer (repro.perf)."""
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro import perf
+from repro.perf import PerfRegistry
+
+
+class TestRegistry:
+    def test_disabled_by_default_and_records_nothing(self):
+        reg = PerfRegistry()
+        with reg.timer("solve"):
+            reg.add("steps", 5)
+        snap = reg.snapshot()
+        assert snap == {"timings": {}, "counters": {}}
+
+    def test_disabled_timer_is_shared_noop(self):
+        reg = PerfRegistry()
+        assert reg.timer("a") is reg.timer("b")
+
+    def test_timings_and_counters_recorded_when_enabled(self):
+        reg = PerfRegistry(enabled=True)
+        with reg.timer("solve"):
+            time.sleep(0.001)
+            reg.add("steps", 3)
+        reg.add("steps", 2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"steps": 5}
+        assert snap["timings"]["solve"]["calls"] == 1
+        assert snap["timings"]["solve"]["seconds"] > 0.0
+
+    def test_nested_timers_record_slash_paths(self):
+        reg = PerfRegistry(enabled=True)
+        with reg.timer("solve"):
+            with reg.timer("init"):
+                pass
+            with reg.timer("optim"):
+                pass
+            with reg.timer("optim"):
+                pass
+        snap = reg.snapshot()
+        assert set(snap["timings"]) == {"solve", "solve/init", "solve/optim"}
+        assert snap["timings"]["solve/optim"]["calls"] == 2
+
+    def test_reset_clears_everything(self):
+        reg = PerfRegistry(enabled=True)
+        with reg.timer("x"):
+            reg.add("c")
+        reg.reset()
+        assert reg.snapshot() == {"timings": {}, "counters": {}}
+
+    def test_snapshot_is_json_serialisable(self):
+        reg = PerfRegistry(enabled=True)
+        with reg.timer("a"):
+            reg.add("n", 1.5)
+        json.dumps(reg.snapshot())
+
+    def test_thread_safety_and_thread_local_nesting(self):
+        reg = PerfRegistry(enabled=True)
+        errors = []
+
+        def work(name: str) -> None:
+            try:
+                for _ in range(200):
+                    with reg.timer(name):
+                        with reg.timer("inner"):
+                            reg.add("total")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        snap = reg.snapshot()
+        assert snap["counters"]["total"] == 800
+        # Nesting paths never mix thread A's outer frame with thread B's.
+        for i in range(4):
+            assert snap["timings"][f"t{i}/inner"]["calls"] == 200
+
+
+class TestModuleLevelRegistry:
+    def test_enable_disable_roundtrip(self):
+        assert not perf.is_enabled()
+        perf.enable()
+        try:
+            assert perf.is_enabled()
+            with perf.timer("block"):
+                perf.add("hits")
+            snap = perf.snapshot()
+            assert snap["counters"]["hits"] == 1
+            assert "block" in snap["timings"]
+        finally:
+            perf.disable()
+            perf.reset()
+
+    def test_solver_records_counters_when_enabled(self):
+        from repro.core.solver import solve_maxent
+        from repro.core.constraint import Constraint, ConstraintKind
+
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((40, 3))
+        constraints = [
+            Constraint(
+                ConstraintKind.QUADRATIC,
+                np.arange(10),
+                np.array([1.0, 0.0, 0.0]),
+            )
+        ]
+        perf.enable()
+        perf.reset()
+        try:
+            solve_maxent(data, constraints)
+            snap = perf.snapshot()
+            assert snap["counters"]["solver.solves"] == 1
+            assert snap["counters"]["solver.sweeps"] >= 1
+            assert "solver_init" in snap["timings"]
+            assert "solver_optim" in snap["timings"]
+        finally:
+            perf.disable()
+            perf.reset()
+
+    def test_service_stats_embed_snapshot_only_when_enabled(self):
+        from repro.datasets import three_d_clusters
+        from repro.service import SessionManager
+
+        manager = SessionManager(
+            {"three-d": lambda: three_d_clusters(seed=0)}
+        )
+        assert manager.stats()["perf"] is None
+        perf.enable()
+        perf.reset()
+        try:
+            sid = manager.create("three-d")
+            manager.view(sid)
+            stats = manager.stats()
+            assert stats["perf"] is not None
+            assert "service_view" in stats["perf"]["timings"]
+        finally:
+            perf.disable()
+            perf.reset()
