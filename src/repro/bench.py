@@ -1,14 +1,21 @@
-"""`repro bench`: measured proof of the vectorized solver core.
+"""`repro bench`: measured proof of the vectorized kernels.
 
-Runs the core kernel suites — OPTIM sweep, whitening, sampling, one-shot
-INIT, equivalence building — with the batched implementations against the
-preserved pre-vectorization loops in :mod:`repro.core.reference`, on a
-many-class workload (margin-style constraints across every class plus one
-block constraint pair per class, the paper's interactive shape).  Writes
-``BENCH_core_solver.json`` with wall-clock timings and speedups; with
-``--check`` the vectorized timings are compared against the committed
-``benchmarks/baselines.json`` and the run fails on a >tolerance
-regression (CI's ``bench-smoke`` job).
+Two suites, each pitting the batched implementations against the
+preserved pre-vectorization loops:
+
+* ``core_solver`` — OPTIM sweep, whitening, sampling, one-shot INIT,
+  equivalence building vs :mod:`repro.core.reference`, on a many-class
+  workload (margin-style constraints across every class plus one block
+  constraint pair per class, the paper's interactive shape).  Writes
+  ``BENCH_core_solver.json``.
+* ``projection`` — batched/multi-restart FastICA and the block-diagonal
+  scatter GEMM vs :mod:`repro.projection.reference` and
+  :func:`repro.core.grouping.apply_by_class_loop`, on a non-gaussian
+  cluster mixture.  Writes ``BENCH_projection.json``.
+
+With ``--check`` the vectorized timings are compared against the
+committed ``benchmarks/baselines.json`` (suite-keyed sections) and the
+run fails on a >tolerance regression (CI's ``bench-smoke`` job).
 
 All timings are best-of-``repeats`` to damp scheduler jitter; speedups
 are reference/vectorized on the same workload and sweep count.  The
@@ -28,6 +35,7 @@ import numpy as np
 
 from repro.core.constraint import Constraint, ConstraintKind
 from repro.core.equivalence import build_equivalence_classes
+from repro.core.grouping import apply_by_class, apply_by_class_loop
 from repro.core.parameters import ClassParameters
 from repro.core.reference import (
     reference_build_equivalence_classes,
@@ -39,12 +47,23 @@ from repro.core.reference import (
 from repro.core.sampling import sample_background
 from repro.core.solver import SolverOptions, init_targets, solve_maxent
 from repro.core.whitening import whiten
+from repro.projection.fastica import fit_fastica
+from repro.projection.reference import reference_fit_fastica
 
 #: Workload sizes.  ``quick`` keeps CI smoke runs in single-digit seconds;
 #: ``full`` doubles the class count and data size.
 SIZES = {
     "quick": {"structural": 7, "d": 12, "n": 2048, "sweeps": 4, "repeats": 3},
     "full": {"structural": 8, "d": 12, "n": 4096, "sweeps": 6, "repeats": 5},
+}
+
+#: Projection-suite workload sizes.  ``iterations`` caps the fixed-point
+#: loop so timings measure throughput, not data-dependent convergence.
+PROJECTION_SIZES = {
+    "quick": {"n": 1024, "d": 8, "restarts": 8, "iterations": 60,
+              "scatter_classes": 96, "repeats": 3},
+    "full": {"n": 2048, "d": 12, "restarts": 16, "iterations": 100,
+             "scatter_classes": 256, "repeats": 5},
 }
 
 
@@ -219,6 +238,158 @@ def run_core_solver_suite(quick: bool = True, seed: int = 0) -> dict:
     }
 
 
+def cluster_mixture_workload(n: int, d: int, seed: int = 0) -> np.ndarray:
+    """A non-gaussian mixture for projection-pursuit benchmarks.
+
+    Three well-separated gaussian blobs in the first two dimensions plus a
+    heavy-tailed (Laplace) dimension — structure both the log-cosh and the
+    kurtosis contrasts respond to, so fixed-point runs do real work
+    instead of wandering on a gaussian plateau.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, d))
+    third = n // 3
+    data[:third, 0] += 6.0
+    data[third : 2 * third, 1] += 6.0
+    if d >= 3:
+        data[:, 2] = rng.laplace(0.0, 1.0, n)
+    return data
+
+
+def balanced_partition(n: int, c_count: int, seed: int = 0):
+    """A synthetic near-balanced row partition with ``c_count`` classes.
+
+    Random class assignment (covering every class) — the regime the
+    block-diagonal scatter GEMM targets; returns an
+    :class:`~repro.core.equivalence.EquivalenceClasses`.
+    """
+    from repro.core.equivalence import EquivalenceClasses
+
+    rng = np.random.default_rng(seed)
+    class_of_row = np.concatenate(
+        [np.arange(c_count), rng.integers(0, c_count, max(n - c_count, 0))]
+    )[:n]
+    rng.shuffle(class_of_row)
+    return EquivalenceClasses(
+        n_rows=n,
+        class_of_row=class_of_row,
+        class_counts=np.bincount(class_of_row, minlength=c_count),
+        members=(),
+        representative_rows=np.zeros(c_count, dtype=np.intp),
+    )
+
+
+def run_projection_suite(quick: bool = True, seed: int = 0) -> dict:
+    """Time the batched projection kernels against the preserved loops.
+
+    Three match-ups, each on identical inputs and a fixed iteration count
+    (tolerance 0 disables early convergence so both sides do the same
+    work):
+
+    * ``fastica`` — one batched symmetric run vs the serial loop
+      preserved in :mod:`repro.projection.reference`;
+    * ``fastica_restarts`` — R initialisations as one stacked tensor
+      iteration vs R serial ``reference_fit_fastica`` calls (the old
+      restart pattern);
+    * ``scatter`` — the block-diagonal GEMM vs the per-class matmul loop
+      on a near-balanced C-class partition.
+
+    Returns the ``BENCH_projection.json`` payload.
+    """
+    size = PROJECTION_SIZES["quick" if quick else "full"]
+    n, d = size["n"], size["d"]
+    restarts, iterations = size["restarts"], size["iterations"]
+    repeats = size["repeats"]
+    data = cluster_mixture_workload(n, d, seed=seed)
+    ica_seed = seed + 1
+
+    def batched_single() -> None:
+        fit_fastica(
+            data,
+            rng=np.random.default_rng(ica_seed),
+            max_iterations=iterations,
+            tolerance=0.0,
+        )
+
+    def reference_single() -> None:
+        reference_fit_fastica(
+            data,
+            rng=np.random.default_rng(ica_seed),
+            max_iterations=iterations,
+            tolerance=0.0,
+        )
+
+    def batched_restarts() -> None:
+        fit_fastica(
+            data,
+            rng=np.random.default_rng(ica_seed),
+            max_iterations=iterations,
+            tolerance=0.0,
+            n_restarts=restarts,
+        )
+
+    def reference_restarts() -> None:
+        # The pre-batching restart pattern: R independent serial fits.
+        rng = np.random.default_rng(ica_seed)
+        for _ in range(restarts):
+            reference_fit_fastica(
+                data,
+                rng=np.random.default_rng(int(rng.integers(0, 2**63))),
+                max_iterations=iterations,
+                tolerance=0.0,
+            )
+
+    classes = balanced_partition(n, size["scatter_classes"], seed=seed)
+    rng = np.random.default_rng(seed + 2)
+    matrices = rng.standard_normal((classes.n_classes, d, d))
+    values = rng.standard_normal((n, d))
+
+    timings = {
+        "fastica_vectorized_s": _best_of(repeats, batched_single),
+        "fastica_reference_s": _best_of(repeats, reference_single),
+        "fastica_restarts_vectorized_s": _best_of(repeats, batched_restarts),
+        "fastica_restarts_reference_s": _best_of(repeats, reference_restarts),
+        "scatter_vectorized_s": _best_of(
+            repeats, lambda: apply_by_class(values, classes, matrices)
+        ),
+        "scatter_reference_s": _best_of(
+            repeats, lambda: apply_by_class_loop(values, classes, matrices)
+        ),
+    }
+    timings = {k: round(v, 6) for k, v in timings.items()}
+
+    def speedup(name: str) -> float:
+        vec = max(timings[f"{name}_vectorized_s"], 1e-9)
+        return round(timings[f"{name}_reference_s"] / vec, 2)
+
+    return {
+        "suite": "projection",
+        "mode": "quick" if quick else "full",
+        "workload": {
+            "n": n,
+            "d": d,
+            "restarts": restarts,
+            "iterations": iterations,
+            "scatter_classes": int(classes.n_classes),
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "timings": timings,
+        "speedups": {
+            "fastica": speedup("fastica"),
+            "fastica_restarts": speedup("fastica_restarts"),
+            "scatter": speedup("scatter"),
+        },
+    }
+
+
+#: Suite name -> runner; ``repro bench`` executes these in order.
+SUITES = {
+    "core_solver": run_core_solver_suite,
+    "projection": run_projection_suite,
+}
+
+
 def write_payload(payload: dict, output_dir: str | Path = ".") -> Path:
     """Write the suite payload to ``BENCH_<suite>.json`` in ``output_dir``."""
     out = Path(output_dir)
@@ -231,19 +402,27 @@ def write_payload(payload: dict, output_dir: str | Path = ".") -> Path:
 def check_baselines(payload: dict, baselines_path: str | Path) -> list[str]:
     """Compare vectorized timings against committed baselines.
 
-    The baselines file maps mode -> {timing key -> baseline seconds} plus
-    a top-level ``tolerance`` factor.  Returns a list of human-readable
-    failures (empty = within budget).  Only ``*_vectorized_s`` keys are
-    gated — the reference loops exist to be slow.
+    The baselines file maps suite -> mode -> {timing key -> baseline
+    seconds} plus a top-level ``tolerance`` factor (the pre-projection
+    flat layout, mode -> budgets, is still read for older files).
+    Returns a list of human-readable failures (empty = within budget).
+    Only ``*_vectorized_s`` keys are gated — the reference loops exist to
+    be slow.
     """
     spec = json.loads(Path(baselines_path).read_text())
     tolerance = float(spec.get("tolerance", 2.0))
-    budgets = spec.get(payload["mode"])
+    section = spec.get(payload.get("suite", ""))
+    if section is None and payload.get("suite") == "core_solver":
+        # Legacy flat files (mode -> budgets) only ever described the
+        # core-solver suite; other suites must not be judged against
+        # those budgets.
+        section = spec
+    budgets = section.get(payload["mode"]) if isinstance(section, dict) else None
     if budgets is None:
         # A gate that checks nothing must not report success.
         return [
-            f"baselines file has no {payload['mode']!r} section; "
-            "the regression gate would check nothing"
+            f"baselines file has no {payload.get('suite')}/{payload['mode']!r} "
+            "section; the regression gate would check nothing"
         ]
     failures = []
     for key, baseline in budgets.items():
@@ -261,18 +440,17 @@ def check_baselines(payload: dict, baselines_path: str | Path) -> list[str]:
 
 
 def format_payload(payload: dict) -> str:
-    """Terminal rendering of the suite result."""
-    lines = [
-        f"suite {payload['suite']} ({payload['mode']}): "
-        f"n={payload['workload']['n']}, d={payload['workload']['d']}, "
-        f"C={payload['workload']['classes']}, "
-        f"T={payload['workload']['constraints']}",
-    ]
+    """Terminal rendering of a suite result (any suite's workload keys)."""
+    workload = ", ".join(
+        f"{key}={value}" for key, value in payload["workload"].items()
+    )
+    lines = [f"suite {payload['suite']} ({payload['mode']}): {workload}"]
+    width = max(len(name) for name in payload["speedups"])
     for name, factor in payload["speedups"].items():
         ref = payload["timings"][f"{name}_reference_s"]
         vec = payload["timings"][f"{name}_vectorized_s"]
         lines.append(
-            f"  {name:<12} {ref:>9.4f}s -> {vec:>9.4f}s  ({factor:g}x)"
+            f"  {name:<{width}} {ref:>9.4f}s -> {vec:>9.4f}s  ({factor:g}x)"
         )
     return "\n".join(lines)
 

@@ -208,7 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the core benchmark suites, write BENCH_*.json",
+        help="run the vectorized-kernel benchmark suites, write BENCH_*.json",
     )
     bench.add_argument(
         "--quick",
@@ -216,10 +216,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="small workload for CI smoke runs (seconds, not minutes)",
     )
     bench.add_argument(
+        "--suite",
+        default="all",
+        choices=("all", "core_solver", "projection"),
+        help="which kernel suite to run (default: all)",
+    )
+    bench.add_argument(
         "--output-dir",
         default=".",
         metavar="DIR",
-        help="where to write BENCH_core_solver.json",
+        help="where to write BENCH_<suite>.json artifacts",
     )
     bench.add_argument(
         "--check",
@@ -503,27 +509,32 @@ def cmd_bench(
     check: str | None,
     refresh: bool,
     seed: int,
+    suite: str = "all",
 ) -> int:
-    """Run the vectorized-core benchmark suites; optionally gate on baselines."""
+    """Run the vectorized-kernel benchmark suites; optionally gate on baselines."""
     from repro.bench import (
+        SUITES,
         check_baselines,
         format_payload,
         refresh_existing,
-        run_core_solver_suite,
         write_payload,
     )
 
-    payload = run_core_solver_suite(quick=quick, seed=seed)
-    print(format_payload(payload))
-    path = write_payload(payload, output_dir)
-    print(f"bench artifact: {path}")
+    names = list(SUITES) if suite == "all" else [suite]
+    failures: list[str] = []
+    for name in names:
+        payload = SUITES[name](quick=quick, seed=seed)
+        print(format_payload(payload))
+        path = write_payload(payload, output_dir)
+        print(f"bench artifact: {path}")
+        if check is not None:
+            failures.extend(check_baselines(payload, check))
 
     status = 0
     if refresh:
         print("refreshing pytest benchmark artifacts ...")
         status = refresh_existing(output_dir)
     if check is not None:
-        failures = check_baselines(payload, check)
         if failures:
             for failure in failures:
                 print(f"REGRESSION {failure}", file=sys.stderr)
@@ -626,6 +637,7 @@ def main(argv: list[str] | None = None) -> int:
             args.check,
             args.refresh_existing,
             args.seed,
+            args.suite,
         )
     if args.command == "serve":
         return cmd_serve(

@@ -67,6 +67,25 @@ class EquivalenceClasses:
         offsets = np.concatenate(([0], np.cumsum(self.class_counts)))
         return order, offsets
 
+    @cached_property
+    def padded_scatter_plan(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """``(sorted_class, position, largest)`` for block-diagonal GEMMs.
+
+        For the class-sorted row layout of :attr:`scatter_plan`:
+        ``sorted_class[j]`` is the class of sorted row j, ``position[j]``
+        its offset inside that class block, and ``largest`` the biggest
+        class size — everything a padded ``(C, B, d)`` scatter needs.
+        Cached like ``scatter_plan``: pure functions of the immutable
+        partition, rebuilt per call they would cost O(n) index work on
+        every whitening/sampling view request.
+        """
+        _, offsets = self.scatter_plan
+        counts = np.diff(offsets)
+        sorted_class = np.repeat(np.arange(self.n_classes), counts)
+        position = np.arange(self.n_rows) - offsets[sorted_class]
+        largest = int(counts.max()) if counts.size else 0
+        return sorted_class, position, largest
+
 
 def build_equivalence_classes(
     n_rows: int, constraints: list[Constraint]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import perf
 from repro.errors import DataShapeError
 
 
@@ -80,11 +81,12 @@ def fit_pca(data: np.ndarray, rank_by_unit_deviation: bool = False) -> PCAResult
         raise DataShapeError(
             f"PCA needs a 2-D matrix with at least 2 rows, got shape {arr.shape}"
         )
-    mean = arr.mean(axis=0)
-    centred = arr - mean
-    cov = (centred.T @ centred) / (arr.shape[0] - 1)
-    eigvals, eigvecs = np.linalg.eigh(0.5 * (cov + cov.T))
-    eigvals = np.maximum(eigvals, 0.0)
+    with perf.timer("pca_eig"):
+        mean = arr.mean(axis=0)
+        centred = arr - mean
+        cov = (centred.T @ centred) / (arr.shape[0] - 1)
+        eigvals, eigvecs = np.linalg.eigh(0.5 * (cov + cov.T))
+        eigvals = np.maximum(eigvals, 0.0)
     if rank_by_unit_deviation:
         scores = unit_deviation_score(eigvals)
     else:

@@ -44,10 +44,12 @@ After this, ``ExplorationSession(data, objective="random")``, the
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Protocol, runtime_checkable
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import perf
 from repro.errors import ReproError
 from repro.projection.fastica import fit_fastica
 from repro.projection.pca import fit_pca
@@ -121,10 +123,13 @@ class PCAObjective:
 class ICAObjective:
     """FastICA directions ranked by signed log-cosh non-gaussianity.
 
-    Both FastICA variants are run (symmetric and deflation) and the basis
-    with the stronger top-2 |scores| wins — on cluster mixtures the
-    deflation variant often finds strong discriminating directions the
-    symmetric compromise misses.
+    Both FastICA variants are run and the basis with the stronger top-2
+    |scores| wins — on cluster mixtures the deflation variant often finds
+    strong discriminating directions the symmetric compromise misses.
+    The symmetric variant searches ``restarts`` random initialisations as
+    one stacked tensor iteration (batched multi-restart; this replaced
+    the serial one-init-per-variant runs), so seed-unlucky symmetric
+    fixed points no longer decide the view.
     """
 
     name = "ica"
@@ -132,6 +137,11 @@ class ICAObjective:
         "FastICA directions ranked by |log-cosh non-gaussianity| "
         "(finds clustered/multimodal structure at matched variances)"
     )
+
+    def __init__(self, restarts: int = 3) -> None:
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        self.restarts = int(restarts)
 
     def find_directions(
         self, whitened: np.ndarray, rng: np.random.Generator
@@ -142,7 +152,12 @@ class ICAObjective:
             # Child generator per variant keeps the two runs independent
             # while remaining reproducible from the caller's generator.
             child = np.random.default_rng(rng.integers(0, 2**63))
-            result = fit_fastica(whitened, rng=child, algorithm=algorithm)
+            result = fit_fastica(
+                whitened,
+                rng=child,
+                algorithm=algorithm,
+                n_restarts=self.restarts if algorithm == "symmetric" else 1,
+            )
             scores = ica_scores(whitened, result.components)
             strength = float(np.sum(np.sort(np.abs(scores))[::-1][:2]))
             if strength > best_strength:
@@ -180,6 +195,12 @@ class KurtosisObjective:
         self.tolerance = float(tolerance)
 
     def find_directions(
+        self, whitened: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        with perf.timer("kurtosis_pursuit"):
+            return self._pursue(whitened, rng)
+
+    def _pursue(
         self, whitened: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         y = np.asarray(whitened, dtype=np.float64)
@@ -304,7 +325,35 @@ def get(name: str | Objective) -> Objective:
         raise UnknownObjectiveError(
             f"unknown objective {name!r}; registered: {names()}"
         )
+    perf.add("projection.objective_lookups")
     return objective
+
+
+@contextmanager
+def temporary(objective: Objective) -> Iterator[Objective]:
+    """Register an objective for the duration of a ``with`` block.
+
+    Shadows any same-named registration and restores it on exit — the
+    scoped way to run an experiment with a reconfigured built-in (e.g.
+    ``temporary(ICAObjective(restarts=8))``) without leaking global
+    state.  The registry is process-global, so the override is visible
+    to every thread inside the block; use it from experiment scripts and
+    tests, not from concurrent servers.
+    """
+    name = getattr(objective, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError("objective must carry a non-empty string 'name'")
+    with _lock:
+        previous = _registry.get(name)
+        _registry[name] = objective
+    try:
+        yield objective
+    finally:
+        with _lock:
+            if previous is None:
+                _registry.pop(name, None)
+            else:
+                _registry[name] = previous
 
 
 def is_registered(name: str) -> bool:

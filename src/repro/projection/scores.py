@@ -18,7 +18,9 @@ from __future__ import annotations
 import numpy as np
 from scipy.integrate import quad
 
+from repro import perf
 from repro.errors import DataShapeError
+from repro.projection.fastica import logcosh
 from repro.projection.pca import unit_deviation_score
 
 __all__ = [
@@ -59,9 +61,11 @@ def pca_scores(whitened: np.ndarray, directions: np.ndarray) -> np.ndarray:
     numpy.ndarray
         Score per direction (non-negative; 0 means "fully explained").
     """
-    proj = _project(whitened, directions)
-    variances = proj.var(axis=0, ddof=1)
-    return unit_deviation_score(variances)
+    with perf.timer("score_unit_deviation"):
+        proj = _project(whitened, directions)
+        variances = proj.var(axis=0, ddof=1)
+        perf.add("projection.score_evaluations", proj.shape[1])
+        return unit_deviation_score(variances)
 
 
 def ica_scores(whitened: np.ndarray, directions: np.ndarray) -> np.ndarray:
@@ -72,13 +76,19 @@ def ica_scores(whitened: np.ndarray, directions: np.ndarray) -> np.ndarray:
     approximation; the sign is kept (no squaring) to match the signed values
     reported in Table I.  Sign convention: sub-gaussian (flat/multimodal)
     directions score positive, super-gaussian (heavy-tailed) negative.
+
+    Uses the overflow-safe :func:`repro.projection.fastica.logcosh`, which
+    agrees with ``log(cosh(x))`` to machine precision on the standardised
+    range this score operates in.
     """
-    proj = _project(whitened, directions)
-    centred = proj - proj.mean(axis=0, keepdims=True)
-    std = centred.std(axis=0, ddof=1)
-    std[std == 0.0] = 1.0
-    standardised = centred / std
-    return np.mean(np.log(np.cosh(standardised)), axis=0) - GAUSSIAN_LOGCOSH_MEAN
+    with perf.timer("score_logcosh"):
+        proj = _project(whitened, directions)
+        centred = proj - proj.mean(axis=0, keepdims=True)
+        std = centred.std(axis=0, ddof=1)
+        std[std == 0.0] = 1.0
+        standardised = centred / std
+        perf.add("projection.score_evaluations", proj.shape[1])
+        return np.mean(logcosh(standardised), axis=0) - GAUSSIAN_LOGCOSH_MEAN
 
 
 def view_score_summary(

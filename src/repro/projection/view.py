@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import perf
 from repro.errors import DataShapeError
 from repro.projection import registry
 
@@ -114,16 +115,24 @@ def most_informative_view(
     obj = registry.get(objective)
     arr = np.asarray(whitened, dtype=np.float64)
     rng = rng or np.random.default_rng(0)
-    found = obj.find_directions(arr, rng)
-    if isinstance(found, tuple):
-        # The objective's search already scored its candidates.
-        directions, scores = found
-    else:
-        directions, scores = found, None
-    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
-    if scores is None:
-        scores = obj.score(arr, directions)
-    scores = np.atleast_1d(np.asarray(scores, dtype=np.float64))
+    # The "projection" timer makes every pursuit cost visible under a
+    # projection/* path (REPRO_PERF=1 / GET /v1/stats), mirroring the
+    # solver's solve/* tree: projection/find/<objective> is the direction
+    # search, projection/score/<objective> the separate scoring pass.
+    with perf.timer("projection"):
+        with perf.timer(f"find/{obj.name}"):
+            found = obj.find_directions(arr, rng)
+        if isinstance(found, tuple):
+            # The objective's search already scored its candidates.
+            directions, scores = found
+        else:
+            directions, scores = found, None
+        directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+        if scores is None:
+            with perf.timer(f"score/{obj.name}"):
+                scores = obj.score(arr, directions)
+        scores = np.atleast_1d(np.asarray(scores, dtype=np.float64))
+        perf.add("projection.views_built")
 
     order = np.argsort(np.abs(scores))[::-1]
     directions = directions[order]

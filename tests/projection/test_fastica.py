@@ -72,6 +72,17 @@ class TestFitFastica:
         with pytest.raises(ValueError):
             fit_fastica(data, algorithm="banana")
 
+    def test_seed_shorthand_matches_explicit_rng(self, rng):
+        data, _ = _mixed_sources(rng)
+        via_seed = fit_fastica(data, seed=7)
+        via_rng = fit_fastica(data, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(via_seed.components, via_rng.components)
+
+    def test_seed_and_rng_together_rejected(self, rng):
+        data, _ = _mixed_sources(rng)
+        with pytest.raises(ValueError):
+            fit_fastica(data, rng=np.random.default_rng(0), seed=1)
+
     def test_deflation_finds_strong_discriminant(self, rng):
         # A tight 10% cluster far from the bulk: the discriminating
         # direction is strongly non-gaussian and deflation must align a
@@ -87,3 +98,96 @@ class TestFitFastica:
         discriminant = data[900:].mean(axis=0) - data[:900].mean(axis=0)
         discriminant /= np.linalg.norm(discriminant)
         assert np.max(np.abs(result.components @ discriminant)) > 0.9
+
+
+class TestMultiRestart:
+    def test_result_reports_restart_metadata(self, rng):
+        data, _ = _mixed_sources(rng)
+        result = fit_fastica(data, seed=3, n_restarts=4)
+        assert result.n_restarts == 4
+        assert 0 <= result.best_restart < 4
+        assert result.contrast is not None and result.contrast > 0.0
+        assert result.components.shape == (2, 2)
+
+    def test_single_restart_metadata_defaults(self, rng):
+        data, _ = _mixed_sources(rng)
+        result = fit_fastica(data, seed=3)
+        assert result.n_restarts == 1
+        assert result.best_restart == 0
+
+    def test_deterministic_given_seed(self, rng):
+        data, _ = _mixed_sources(rng)
+        r1 = fit_fastica(data, seed=11, n_restarts=5)
+        r2 = fit_fastica(data, seed=11, n_restarts=5)
+        np.testing.assert_array_equal(r1.components, r2.components)
+        assert r1.best_restart == r2.best_restart
+
+    def test_winner_beats_or_ties_every_single_restart(self, rng):
+        """The selected restart's contrast must dominate: a best-of-R search
+        can never return something weaker than what any single run found."""
+        data, _ = _mixed_sources(rng)
+        multi = fit_fastica(data, seed=5, n_restarts=6)
+        assert multi.contrast is not None
+        # Reconstruct each restart's contrast via the reference path.
+        from repro.projection.fastica import _pca_whiten
+        from repro.projection.reference import (
+            reference_multi_restart_symmetric,
+        )
+
+        z, _, _, k = _pca_whiten(np.asarray(data, dtype=np.float64), None)
+        inits = np.random.default_rng(5).standard_normal((6, k, k))
+        _, _, _, contrasts = reference_multi_restart_symmetric(
+            z, inits, 500, 1e-6
+        )
+        assert multi.contrast >= float(np.max(contrasts)) - 1e-12
+
+    def test_zero_restarts_rejected(self, rng):
+        data, _ = _mixed_sources(rng)
+        with pytest.raises(ValueError):
+            fit_fastica(data, n_restarts=0)
+
+    def test_deflation_with_restarts_rejected(self, rng):
+        data, _ = _mixed_sources(rng)
+        with pytest.raises(ValueError):
+            fit_fastica(data, algorithm="deflation", n_restarts=2)
+
+
+class TestConvergenceBoundary:
+    """Pin the iteration-cap boundary: meeting tolerance on the final
+    permitted iteration is convergence, not a cap-out."""
+
+    def test_symmetric_converging_exactly_at_cap_reports_true(self, rng):
+        data, _ = _mixed_sources(rng)
+        # A huge tolerance makes the very first update pass the alignment
+        # test; with max_iterations=1 that step IS the cap boundary.
+        result = fit_fastica(data, seed=0, max_iterations=1, tolerance=2.0)
+        assert result.n_iterations == 1
+        assert result.converged is True
+
+    def test_symmetric_multi_restart_at_cap_reports_true(self, rng):
+        data, _ = _mixed_sources(rng)
+        result = fit_fastica(
+            data, seed=0, max_iterations=1, tolerance=2.0, n_restarts=3
+        )
+        assert result.n_iterations == 1
+        assert result.converged is True
+
+    def test_deflation_converging_exactly_at_cap_reports_true(self, rng):
+        data, _ = _mixed_sources(rng)
+        result = fit_fastica(
+            data,
+            seed=0,
+            max_iterations=1,
+            tolerance=2.0,
+            algorithm="deflation",
+        )
+        assert result.converged is True
+
+    def test_missing_tolerance_at_cap_reports_false(self, rng):
+        data, _ = _mixed_sources(rng)
+        # An impossible tolerance can never converge: |<w_new, w>| <= 1
+        # while the threshold is 1 - (-1) = ... > 1.  The run must cap out
+        # with converged=False after exactly max_iterations.
+        result = fit_fastica(data, seed=0, max_iterations=3, tolerance=0.0)
+        assert result.n_iterations == 3
+        assert result.converged is False

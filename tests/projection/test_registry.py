@@ -154,3 +154,65 @@ class TestSessionIntegration:
             view = session.current_view()
             assert view.objective == name
             assert np.all(np.isfinite(view.axes))
+
+
+class TestTemporaryOverride:
+    def test_shadows_and_restores_builtin(self, rng):
+        from repro.projection.registry import ICAObjective, get, temporary
+
+        original = get("ica")
+        with temporary(ICAObjective(restarts=7)) as override:
+            assert get("ica") is override
+            assert get("ica").restarts == 7
+        assert get("ica") is original
+
+    def test_restores_even_on_error(self):
+        from repro.projection.registry import ICAObjective, get, temporary
+
+        original = get("ica")
+        with pytest.raises(RuntimeError):
+            with temporary(ICAObjective(restarts=2)):
+                raise RuntimeError("boom")
+        assert get("ica") is original
+
+    def test_unregistered_name_is_removed_on_exit(self):
+        from repro.projection import registry
+
+        class Throwaway:
+            name = "throwaway-temp"
+            description = "test"
+
+            def find_directions(self, whitened, rng):
+                return np.eye(np.asarray(whitened).shape[1])
+
+            def score(self, whitened, directions):
+                return np.zeros(np.atleast_2d(directions).shape[0])
+
+        with registry.temporary(Throwaway()):
+            assert registry.is_registered("throwaway-temp")
+        assert not registry.is_registered("throwaway-temp")
+
+    def test_nameless_objective_rejected(self):
+        from repro.projection import registry
+
+        with pytest.raises(ValueError):
+            with registry.temporary(object()):
+                pass
+
+
+class TestICAObjectiveRestarts:
+    def test_invalid_restart_count_rejected(self):
+        from repro.projection.registry import ICAObjective
+
+        with pytest.raises(ValueError):
+            ICAObjective(restarts=0)
+
+    def test_restart_search_is_deterministic(self, two_cluster_data):
+        from repro.projection.registry import ICAObjective
+
+        data, _ = two_cluster_data
+        obj = ICAObjective(restarts=4)
+        a = obj.find_directions(data, np.random.default_rng(3))
+        b = obj.find_directions(data, np.random.default_rng(3))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

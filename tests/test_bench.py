@@ -10,13 +10,18 @@ from repro.cli import main
 from repro.core.equivalence import build_equivalence_classes
 
 
-#: Tiny workload so the whole CLI path runs in well under a second.
+#: Tiny workloads so the whole CLI path runs in well under a second.
 _TINY = {"structural": 3, "d": 4, "n": 64, "sweeps": 2, "repeats": 1}
+_TINY_PROJECTION = {"n": 48, "d": 3, "restarts": 2, "iterations": 4,
+                    "scatter_classes": 6, "repeats": 1}
 
 
 @pytest.fixture
 def tiny_sizes(monkeypatch):
     monkeypatch.setitem(bench.SIZES, "quick", dict(_TINY))
+    monkeypatch.setitem(
+        bench.PROJECTION_SIZES, "quick", dict(_TINY_PROJECTION)
+    )
 
 
 class TestWorkload:
@@ -51,8 +56,22 @@ class TestSuite:
         assert path.name == "BENCH_core_solver.json"
         assert json.loads(path.read_text())["workload"]["n"] == _TINY["n"]
 
+    def test_projection_payload_shape_and_artifact(self, tiny_sizes, tmp_path):
+        payload = bench.run_projection_suite(quick=True, seed=0)
+        assert payload["suite"] == "projection"
+        assert payload["mode"] == "quick"
+        for key in ("fastica", "fastica_restarts", "scatter"):
+            assert f"{key}_vectorized_s" in payload["timings"]
+            assert f"{key}_reference_s" in payload["timings"]
+            assert payload["speedups"][key] > 0
+        path = bench.write_payload(payload, tmp_path)
+        assert path.name == "BENCH_projection.json"
+        saved = json.loads(path.read_text())
+        assert saved["workload"]["restarts"] == _TINY_PROJECTION["restarts"]
+
     def test_check_baselines_passes_and_fails(self, tiny_sizes, tmp_path):
         payload = bench.run_core_solver_suite(quick=True, seed=0)
+        # Legacy flat layout (mode -> budgets) still read.
         generous = tmp_path / "ok.json"
         generous.write_text(
             json.dumps({"tolerance": 2.0, "quick": {
@@ -70,31 +89,113 @@ class TestSuite:
         assert any("exceeds" in f for f in failures)
         assert any("missing" in f for f in failures)
 
+    def test_check_baselines_suite_keyed_layout(self, tiny_sizes, tmp_path):
+        payload = bench.run_projection_suite(quick=True, seed=0)
+        suite_keyed = tmp_path / "suites.json"
+        suite_keyed.write_text(
+            json.dumps({
+                "tolerance": 2.0,
+                "core_solver": {"quick": {"optim_sweep_vectorized_s": 1e-12}},
+                "projection": {"quick": {"fastica_vectorized_s": 1000.0}},
+            })
+        )
+        # The projection payload is judged only by its own section.
+        assert bench.check_baselines(payload, suite_keyed) == []
+        strict = tmp_path / "strict.json"
+        strict.write_text(
+            json.dumps({
+                "tolerance": 1.0,
+                "projection": {"quick": {"fastica_vectorized_s": 1e-12}},
+            })
+        )
+        failures = bench.check_baselines(payload, strict)
+        assert failures and "exceeds" in failures[0]
+
+    def test_legacy_flat_file_never_judges_other_suites(
+        self, tiny_sizes, tmp_path
+    ):
+        """A pre-suite-keyed baselines file only described core_solver;
+        a projection payload must get the 'section missing' error, not be
+        graded against (or report missing metrics from) core budgets."""
+        payload = bench.run_projection_suite(quick=True, seed=0)
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(
+            json.dumps({"tolerance": 2.0, "quick": {
+                "optim_sweep_vectorized_s": 1e-12}})
+        )
+        failures = bench.check_baselines(payload, legacy)
+        assert len(failures) == 1
+        assert "would check nothing" in failures[0]
+        assert "optim_sweep" not in failures[0]
+
     def test_check_baselines_missing_mode_section_fails(self, tmp_path):
-        payload = {"mode": "quick", "timings": {"optim_sweep_vectorized_s": 0.1}}
+        payload = {
+            "suite": "core_solver",
+            "mode": "quick",
+            "timings": {"optim_sweep_vectorized_s": 0.1},
+        }
         no_mode = tmp_path / "no_mode.json"
-        no_mode.write_text(json.dumps({"tolerance": 2.0, "full": {}}))
+        no_mode.write_text(
+            json.dumps({"tolerance": 2.0, "core_solver": {"full": {}}})
+        )
         failures = bench.check_baselines(payload, no_mode)
-        assert failures and "no 'quick' section" in failures[0]
+        assert failures and "'quick'" in failures[0]
+        assert "would check nothing" in failures[0]
+
+    def test_committed_baselines_cover_both_suites(self):
+        committed = json.loads(
+            (
+                __import__("pathlib").Path(bench.__file__).resolve().parents[2]
+                / "benchmarks"
+                / "baselines.json"
+            ).read_text()
+        )
+        for suite in ("core_solver", "projection"):
+            assert suite in committed, f"baselines.json lost its {suite} section"
+            for mode in ("quick", "full"):
+                assert committed[suite][mode], (suite, mode)
 
 
 class TestCli:
-    def test_bench_command_writes_artifact(self, tiny_sizes, tmp_path, capsys):
+    def test_bench_command_writes_both_artifacts(
+        self, tiny_sizes, tmp_path, capsys
+    ):
         status = main(
             ["bench", "--quick", "--output-dir", str(tmp_path)]
         )
         assert status == 0
         out = capsys.readouterr().out
         assert "suite core_solver (quick)" in out
+        assert "suite projection (quick)" in out
         assert (tmp_path / "BENCH_core_solver.json").exists()
+        assert (tmp_path / "BENCH_projection.json").exists()
+
+    def test_bench_command_single_suite(self, tiny_sizes, tmp_path, capsys):
+        status = main(
+            [
+                "bench",
+                "--quick",
+                "--suite",
+                "projection",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert status == 0
+        assert "suite projection (quick)" in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_core_solver.json").exists()
+        assert (tmp_path / "BENCH_projection.json").exists()
 
     def test_bench_command_check_failure_exits_nonzero(
         self, tiny_sizes, tmp_path, capsys
     ):
         strict = tmp_path / "strict.json"
         strict.write_text(
-            json.dumps({"tolerance": 1.0, "quick": {
-                "optim_sweep_vectorized_s": 1e-12}})
+            json.dumps({
+                "tolerance": 1.0,
+                "core_solver": {"quick": {"optim_sweep_vectorized_s": 1e-12}},
+                "projection": {"quick": {"fastica_vectorized_s": 1e-12}},
+            })
         )
         status = main(
             [
@@ -107,4 +208,8 @@ class TestCli:
             ]
         )
         assert status == 1
-        assert "REGRESSION" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        # Both suites' regressions are reported, not just the first.
+        assert "optim_sweep_vectorized_s" in err
+        assert "fastica_vectorized_s" in err

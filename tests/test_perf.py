@@ -147,3 +147,75 @@ class TestModuleLevelRegistry:
         finally:
             perf.disable()
             perf.reset()
+
+
+class TestProjectionInstrumentation:
+    """The projection layer reports under projection/* (PR 5)."""
+
+    def test_view_search_records_projection_paths(self):
+        from repro.core.session import ExplorationSession
+
+        rng = np.random.default_rng(0)
+        data = np.vstack(
+            [rng.standard_normal((60, 3)), rng.standard_normal((40, 3)) + 3.0]
+        )
+        perf.enable()
+        perf.reset()
+        try:
+            ExplorationSession(data, objective="ica", seed=0).current_view()
+            snap = perf.snapshot()
+            paths = set(snap["timings"])
+            assert any(p.startswith("projection/find/ica") for p in paths)
+            # FastICA's internal phases nest under the search timer.
+            assert any(p.endswith("fastica/iterate") for p in paths)
+            assert any(p.endswith("fastica/pca_whiten") for p in paths)
+            counters = snap["counters"]
+            assert counters["projection.fastica_runs"] >= 2  # both variants
+            assert counters["projection.fastica_iterations"] >= 1
+            assert counters["projection.views_built"] == 1
+        finally:
+            perf.disable()
+            perf.reset()
+
+    def test_pca_and_kurtosis_objectives_record_paths(self):
+        from repro.projection.view import most_informative_view
+
+        rng = np.random.default_rng(1)
+        whitened = rng.standard_normal((80, 4))
+        perf.enable()
+        perf.reset()
+        try:
+            most_informative_view(whitened, objective="pca")
+            most_informative_view(whitened, objective="kurtosis")
+            paths = set(perf.snapshot()["timings"])
+            assert any(p.startswith("projection/find/pca") for p in paths)
+            assert any(
+                p.startswith("projection/find/kurtosis") for p in paths
+            )
+            assert any(p.endswith("kurtosis_pursuit") for p in paths)
+        finally:
+            perf.disable()
+            perf.reset()
+
+    def test_service_stats_surface_projection_timers(self):
+        """GET /v1/stats exposes projection/* when REPRO_PERF is on."""
+        from repro.datasets import three_d_clusters
+        from repro.service import SessionManager
+
+        manager = SessionManager({"three-d": lambda: three_d_clusters(seed=0)})
+        perf.enable()
+        perf.reset()
+        try:
+            sid = manager.create("three-d", objective="ica")
+            manager.view(sid)
+            stats = manager.stats()
+            timings = stats["perf"]["timings"]
+            assert any("projection/" in path for path in timings)
+            # Round-trip through JSON like the HTTP layer does.
+            assert any(
+                "projection/" in path
+                for path in json.loads(json.dumps(stats))["perf"]["timings"]
+            )
+        finally:
+            perf.disable()
+            perf.reset()
