@@ -1,0 +1,86 @@
+"""Walkthrough: observability across service → session → solver.
+
+Enables ``repro.obs`` in-process, serves real traffic (including a few
+deliberate client errors), then demonstrates the three faces of the
+subsystem:
+
+1. **tracing** — a client-supplied ``X-Repro-Trace-Id`` is adopted and
+   echoed, and every request's event carries its span tree down to the
+   solver;
+2. **metrics** — ``GET /v1/metrics`` scraped in Prometheus text format
+   and validated with the bundled parser;
+3. **analysis** — the JSONL event log reduced to the same report the
+   ``repro trace`` CLI prints.
+
+Run with::
+
+    PYTHONPATH=src python examples/observability_walkthrough.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.datasets import x5
+from repro.obs import parse_prometheus
+from repro.obs.analyze import analyze_log, format_analysis
+from repro.service import (
+    ServiceAPI,
+    ServiceClient,
+    SessionManager,
+    start_background,
+)
+from repro.service.client import ServiceClientError
+
+
+def main() -> None:
+    log_path = Path(tempfile.mkdtemp(prefix="repro-obs-")) / "events.jsonl"
+
+    # Everything below this call is traced; slow_ms=50 promotes any
+    # request slower than 50 ms to full per-span detail in its event.
+    obs.configure(event_log=log_path, slow_ms=50.0)
+
+    bundle = x5(seed=0)
+    manager = SessionManager({"x5": bundle.data})
+    server = start_background(ServiceAPI(manager))
+    client = ServiceClient(server.base_url)
+    print(f"server up on {server.base_url}, events -> {log_path}")
+
+    # --- traffic: the normal interactive loop --------------------------
+    sid = client.create_session("x5", standardize=True)
+    client.view(sid)
+    cluster_a = [int(r) for r in np.flatnonzero(bundle.labels == "A")]
+    client.mark_cluster(sid, cluster_a, label="cluster-A")
+    client.view(sid)
+    print(f"client trace id of the last request: {client.last_trace_id}")
+
+    # --- traffic: deliberate errors become typed events ----------------
+    for path in ("/sessions/no-such-session/view", "/nope"):
+        try:
+            client._request("GET", path)  # noqa: SLF001
+        except ServiceClientError as exc:
+            print(f"GET /v1{path} -> {exc.status} "
+                  f"({exc.payload['error'][:40]}...)")
+
+    # --- scrape /v1/metrics in Prometheus text format ------------------
+    text = client.metrics_text()
+    families = parse_prometheus(text)
+    requests_total = sum(
+        s["value"] for s in families["repro_requests_total"]["samples"]
+    )
+    print(f"\nscraped {len(families)} metric families, "
+          f"{requests_total:.0f} requests counted so far; excerpt:")
+    for line in text.splitlines():
+        if line.startswith(("repro_requests_total", "repro_solver_sweeps")):
+            print(f"  {line}")
+
+    # --- analyze the event log (what `repro trace` prints) -------------
+    server.stop()
+    obs.disable()  # flushes and closes the event log
+    print("\n" + format_analysis(analyze_log(log_path)))
+
+
+if __name__ == "__main__":
+    main()

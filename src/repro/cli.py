@@ -12,7 +12,10 @@ Usage (after install)::
         --rounds 5 --trace t.jsonl             # autonomous exploration
     python -m repro explore --replay t.jsonl   # verify a recorded trace
     python -m repro serve --port 8000          # multi-tenant session service
+    python -m repro serve --obs --obs-log events.jsonl  # ... with tracing
     python -m repro loadgen --sessions 8       # policy-driven load generator
+    python -m repro loadgen --obs              # ... + server-side metrics
+    python -m repro trace events.jsonl         # analyze a request-event log
     python -m repro bench --quick              # vectorized-core benchmarks
 
 The CLI is a thin veneer over :mod:`repro.experiments` and
@@ -205,6 +208,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="where to write the JSON report",
     )
+    loadgen.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable observability (on the temporary server, or scrape an "
+        "external one) and cross-check server-side /v1/metrics latency "
+        "histograms against the client-side percentiles",
+    )
+    loadgen.add_argument(
+        "--obs-log",
+        default=None,
+        metavar="PATH",
+        help="with --obs and a temporary server: write the structured "
+        "JSONL request-event log here (implies --obs)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -267,6 +284,45 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="solve-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable request tracing and the /v1/metrics endpoint",
+    )
+    serve.add_argument(
+        "--obs-log",
+        default=None,
+        metavar="PATH",
+        help="write structured request events to this JSONL file "
+        "(implies --obs)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="requests slower than this carry full span detail in the "
+        "event log",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyze a structured request-event log (REPRO_OBS_LOG)",
+    )
+    trace.add_argument(
+        "log", metavar="PATH", help="JSONL event log written by the service"
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many slowest requests to list (default: 10)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as JSON instead of the table",
     )
     return parser
 
@@ -461,6 +517,8 @@ def cmd_loadgen(
     objective: str,
     seed: int,
     output: str,
+    obs_enabled: bool = False,
+    obs_log: str | None = None,
 ) -> int:
     """Policy-driven concurrent workload against a (possibly temp) server."""
     from repro.explore import (
@@ -470,6 +528,22 @@ def cmd_loadgen(
         write_report,
     )
 
+    obs_enabled = obs_enabled or obs_log is not None
+    configured_obs = False
+    if obs_enabled and url is None:
+        # The temporary server runs in this process, so observability can
+        # be switched on right here; against an external URL the server
+        # operator controls it and loadgen only scrapes.
+        from repro import obs as obs_module
+
+        obs_module.configure(event_log=obs_log)
+        configured_obs = True
+    elif obs_log is not None:
+        print(
+            "--obs-log only applies to the temporary in-process server; "
+            "an external server writes its own event log",
+            file=sys.stderr,
+        )
     server = None
     if url is None:
         from repro.service import SessionManager, start_background
@@ -487,6 +561,7 @@ def cmd_loadgen(
             rounds=rounds,
             objective=objective,
             seed=seed,
+            obs=obs_enabled,
         )
         print(
             f"loadgen: {config.sessions} session(s) x {config.rounds} "
@@ -497,9 +572,15 @@ def cmd_loadgen(
     finally:
         if server is not None:
             server.stop()
+        if configured_obs:
+            from repro import obs as obs_module
+
+            obs_module.disable()
     print(format_report(report))
     path = write_report(report, output)
     print(f"report written to {path}")
+    if obs_log is not None and configured_obs:
+        print(f"event log written to {obs_log} (analyze: repro trace {obs_log})")
     return 0 if report.totals["sessions_failed"] == 0 else 1
 
 
@@ -550,6 +631,9 @@ def cmd_serve(
     max_sessions: int,
     ttl: float | None,
     cache_size: int,
+    obs_enabled: bool = False,
+    obs_log: str | None = None,
+    slow_ms: float = 500.0,
 ) -> int:
     from repro.service import (
         DirectoryStore,
@@ -560,6 +644,10 @@ def cmd_serve(
         serve,
     )
 
+    if obs_enabled or obs_log is not None:
+        from repro import obs as obs_module
+
+        obs_module.configure(event_log=obs_log, slow_ms=slow_ms)
     manager = SessionManager(
         DATASETS,
         store=DirectoryStore(store_dir) if store_dir else None,
@@ -575,12 +663,35 @@ def cmd_serve(
     print(f"objectives: {', '.join(registry.names())}")
     if store_dir:
         print(f"checkpoints: {store_dir}")
+    if obs_enabled or obs_log is not None:
+        print(
+            "observability: tracing on, metrics at /v1/metrics"
+            + (f", events -> {obs_log}" if obs_log else "")
+        )
 
     def checkpoint_on_shutdown() -> None:
         if manager.store is not None:
             print(f"checkpointed {manager.checkpoint_all()} session(s)")
 
     serve(server, on_shutdown=checkpoint_on_shutdown)
+    return 0
+
+
+def cmd_trace(log: str, top: int, as_json: bool) -> int:
+    """Analyze a JSONL request-event log (``repro trace events.jsonl``)."""
+    import json
+
+    from repro.obs.analyze import analyze_log, format_analysis
+
+    try:
+        report = analyze_log(log, top=top)
+    except OSError as exc:
+        print(f"cannot read {log}: {exc}", file=sys.stderr)
+        return 1
+    if as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_analysis(report))
     return 0
 
 
@@ -629,6 +740,8 @@ def main(argv: list[str] | None = None) -> int:
             args.objective,
             args.seed,
             args.output,
+            args.obs,
+            args.obs_log,
         )
     if args.command == "bench":
         return cmd_bench(
@@ -647,7 +760,12 @@ def main(argv: list[str] | None = None) -> int:
             args.max_sessions,
             args.ttl,
             args.cache_size,
+            args.obs,
+            args.obs_log,
+            args.slow_ms,
         )
+    if args.command == "trace":
+        return cmd_trace(args.log, args.top, args.json)
     return 2
 
 

@@ -55,6 +55,7 @@ from repro.explore.loadgen import (
     LatencyRecorder,
     LoadGenConfig,
     LoadGenReport,
+    capture_obs,
     format_report,
     run_loadgen,
     write_report,
@@ -111,6 +112,7 @@ __all__ = [
     "Trace",
     "UnknownPolicyError",
     "WallClockBudget",
+    "capture_obs",
     "format_report",
     "in_process_driver_for",
     "load_trace",

@@ -31,10 +31,16 @@ import numpy as np
 
 from repro.explore.engine import RemoteDriver, run_exploration
 from repro.explore.policies import make_policy
+from repro.obs import bucket_bounds, histogram_quantile
 from repro.service.client import ServiceClient, ServiceClientError
 
 #: Percentiles reported per route.
 _PERCENTILES = (50, 95, 99)
+
+#: Slack for the client/server latency cross-check: client-side numbers
+#: include urllib + socket overhead the server never sees, so agreement
+#: is asserted only up to bucket resolution plus this many milliseconds.
+_CROSSCHECK_OVERHEAD_MS = 25.0
 
 _SESSION_SEGMENT = "/sessions/"
 
@@ -105,12 +111,19 @@ class InstrumentedClient(ServiceClient):
         self.recorder = recorder
 
     def _request_once(
-        self, method: str, path: str, body: dict | None = None
-    ) -> dict:
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        decode_json: bool = True,
+    ):
         route = route_template(method, self.prefix, path)
         start = time.perf_counter()
         try:
-            payload = super()._request_once(method, path, body)
+            payload = super()._request_once(
+                method, path, body, decode_json=decode_json
+            )
         except ServiceClientError:
             self.recorder.record(route, time.perf_counter() - start, ok=False)
             raise
@@ -145,6 +158,10 @@ class LoadGenConfig:
         Per-request client timeout, seconds.
     cleanup:
         Delete each session from the server after its run.
+    obs:
+        Scrape the server's ``/v1/metrics`` after the run and cross-check
+        its per-route latency histograms against the client-side
+        percentiles (requires observability enabled on the server).
     """
 
     url: str
@@ -157,6 +174,7 @@ class LoadGenConfig:
     seed: int = 0
     timeout: float = 60.0
     cleanup: bool = True
+    obs: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -170,6 +188,7 @@ class LoadGenConfig:
             "seed": self.seed,
             "timeout": self.timeout,
             "cleanup": self.cleanup,
+            "obs": self.obs,
         }
 
     def resolved_workers(self) -> int:
@@ -186,6 +205,7 @@ class LoadGenReport:
     cache: dict | None
     server: dict | None
     sessions: list[dict] = field(default_factory=list)
+    obs: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -196,7 +216,74 @@ class LoadGenReport:
             "cache": self.cache,
             "server": self.server,
             "sessions": self.sessions,
+            "obs": self.obs,
         }
+
+
+def capture_obs(control: ServiceClient, client_routes: dict) -> dict | None:
+    """Scrape server-side metrics and cross-check latency percentiles.
+
+    For every route both sides saw, the server's request-duration
+    histogram is reduced to p50/p95/p99 estimates
+    (:func:`histogram_quantile`) and the client-side percentile is
+    checked against the histogram's bucket bounds — agreement "within
+    bucket resolution" plus a fixed HTTP-overhead allowance, since the
+    client numbers include socket time the server never measures.
+
+    Returns ``None`` when the server cannot be scraped at all,
+    ``{"enabled": False}`` when observability is off server-side.
+    """
+    try:
+        scraped = control.metrics()
+    except ServiceClientError:
+        return None
+    if not scraped.get("enabled"):
+        return {"enabled": False}
+    family = scraped.get("families", {}).get(
+        "repro_request_duration_seconds", {}
+    )
+    server_routes: dict = {}
+    crosscheck: dict = {}
+    for sample in family.get("samples", []):
+        route = sample.get("labels", {}).get("route", "")
+        buckets = [tuple(edge) for edge in sample.get("buckets", [])]
+        count = sample.get("count", 0)
+        if not route or count <= 0:
+            continue
+        entry: dict = {"count": int(count)}
+        for q in _PERCENTILES:
+            entry[f"p{q}_ms"] = (
+                histogram_quantile(buckets, count, q / 100.0) * 1e3
+            )
+        server_routes[route] = entry
+        client = client_routes.get(route)
+        if client is None:
+            continue
+        checks: dict = {}
+        for q in _PERCENTILES:
+            lower, upper = bucket_bounds(buckets, count, q / 100.0)
+            lower_ms, upper_ms = lower * 1e3, upper * 1e3
+            client_ms = client[f"p{q}_ms"]
+            # Generous on purpose: this guards against gross divergence
+            # (wrong units, mislabelled routes), not clock-level agreement.
+            ok = client_ms >= lower_ms - _CROSSCHECK_OVERHEAD_MS and (
+                upper_ms != upper_ms  # NaN guard (empty histogram)
+                or upper == float("inf")
+                or client_ms
+                <= upper_ms + max(_CROSSCHECK_OVERHEAD_MS, upper_ms)
+            )
+            checks[f"p{q}"] = {
+                "client_ms": client_ms,
+                "server_ms": entry[f"p{q}_ms"],
+                "bucket_ms": [lower_ms, upper_ms],
+                "within_tolerance": bool(ok),
+            }
+        crosscheck[route] = checks
+    return {
+        "enabled": True,
+        "server_routes": server_routes,
+        "crosscheck": crosscheck,
+    }
 
 
 def _run_one_session(
@@ -278,14 +365,16 @@ def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
     wall = time.perf_counter() - started
 
     requests, errors = recorder.totals()
+    routes = recorder.summary()
     try:
         server_stats = control.server_stats()
     except ServiceClientError:
         server_stats = None
     cache = (server_stats or {}).get("cache")
+    obs_capture = capture_obs(control, routes) if config.obs else None
     return LoadGenReport(
         config=config.to_dict(),
-        routes=recorder.summary(),
+        routes=routes,
         totals={
             "requests": requests,
             "errors": errors,
@@ -299,6 +388,7 @@ def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
         cache=cache,
         server=server_stats,
         sessions=outcomes,
+        obs=obs_capture,
     )
 
 
@@ -332,4 +422,19 @@ def format_report(report: LoadGenReport) -> str:
             f"({report.cache.get('hits', 0)} hits / "
             f"{report.cache.get('misses', 0)} misses)"
         )
+    if report.obs is not None:
+        if not report.obs.get("enabled"):
+            lines.append("obs: server-side observability disabled (no cross-check)")
+        else:
+            checks = [
+                check["within_tolerance"]
+                for route_checks in report.obs["crosscheck"].values()
+                for check in route_checks.values()
+            ]
+            agreed = sum(checks)
+            lines.append(
+                f"obs: {len(report.obs['server_routes'])} server-side route "
+                f"histogram(s); latency cross-check {agreed}/{len(checks)} "
+                "within bucket resolution"
+            )
     return "\n".join(lines)

@@ -1,0 +1,409 @@
+"""`repro.obs`: request tracing, structured events, exportable metrics.
+
+One switch turns the whole layer on: :func:`configure` (or the
+``REPRO_OBS=1`` / ``REPRO_OBS_LOG=path`` environment variables, read at
+import) installs a process-wide :class:`Observability` state that the
+service and the compute kernels consult at runtime:
+
+* **Tracing** — the HTTP layer starts a :class:`~repro.obs.trace.Trace`
+  per request (id from the ``X-Repro-Trace-Id`` header, or minted) and
+  every ``repro.perf`` timer that fires while it is active becomes a
+  span of that request, via the bridge installed at
+  :data:`repro.perf.trace_sink`.
+* **Events** — each completed request is emitted as one JSONL line
+  (route, status, trace id, duration, span tree, solver/cache counters)
+  to the configured :class:`~repro.obs.events.EventLog`; requests slower
+  than ``slow_ms`` — and every 4xx/5xx, as a typed ``error`` event —
+  carry full per-span detail.
+* **Metrics** — a :class:`~repro.obs.metrics.MetricsRegistry` of
+  counters/gauges/histograms (request duration per route, solve
+  duration, cache hit/miss, feedback batch size, live sessions) exported
+  at ``GET /v1/metrics`` in Prometheus text format (JSON variant via
+  ``?format=json``).
+
+While *disabled* (the default) every hook in the hot path is one module
+attribute read plus a ``None`` check — the same cost class as a disabled
+``perf.add`` — pinned by a micro-benchmark in the test suite.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+
+from repro import perf
+from repro.obs import trace as trace_module
+from repro.obs.events import EventLog, read_events
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    bucket_bounds,
+    histogram_quantile,
+    parse_prometheus,
+)
+from repro.obs.trace import PerfBridge, Trace, accept_trace_id, new_trace_id
+
+__all__ = [
+    "EventLog",
+    "MetricsRegistry",
+    "Observability",
+    "Trace",
+    "accept_trace_id",
+    "active",
+    "bucket_bounds",
+    "cache_lookup",
+    "configure",
+    "disable",
+    "feedback_batch",
+    "histogram_quantile",
+    "is_enabled",
+    "new_trace_id",
+    "parse_prometheus",
+    "read_events",
+    "route_template",
+    "solve_completed",
+    "trace_module",
+]
+
+#: HTTP header carrying the trace id in both directions.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+_SESSION_PATH = re.compile(
+    r"^(?P<prefix>(?:/v1)?)/sessions/(?P<sid>[^/?]+)(?P<rest>/[^?]*)?$"
+)
+
+
+def route_template(method: str, path: str) -> tuple[str, str | None]:
+    """Collapse a request path onto its route key; extract the session id.
+
+    ``GET /v1/sessions/abc123/view?detail=1`` becomes
+    ``("GET /v1/sessions/{id}/view", "abc123")`` — the same route keys
+    the loadgen client records, so client- and server-side latency
+    tables join on route strings directly.
+    """
+    path = path.split("?", 1)[0]
+    if len(path) > 1:
+        path = path.rstrip("/") or "/"
+    match = _SESSION_PATH.match(path)
+    if not match:
+        return f"{method} {path}", None
+    rest = match.group("rest") or ""
+    template = f"{match.group('prefix')}/sessions/{{id}}{rest}"
+    return f"{method} {template}", match.group("sid")
+
+
+class Observability:
+    """Process-wide observability state: metrics + event sink + tracing.
+
+    Construct directly for tests; production code goes through
+    :func:`configure`, which also installs the instance as the active
+    state and hooks the perf-timer span bridge.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+        slow_ms: float = 500.0,
+        tracing: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events
+        self.slow_ms = float(slow_ms)
+        self.tracing = bool(tracing)
+        m = self.metrics
+        self._requests = m.counter(
+            "repro_requests_total",
+            "Service requests handled, by route and status code.",
+            labelnames=("route", "status"),
+        )
+        self._request_duration = m.histogram(
+            "repro_request_duration_seconds",
+            "Server-side request duration, by route.",
+            labelnames=("route",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._slow_requests = m.counter(
+            "repro_slow_requests_total",
+            "Requests slower than the slow-request threshold, by route.",
+            labelnames=("route",),
+        )
+        self._solve_duration = m.histogram(
+            "repro_solve_duration_seconds",
+            "MaxEnt solver wall-clock per solve (INIT + OPTIM).",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).default()
+        self._solver_sweeps = m.counter(
+            "repro_solver_sweeps_total",
+            "Full solver sweeps across all solves.",
+        ).default()
+        self._cache_lookups = m.counter(
+            "repro_solve_cache_lookups_total",
+            "Solve-cache lookups, by result.",
+            labelnames=("result",),
+        )
+        self._feedback_batch = m.histogram(
+            "repro_feedback_batch_size",
+            "Feedback items per applied batch.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).default()
+        self._sessions_gauge = m.gauge(
+            "repro_sessions_in_memory",
+            "Live sessions held in memory by the manager.",
+        ).default()
+        self._hit_ratio_gauge = m.gauge(
+            "repro_solve_cache_hit_ratio",
+            "Lifetime solve-cache hit ratio (0 when no cache).",
+        ).default()
+
+    # ------------------------------------------------------------------
+    # Request-level recording
+    # ------------------------------------------------------------------
+
+    def observe_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        seconds: float,
+        *,
+        route: str | None = None,
+        session_id: str | None = None,
+        trace: Trace | None = None,
+        trace_id: str | None = None,
+        error: str | None = None,
+        error_kind: str | None = None,
+    ) -> None:
+        """Record one finished request: metrics always, one event if a
+        sink is configured (typed ``error`` event for 4xx/5xx)."""
+        if route is None:
+            route, extracted = route_template(method, path)
+            session_id = session_id or extracted
+        self._requests.labels(route=route, status=str(status)).inc()
+        self._request_duration.labels(route=route).observe(seconds)
+        duration_ms = seconds * 1e3
+        slow = duration_ms >= self.slow_ms
+        if slow:
+            self._slow_requests.labels(route=route).inc()
+        if self.events is None:
+            return
+        failed = status >= 400
+        event: dict = {
+            "event": "error" if failed else "request",
+            "trace_id": trace.trace_id if trace is not None else trace_id,
+            "route": route,
+            "method": method,
+            "path": path.split("?", 1)[0],
+            "status": int(status),
+            "duration_ms": duration_ms,
+        }
+        if session_id is not None:
+            event["session_id"] = session_id
+        if failed:
+            event["error_kind"] = error_kind or "error"
+            if error:
+                event["error"] = error
+        if slow:
+            event["slow"] = True
+        if trace is not None:
+            counters = trace.counters
+            if counters:
+                event["counters"] = counters
+                hits = counters.get("service.solve_cache_hits", 0)
+                misses = counters.get("service.solves", 0)
+                if hits or misses:
+                    event["cache"] = "hit" if hits else "miss"
+                sweeps = counters.get("solver.sweeps")
+                if sweeps is not None:
+                    event["solver_sweeps"] = int(sweeps)
+            event["spans"] = trace.span_tree()
+            if slow or failed:
+                # Promote full per-span detail for the requests worth
+                # staring at; routine fast requests stay one line.
+                event["span_detail"] = trace.span_events()
+        self.events.emit(event)
+
+    def update_service_gauges(self, manager) -> None:
+        """Refresh scrape-time gauges from a session manager."""
+        self._sessions_gauge.set(manager.live_session_count())
+        cache = getattr(manager, "cache", None)
+        ratio = cache.stats().get("hit_rate", 0.0) if cache is not None else 0.0
+        self._hit_ratio_gauge.set(ratio)
+
+    # ------------------------------------------------------------------
+    # Kernel-level recording (module helpers forward here)
+    # ------------------------------------------------------------------
+
+    def record_solve(self, elapsed: float, sweeps: int) -> None:
+        self._solve_duration.observe(elapsed)
+        self._solver_sweeps.inc(sweeps)
+
+    def record_cache_lookup(self, hit: bool) -> None:
+        self._cache_lookups.labels(result="hit" if hit else "miss").inc()
+
+    def record_feedback_batch(self, size: int) -> None:
+        self._feedback_batch.observe(size)
+
+
+# ----------------------------------------------------------------------
+# Process-wide state
+# ----------------------------------------------------------------------
+
+_active: Observability | None = None
+
+
+def active() -> Observability | None:
+    """The installed observability state, or ``None`` while disabled."""
+    return _active
+
+
+def is_enabled() -> bool:
+    """Whether observability is currently on."""
+    return _active is not None
+
+
+def configure(
+    event_log: str | EventLog | None = None,
+    metrics: MetricsRegistry | None = None,
+    slow_ms: float = 500.0,
+    tracing: bool = True,
+) -> Observability:
+    """Enable observability process-wide; returns the installed state.
+
+    ``event_log`` may be a path (opened append-mode) or a pre-built
+    :class:`EventLog`; ``None`` records metrics and traces without a
+    JSONL sink.  Reconfiguring replaces the previous state (its event log
+    is closed if it was opened here).
+    """
+    global _active
+    previous = _active
+    events = EventLog(event_log) if isinstance(event_log, (str, os.PathLike)) \
+        else event_log
+    state = Observability(
+        metrics=metrics, events=events, slow_ms=slow_ms, tracing=tracing
+    )
+    _active = state
+    perf.trace_sink = PerfBridge() if tracing else None
+    if previous is not None and previous.events is not None \
+            and previous.events is not events:
+        previous.events.close()
+    return state
+
+
+def disable() -> None:
+    """Turn observability off and close the event sink."""
+    global _active
+    state = _active
+    _active = None
+    perf.trace_sink = None
+    if state is not None and state.events is not None:
+        state.events.close()
+
+
+# ----------------------------------------------------------------------
+# Hot-path hooks (each is a no-op costing one global read while disabled)
+# ----------------------------------------------------------------------
+
+
+def solve_completed(elapsed: float, sweeps: int) -> None:
+    """Called by the solver after every finished solve."""
+    state = _active
+    if state is not None:
+        state.record_solve(elapsed, sweeps)
+
+
+def cache_lookup(hit: bool) -> None:
+    """Called by the solve cache on every lookup."""
+    state = _active
+    if state is not None:
+        state.record_cache_lookup(hit)
+
+
+def feedback_batch(size: int) -> None:
+    """Called by the service when a feedback batch is applied."""
+    state = _active
+    if state is not None:
+        state.record_feedback_batch(size)
+
+
+def request_envelope(method: str, path: str, trace_id: str | None = None):
+    """Context manager tracing + recording one request (see ServiceAPI)."""
+    return _RequestEnvelope(method, path, trace_id)
+
+
+class _RequestEnvelope:
+    """Times one request, traces it, and records it on exit.
+
+    The HTTP layer and :meth:`ServiceAPI.dispatch` both use this; status
+    and error typing are posted onto the envelope before exit via
+    :meth:`set_result`.
+    """
+
+    __slots__ = (
+        "method", "path", "trace_id", "trace", "started",
+        "status", "error", "error_kind",
+    )
+
+    def __init__(self, method: str, path: str, trace_id: str | None) -> None:
+        self.method = method
+        self.path = path
+        self.trace_id = trace_id
+        self.trace: Trace | None = None
+        self.started = 0.0
+        self.status = 500
+        self.error: str | None = None
+        self.error_kind: str | None = None
+
+    def __enter__(self) -> "_RequestEnvelope":
+        state = _active
+        if state is not None and state.tracing:
+            self.trace = trace_module.start(self.trace_id)
+            self.trace_id = self.trace.trace_id
+        self.started = time.perf_counter()
+        return self
+
+    def set_result(
+        self,
+        status: int,
+        error: str | None = None,
+        error_kind: str | None = None,
+    ) -> None:
+        self.status = int(status)
+        self.error = error
+        self.error_kind = error_kind
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        seconds = time.perf_counter() - self.started
+        if self.trace is not None:
+            trace_module.finish(self.trace)
+        state = _active
+        if state is None:
+            return None
+        if exc_type is not None and self.error is None:
+            # A bug that escaped the dispatcher's own error mapping.
+            self.status = 500
+            self.error = f"{exc_type.__name__}: {exc}"
+            self.error_kind = "internal_error"
+        state.observe_request(
+            self.method,
+            self.path,
+            self.status,
+            seconds,
+            trace=self.trace,
+            trace_id=self.trace_id,
+            error=self.error,
+            error_kind=self.error_kind,
+        )
+        return None
+
+
+# Environment switch, read once at import: REPRO_OBS=1 enables the layer,
+# REPRO_OBS_LOG both enables it and attaches the JSONL sink.
+_env_log = os.environ.get("REPRO_OBS_LOG", "")
+if os.environ.get("REPRO_OBS", "") == "1" or _env_log:
+    configure(
+        event_log=_env_log or None,
+        slow_ms=float(os.environ.get("REPRO_OBS_SLOW_MS", "500")),
+    )

@@ -1,0 +1,202 @@
+"""Offline analysis of the structured event log (``repro trace``).
+
+Ingests the JSONL file an observability-enabled service wrote
+(``REPRO_OBS_LOG`` / :func:`repro.obs.configure`) and reduces it to the
+three views an operator actually wants after a run:
+
+* per-route latency: request count, error count, p50/p95/p99/max
+  (computed exactly from the per-event durations — unlike the live
+  ``/v1/metrics`` histograms these are not bucket estimates);
+* the top-N slowest requests, with their trace ids so they can be
+  joined against client-side logs;
+* the aggregated span tree: which instrumented blocks (``solve``,
+  ``solve/init``, FastICA phases, ...) the wall-clock actually went to,
+  across all traced requests.
+
+Pure stdlib + numpy; nothing here touches the live observability state,
+so it can run against a log from another process or machine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.obs.events import read_events
+
+#: Percentiles reported per route (matches loadgen's client-side table).
+_PERCENTILES = (50, 95, 99)
+
+
+def analyze_events(events: Iterable[dict], top: int = 10) -> dict:
+    """Reduce an event stream to the ``repro trace`` report (JSON-ready).
+
+    Returns::
+
+        {
+          "events": total event count,
+          "requests": request+error event count,
+          "errors": {"total": n, "by_kind": {kind: n}},
+          "routes": {route: {count, errors, mean_ms, p50_ms, ...}},
+          "slowest": [{trace_id, route, status, duration_ms, ...}, ...],
+          "spans": {path: {calls, seconds, failed}},
+          "cache": {"hits": n, "misses": n} | None,
+        }
+    """
+    total = 0
+    durations: dict[str, list[float]] = {}
+    route_errors: dict[str, int] = {}
+    error_kinds: dict[str, int] = {}
+    requests = 0
+    slowest: list[dict] = []
+    spans: dict[str, dict] = {}
+    cache_hits = 0
+    cache_misses = 0
+    saw_cache = False
+
+    for event in events:
+        total += 1
+        if event.get("event") not in ("request", "error"):
+            continue
+        requests += 1
+        route = event.get("route", "?")
+        duration = float(event.get("duration_ms", 0.0))
+        durations.setdefault(route, []).append(duration)
+        if event.get("event") == "error":
+            route_errors[route] = route_errors.get(route, 0) + 1
+            kind = event.get("error_kind", "error")
+            error_kinds[kind] = error_kinds.get(kind, 0) + 1
+        cache = event.get("cache")
+        if cache is not None:
+            saw_cache = True
+            if cache == "hit":
+                cache_hits += 1
+            else:
+                cache_misses += 1
+        slowest.append(
+            {
+                "trace_id": event.get("trace_id"),
+                "route": route,
+                "status": event.get("status"),
+                "duration_ms": duration,
+                "session_id": event.get("session_id"),
+                "solver_sweeps": event.get("solver_sweeps"),
+                "slow": bool(event.get("slow", False)),
+            }
+        )
+        for path, node in (event.get("spans") or {}).items():
+            agg = spans.get(path)
+            if agg is None:
+                agg = {"calls": 0, "seconds": 0.0, "failed": 0}
+                spans[path] = agg
+            agg["calls"] += int(node.get("calls", 0))
+            agg["seconds"] += float(node.get("seconds", 0.0))
+            agg["failed"] += int(node.get("failed", 0))
+
+    slowest.sort(key=lambda row: row["duration_ms"], reverse=True)
+    routes: dict[str, dict] = {}
+    for route in sorted(durations):
+        values = np.asarray(durations[route], dtype=np.float64)
+        stats = {
+            "count": int(values.size),
+            "errors": int(route_errors.get(route, 0)),
+            "mean_ms": float(values.mean()),
+            "max_ms": float(values.max()),
+        }
+        for q in _PERCENTILES:
+            stats[f"p{q}_ms"] = float(np.percentile(values, q))
+        routes[route] = stats
+
+    return {
+        "events": total,
+        "requests": requests,
+        "errors": {
+            "total": int(sum(error_kinds.values())),
+            "by_kind": dict(sorted(error_kinds.items())),
+        },
+        "routes": routes,
+        "slowest": slowest[: max(0, int(top))],
+        "spans": dict(sorted(spans.items())),
+        "cache": (
+            {"hits": cache_hits, "misses": cache_misses} if saw_cache else None
+        ),
+    }
+
+
+def analyze_log(path: str | Path, top: int = 10) -> dict:
+    """:func:`analyze_events` over a JSONL event-log file."""
+    return analyze_events(read_events(path), top=top)
+
+
+def _span_depth(path: str) -> int:
+    return path.count("/")
+
+
+def format_analysis(report: dict) -> str:
+    """Human-readable report (what ``repro trace`` prints)."""
+    lines = [
+        f"{report['events']} event(s), {report['requests']} request(s), "
+        f"{report['errors']['total']} error(s)"
+    ]
+    if report["errors"]["by_kind"]:
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in report["errors"]["by_kind"].items()
+        )
+        lines.append(f"errors by kind: {kinds}")
+    if report["cache"]:
+        hits = report["cache"]["hits"]
+        misses = report["cache"]["misses"]
+        looked = hits + misses
+        rate = hits / looked if looked else 0.0
+        lines.append(
+            f"solve cache (request-level): {hits} hit(s) / "
+            f"{misses} miss(es) -> {rate:.2%}"
+        )
+    if report["routes"]:
+        lines.append("")
+        lines.append(
+            "route                                    count    p50ms    "
+            "p95ms    p99ms    maxms  err"
+        )
+        for route, stats in report["routes"].items():
+            lines.append(
+                f"{route:<40} {stats['count']:>5} "
+                f"{stats['p50_ms']:>8.2f} {stats['p95_ms']:>8.2f} "
+                f"{stats['p99_ms']:>8.2f} {stats['max_ms']:>8.2f} "
+                f"{stats['errors']:>4}"
+            )
+    if report["slowest"]:
+        lines.append("")
+        lines.append(f"slowest {len(report['slowest'])} request(s):")
+        for row in report["slowest"]:
+            extra = ""
+            if row.get("solver_sweeps") is not None:
+                extra = f"  sweeps={row['solver_sweeps']}"
+            lines.append(
+                f"  {row['duration_ms']:>9.2f} ms  {row['status']}  "
+                f"{row['route']:<40} trace={row['trace_id']}{extra}"
+            )
+    if report["spans"]:
+        lines.append("")
+        lines.append("span tree (aggregated over all traced requests):")
+        total_seconds = sum(
+            node["seconds"]
+            for path, node in report["spans"].items()
+            if _span_depth(path) == 0
+        )
+        for path, node in report["spans"].items():
+            depth = _span_depth(path)
+            name = path.rsplit("/", 1)[-1]
+            share = (
+                node["seconds"] / total_seconds if total_seconds > 0 else 0.0
+            )
+            failed = f"  failed={node['failed']}" if node["failed"] else ""
+            lines.append(
+                f"  {'  ' * depth}{name:<{30 - 2 * depth}} "
+                f"{node['calls']:>6}x {node['seconds'] * 1e3:>10.2f} ms "
+                f"({share:>6.1%}){failed}"
+            )
+    return "\n".join(lines)

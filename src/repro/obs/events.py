@@ -1,0 +1,82 @@
+"""Structured event log: one JSON object per line, append-only.
+
+The sink behind ``REPRO_OBS_LOG``.  Every completed service request emits
+one ``request`` event (or an additional ``error`` event for 4xx/5xx
+responses); the analyzer (``repro trace``) and the CI smoke job read the
+file back with :func:`read_events`.
+
+Writes are line-buffered under a lock, so concurrent handler threads
+never interleave partial lines, and each line is flushed as written —
+a crash loses at most the event being formatted, and a tail -f on the
+log sees requests as they complete.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Iterator
+
+
+class EventLog:
+    """Append-only JSONL sink (a path, or any writable text stream)."""
+
+    def __init__(self, target: str | Path | io.TextIOBase) -> None:
+        if isinstance(target, (str, Path)):
+            self.path: Path | None = Path(target)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self.path = None
+            self._stream = target
+            self._owns_stream = False
+        self._lock = threading.Lock()
+        self._emitted = 0
+
+    def emit(self, event: dict) -> None:
+        """Write one event (a ``"ts"`` wall-clock stamp is added if absent)."""
+        if "ts" not in event:
+            event = {"ts": time.time(), **event}
+        line = json.dumps(event, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._stream.closed:
+                return  # late event after close() — drop, never raise
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self._emitted += 1
+
+    @property
+    def emitted(self) -> int:
+        """Events successfully written since this log was opened."""
+        with self._lock:
+            return self._emitted
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and not self._stream.closed:
+                self._stream.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> Iterator[dict]:
+    """Yield events from a JSONL log, skipping any truncated final line."""
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # A process killed mid-write leaves at most one partial
+                # line; analysis over the surviving events is still valid.
+                continue

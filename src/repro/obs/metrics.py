@@ -1,0 +1,512 @@
+"""Prometheus-style metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family with
+label names has one child per observed label-value combination (e.g. the
+request-duration histogram keyed by route).  Everything is thread-safe —
+the service records from one thread per connection — and renders two
+ways:
+
+* :meth:`MetricsRegistry.render_prometheus` — the text exposition format
+  (version 0.0.4) that ``GET /v1/metrics`` serves and any Prometheus
+  scraper ingests;
+* :meth:`MetricsRegistry.render_json` — the same data as plain dicts for
+  programmatic consumers (``GET /v1/metrics?format=json``, loadgen's
+  server-side capture).
+
+The module also ships the consumer half used by the tests, the CI smoke
+job and ``repro loadgen --obs``: :func:`parse_prometheus` (a small
+exposition-format parser) and :func:`histogram_quantile` (percentile
+estimation from cumulative bucket counts, the same estimate a
+``histogram_quantile()`` PromQL query would make).
+
+Nothing here imports the rest of :mod:`repro`; the registry is wired into
+the request path by :mod:`repro.obs` and stays completely inert until
+observability is enabled.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Iterable, Mapping
+
+#: Default latency buckets (seconds).  Chosen for the paper's
+#: interactivity budget: sub-millisecond cache hits up to multi-second
+#: cold solves, roughly log-spaced so "within bucket resolution" stays a
+#: meaningful latency comparison at every scale.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for small-count distributions (feedback batch sizes).
+DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+_INF = float("inf")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render without the trailing .0."""
+    if value == _INF:
+        return "+Inf"
+    if value == -_INF:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
+def _label_key(
+    labelnames: tuple[str, ...], labels: Mapping[str, str]
+) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {list(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Settable value, optionally backed by a callback read at render time."""
+
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            self._fn = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            self._fn = None
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read the gauge from ``fn`` at every render (scrape-time value)."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            return float(fn())
+        except Exception:  # noqa: BLE001 — a broken callback must not
+            # take the whole scrape down with it.
+            return math.nan
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative counts, sum, and total count."""
+
+    __slots__ = ("buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Iterable[float]) -> None:
+        edges = sorted(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if edges[-1] == _INF:
+            edges = edges[:-1]
+        self.buckets = tuple(edges)
+        self._lock = threading.Lock()
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            # _counts holds per-bin counts; snapshot() accumulates them
+            # into the cumulative form Prometheus expects.
+            for i, edge in enumerate(self.buckets):
+                if value <= edge:
+                    self._counts[i] += 1
+                    break
+
+    def snapshot(self) -> dict:
+        """``{"buckets": [[le, cumulative], ...], "sum": s, "count": n}``.
+
+        Bucket counts are cumulative (Prometheus semantics); the implicit
+        ``+Inf`` bucket equals ``count``.
+        """
+        with self._lock:
+            cumulative = 0
+            rows = []
+            for edge, count in zip(self.buckets, self._counts):
+                cumulative += count
+                rows.append([edge, cumulative])
+            return {
+                "buckets": rows,
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class _Family:
+    """One named metric family; children are keyed by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        child_factory: Callable[[], object],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.labelnames = labelnames
+        self._child_factory = child_factory
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not labelnames:
+            # Unlabelled families expose exactly one child, eagerly.
+            self._children[()] = child_factory()
+
+    def labels(self, **labels: str):
+        """Child for one label-value combination (created on first use)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._child_factory()
+                self._children[key] = child
+            return child
+
+    def children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def default(self):
+        """The single child of an unlabelled family."""
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} has labels {list(self.labelnames)}; "
+                "use .labels(...)"
+            )
+        return self._children[()]
+
+
+class MetricsRegistry:
+    """Thread-safe store of metric families with two render formats."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Iterable[str],
+        child_factory: Callable[[], object],
+    ) -> _Family:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind} with labels {list(family.labelnames)}"
+                    )
+                return family
+            family = _Family(name, kind, help_text, labelnames, child_factory)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Iterable[str] = ()
+    ) -> _Family:
+        return self._register(name, "counter", help_text, labelnames, Counter)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Iterable[str] = ()
+    ) -> _Family:
+        return self._register(name, "gauge", help_text, labelnames, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _Family:
+        edges = tuple(buckets)
+        return self._register(
+            name, "histogram", help_text, labelnames,
+            lambda: Histogram(edges),
+        )
+
+    def get(self, name: str) -> _Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def reset(self) -> None:
+        """Drop every family (tests; a live service never resets)."""
+        with self._lock:
+            self._families.clear()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _labels_text(
+        labelnames: tuple[str, ...],
+        values: tuple[str, ...],
+        extra: tuple[tuple[str, str], ...] = (),
+    ) -> str:
+        pairs = [
+            f'{name}="{_escape_label(value)}"'
+            for name, value in list(zip(labelnames, values)) + list(extra)
+        ]
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    def render_prometheus(self) -> str:
+        """Text exposition format 0.0.4 (the ``/v1/metrics`` body)."""
+        with self._lock:
+            families = sorted(self._families.items())
+        lines: list[str] = []
+        for name, family in families:
+            if family.help_text:
+                lines.append(f"# HELP {name} {family.help_text}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for values, child in family.children():
+                labels = self._labels_text(family.labelnames, values)
+                if family.kind in ("counter", "gauge"):
+                    lines.append(
+                        f"{name}{labels} {_format_value(child.value)}"
+                    )
+                    continue
+                snap = child.snapshot()
+                for edge, cumulative in snap["buckets"]:
+                    le = self._labels_text(
+                        family.labelnames, values,
+                        extra=(("le", _format_value(edge)),),
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                inf = self._labels_text(
+                    family.labelnames, values, extra=(("le", "+Inf"),)
+                )
+                lines.append(f"{name}_bucket{inf} {snap['count']}")
+                lines.append(
+                    f"{name}_sum{labels} {_format_value(snap['sum'])}"
+                )
+                lines.append(f"{name}_count{labels} {snap['count']}")
+        return "\n".join(lines) + "\n"
+
+    def render_json(self) -> dict:
+        """The same data as JSON-ready dicts, keyed by family name."""
+        with self._lock:
+            families = sorted(self._families.items())
+        payload: dict = {}
+        for name, family in families:
+            samples = []
+            for values, child in family.children():
+                labels = dict(zip(family.labelnames, values))
+                if family.kind in ("counter", "gauge"):
+                    samples.append({"labels": labels, "value": child.value})
+                else:
+                    samples.append({"labels": labels, **child.snapshot()})
+            payload[name] = {
+                "type": family.kind,
+                "help": family.help_text,
+                "samples": samples,
+            }
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Consumer half: exposition parsing + percentile estimation
+# ----------------------------------------------------------------------
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {text!r}")
+        j = eq + 2
+        raw = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\":
+                raw.append(text[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value in {text!r}")
+        labels[name] = _unescape_label("".join(raw))
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{family: {type, help, samples}}``.
+
+    Each sample is ``{"name": full sample name, "labels": {...},
+    "value": float}`` — histogram ``_bucket``/``_sum``/``_count`` samples
+    are attributed to their family.  Used by the tests and the CI smoke
+    job to validate what ``GET /v1/metrics`` serves; it is a validator
+    for this module's output, not a general-purpose Prometheus parser.
+    """
+    families: dict[str, dict] = {}
+
+    def family_for(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name.removesuffix(suffix)
+            if base != sample_name and base in families:
+                if families[base]["type"] == "histogram":
+                    return base
+        return sample_name
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "untyped"):
+                raise ValueError(f"unknown metric type {kind!r}")
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rindex("}")
+            sample_name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close])
+            value_text = line[close + 1:].strip()
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = {}
+        value_text = value_text.split()[0]
+        value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        family = families.setdefault(
+            family_for(sample_name),
+            {"type": "untyped", "help": "", "samples": []},
+        )
+        family["samples"].append(
+            {"name": sample_name, "labels": labels, "value": value}
+        )
+    return families
+
+
+def histogram_quantile(
+    buckets: list[tuple[float, float]], count: float, q: float
+) -> float:
+    """Estimate quantile ``q`` (0..1) from cumulative bucket counts.
+
+    ``buckets`` is ``[(le, cumulative_count), ...]`` *excluding* the
+    ``+Inf`` bucket; ``count`` is the total observation count.  Linear
+    interpolation within the winning bucket, matching PromQL's
+    ``histogram_quantile``; observations above the last finite bucket
+    return that bucket's upper edge (the best available estimate).
+    """
+    if count <= 0:
+        return math.nan
+    rank = q * count
+    previous_edge = 0.0
+    previous_cum = 0.0
+    for edge, cumulative in buckets:
+        if cumulative >= rank:
+            in_bucket = cumulative - previous_cum
+            if in_bucket <= 0:
+                return edge
+            fraction = (rank - previous_cum) / in_bucket
+            return previous_edge + (edge - previous_edge) * fraction
+        previous_edge = edge
+        previous_cum = cumulative
+    return buckets[-1][0] if buckets else math.nan
+
+
+def bucket_bounds(
+    buckets: list[tuple[float, float]], count: float, q: float
+) -> tuple[float, float]:
+    """The ``[lower, upper]`` edges of the bucket holding quantile ``q``.
+
+    The truth lies somewhere inside these bounds — this is the "bucket
+    resolution" loadgen's client/server latency cross-check allows for.
+    An upper bound of ``inf`` means the quantile fell past the last
+    finite bucket.
+    """
+    if count <= 0:
+        return (math.nan, math.nan)
+    rank = q * count
+    previous_edge = 0.0
+    for edge, cumulative in buckets:
+        if cumulative >= rank:
+            return (previous_edge, edge)
+        previous_edge = edge
+    return (previous_edge, _INF)

@@ -29,7 +29,18 @@ Usage::
     perf.reset()
 
 ``snapshot()`` returns plain dicts (JSON-ready); the service's
-``GET /v1/stats`` route embeds it when the registry is enabled.
+``GET /v1/stats`` route embeds it under ``"perf"`` together with an
+``"enabled"`` marker.
+
+When :mod:`repro.obs` is enabled it installs a span bridge at
+:data:`trace_sink`: timer blocks on the *process-wide* registry then
+also report ``(path, start, duration)`` into whatever request trace is
+active in the calling context, whether or not the registry itself is
+recording — so the existing instrumentation points double as per-request
+spans with no extra call sites.  Timers are exception-safe either way:
+the nesting stack is popped on the ``with`` block's exit even when the
+body raises, so a failing solve can never corrupt the paths recorded by
+later requests on the same thread.
 """
 
 from __future__ import annotations
@@ -37,6 +48,13 @@ from __future__ import annotations
 import os
 import threading
 import time
+
+#: Span sink installed by :func:`repro.obs.configure` while tracing is
+#: enabled; ``None`` otherwise.  Must expose ``span(path, started,
+#: elapsed, failed)`` and ``count(name, value)``.  Only the process-wide
+#: :data:`registry` feeds it — private registries built by tests stay
+#: silent.
+trace_sink = None
 
 
 class _NullTimer:
@@ -70,12 +88,22 @@ class _Timer:
         self.started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
         elapsed = time.perf_counter() - self.started
-        stack = self.registry._stack()
-        path = "/".join(stack)
-        stack.pop()
-        self.registry._record_timing(path, elapsed)
+        reg = self.registry
+        stack = reg._stack()
+        try:
+            path = "/".join(stack)
+        finally:
+            # The pop must survive anything above it: a frame left behind
+            # would prefix every later path on this thread.
+            if stack:
+                stack.pop()
+        if reg.enabled:
+            reg._record_timing(path, elapsed)
+        sink = trace_sink
+        if sink is not None and reg is registry:
+            sink.span(path, self.started, elapsed, exc_type is not None)
         return None
 
 
@@ -113,13 +141,22 @@ class PerfRegistry:
     # -- recording ------------------------------------------------------
 
     def timer(self, name: str):
-        """Context manager timing a block under the current nesting path."""
-        if not self.enabled:
+        """Context manager timing a block under the current nesting path.
+
+        Live when the registry records *or* (process-wide registry only)
+        a trace sink is installed; the shared no-op otherwise.
+        """
+        if not self.enabled and (
+            trace_sink is None or self is not registry
+        ):
             return _NULL_TIMER
         return _Timer(self, name)
 
     def add(self, name: str, value: float = 1) -> None:
         """Increment counter ``name`` by ``value`` (no-op while disabled)."""
+        sink = trace_sink
+        if sink is not None and self is registry:
+            sink.count(name, value)
         if not self.enabled:
             return
         with self._lock:

@@ -15,6 +15,7 @@ GET         /v1/health                            liveness probe
 GET         /v1/datasets                          registered dataset names
 GET         /v1/objectives                        registered view objectives
 GET         /v1/stats                             manager + solve-cache statistics
+GET         /v1/metrics                           Prometheus metrics (see below)
 GET         /v1/sessions                          list sessions (live + stored)
 POST        /v1/sessions                          create a session
 GET         /v1/sessions/{id}                     session status (resumes if stored)
@@ -24,6 +25,24 @@ POST        /v1/sessions/{id}/feedback            batch of typed feedback object
 POST        /v1/sessions/{id}/undo                retract last feedback action
 POST        /v1/sessions/{id}/checkpoint          persist to the session store
 ==========  ====================================  ===============================
+
+``GET /v1/stats`` always carries a ``"perf"`` object — a
+:mod:`repro.perf` snapshot plus an explicit ``"enabled"`` flag (empty
+timings while profiling is off), so clients never have to sniff for a
+missing field.
+
+``GET /v1/metrics`` serves the :mod:`repro.obs` metrics registry in
+Prometheus text exposition format (``?format=json`` for the same data as
+JSON).  While observability is disabled the route still answers 200 with
+an empty exposition / ``{"enabled": false}`` so scrapers do not flap.
+
+Observability: when :mod:`repro.obs` is enabled, every dispatch runs
+inside a request envelope — a per-request trace (id from the transport,
+or minted) collects the perf-timer spans fired while handling it, the
+per-route metrics are updated, and one structured event is emitted to
+the JSONL sink; 4xx/5xx responses emit a typed ``error`` event instead.
+The response payloads themselves are byte-identical with observability
+on or off.
 
 Every route is also reachable without the ``/v1`` prefix (legacy alias),
 and ``POST /sessions/{id}/constraints`` — the pre-``/v1`` feedback route —
@@ -52,7 +71,7 @@ import re
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.errors import ConstraintError, DataShapeError, ReproError
 from repro.feedback import feedback_batch_from_payload, feedback_from_dict
 from repro.projection import registry
@@ -68,6 +87,18 @@ from repro.service.store import InvalidSessionIdError, SessionNotFoundError
 API_VERSION = "v1"
 
 _SESSION_PATH = re.compile(r"^/sessions/(?P<sid>[^/]+)(?P<rest>(?:/[^/]+)?)$")
+
+
+class TextResponse(str):
+    """Non-JSON response body with its own content type.
+
+    ``dispatch`` normally returns JSON-ready dict payloads; the
+    Prometheus variant of the metrics route returns one of these instead,
+    and the HTTP layer sends it verbatim with :attr:`content_type`.
+    Direct (in-process) dispatch callers can treat it as a plain ``str``.
+    """
+
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def view_to_dict(
@@ -114,35 +145,76 @@ class ServiceAPI:
         path: str,
         body: dict | None = None,
         query: dict | None = None,
+        trace_id: str | None = None,
     ) -> tuple[int, dict]:
-        """Route one request; always returns ``(status, json_payload)``."""
+        """Route one request; always returns ``(status, payload)``.
+
+        ``payload`` is a JSON-ready dict everywhere except the Prometheus
+        variant of the metrics route, which returns a
+        :class:`TextResponse`.  ``trace_id`` is the (already validated)
+        id the transport extracted from the request headers; it seeds the
+        per-request trace and is ignored while observability is off.
+        """
         body = body if body is not None else {}
         query = query if query is not None else {}
         method = method.upper()
         perf.add("api.requests")
+        if obs.active() is None:
+            status, payload, _kind = self._dispatch(method, path, body, query)
+            return status, payload
+        with obs.request_envelope(method, path, trace_id) as req:
+            status, payload, kind = self._dispatch(method, path, body, query)
+            error = payload.get("error") if isinstance(payload, dict) else None
+            req.set_result(status, error=error, error_kind=kind)
+        return status, payload
+
+    def _dispatch(
+        self, method: str, path: str, body: dict, query: dict
+    ) -> tuple[int, dict, str | None]:
+        """Inner dispatcher: ``(status, payload, error_kind)``.
+
+        ``error_kind`` is ``None`` on success and a stable
+        machine-readable tag otherwise; it feeds the structured ``error``
+        events only — JSON error payloads keep their historical shape
+        (``{"error": ...}``, plus ``"allow"`` on 405), so the /v1 error
+        contract is unchanged by observability.
+        """
         try:
             normalized, versioned = self._strip_version(path.rstrip("/") or "/")
             handlers = self._handlers_for(normalized)
             if handlers is None:
-                return 404, {"error": f"no route {method} {path}"}
+                return (
+                    404,
+                    {"error": f"no route {method} {path}"},
+                    "unknown_route",
+                )
             handler = handlers.get(method)
             if handler is None:
                 if versioned:
                     allow = sorted(handlers)
-                    return 405, {
-                        "error": f"method {method} not allowed for {path}",
-                        "allow": allow,
-                    }
+                    return (
+                        405,
+                        {
+                            "error": f"method {method} not allowed for {path}",
+                            "allow": allow,
+                        },
+                        "method_not_allowed",
+                    )
                 # Legacy aliases keep their historical blanket 404 so
                 # pre-/v1 clients see byte-identical error behaviour.
-                return 404, {"error": f"no route {method} {path}"}
-            return handler(body, query)
+                return (
+                    404,
+                    {"error": f"no route {method} {path}"},
+                    "unknown_route",
+                )
+            status, payload = handler(body, query)
+            return status, payload, None
         except SessionNotFoundError as exc:
-            return 404, {"error": str(exc)}
+            return 404, {"error": str(exc)}, "unknown_session"
         except UnknownDatasetError as exc:
-            return 404, {"error": str(exc)}
+            return 404, {"error": str(exc)}, "unknown_dataset"
         except SessionExistsError as exc:
-            return 409, {"error": str(exc)}
+            return 409, {"error": str(exc)}, "session_exists"
         except (
             DataShapeError,
             ConstraintError,
@@ -152,13 +224,21 @@ class ServiceAPI:
             KeyError,
             OverflowError,
         ) as exc:
-            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}, "bad_request"
         except ReproError as exc:
             # Includes StoreError: checkpoint I/O failures are server faults.
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return (
+                500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                "server_error",
+            )
         except Exception as exc:  # noqa: BLE001 — a handler bug must still
             # produce a JSON response, not a dropped connection.
-            return 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            return (
+                500,
+                {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                "internal_error",
+            )
 
     @staticmethod
     def _strip_version(path: str) -> tuple[str, bool]:
@@ -180,6 +260,7 @@ class ServiceAPI:
             "/datasets": {"GET": self._datasets},
             "/objectives": {"GET": self._objectives},
             "/stats": {"GET": self._stats},
+            "/metrics": {"GET": self._metrics},
             "/sessions": {
                 "GET": self._list_sessions,
                 "POST": self._create_session,
@@ -224,6 +305,24 @@ class ServiceAPI:
 
     def _stats(self, body: dict, query: dict) -> tuple[int, dict]:
         return 200, self.manager.stats()
+
+    def _metrics(self, body: dict, query: dict) -> tuple[int, dict]:
+        """Metrics scrape: Prometheus text by default, ``?format=json``.
+
+        Answers 200 in both formats while observability is disabled (an
+        explicitly-empty body) so scrapers and dashboards never flap when
+        the feature is toggled.
+        """
+        as_json = str(query.get("format", "")).lower() == "json"
+        state = obs.active()
+        if state is None:
+            if as_json:
+                return 200, {"enabled": False, "families": {}}
+            return 200, TextResponse("# repro observability disabled\n")
+        state.update_service_gauges(self.manager)
+        if as_json:
+            return 200, {"enabled": True, "families": state.metrics.render_json()}
+        return 200, TextResponse(state.metrics.render_prometheus())
 
     def _list_sessions(self, body: dict, query: dict) -> tuple[int, dict]:
         return 200, {"sessions": self.manager.list_sessions()}

@@ -20,6 +20,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
+from repro import obs
 from repro.core.background import BackgroundModel
 from repro.core.equivalence import EquivalenceClasses
 from repro.core.parameters import ClassParameters
@@ -111,9 +112,11 @@ class SolveCache:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
+                obs.cache_lookup(hit=False)
                 return False
             self._entries.move_to_end(key)
             self._hits += 1
+            obs.cache_lookup(hit=True)
             params = ClassParameters(
                 theta1=entry.params.theta1.copy(),
                 sigma=entry.params.sigma.copy(),

@@ -28,6 +28,7 @@ from repro.feedback import (
     Feedback,
     ViewSelectionFeedback,
 )
+from repro.obs import TRACE_HEADER, new_trace_id
 
 
 class ServiceClientError(ReproError):
@@ -76,6 +77,12 @@ class ServiceClient:
         *answered* is never resent.
     retry_delay:
         Sleep between connection retries, in seconds.
+
+    Every request carries a fresh ``X-Repro-Trace-Id`` header; a server
+    with observability enabled adopts it for the request's trace and
+    echoes it back, so a client-side failure can be joined directly
+    against the server's event log.  The id of the most recent request is
+    kept at :attr:`last_trace_id`.
     """
 
     def __init__(
@@ -95,11 +102,20 @@ class ServiceClient:
             )
         self.connect_retries = int(connect_retries)
         self.retry_delay = float(retry_delay)
+        self.last_trace_id: str | None = None
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        decode_json: bool = True,
+    ):
         for attempt in range(self.connect_retries + 1):
             try:
-                return self._request_once(method, path, body)
+                return self._request_once(
+                    method, path, body, decode_json=decode_json
+                )
             except ServiceClientError as exc:
                 if not exc.connection_refused or attempt >= self.connect_retries:
                     raise
@@ -107,14 +123,26 @@ class ServiceClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _request_once(
-        self, method: str, path: str, body: dict | None = None
-    ) -> dict:
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        decode_json: bool = True,
+    ):
         data = json.dumps(body).encode() if body is not None else None
+        # A fresh id per attempt: only never-answered (connection-refused)
+        # requests are retried, so each id the server sees is unique.
+        trace_id = new_trace_id()
+        self.last_trace_id = trace_id
         request = urllib.request.Request(
             self.base_url + self.prefix + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={
+                "Content-Type": "application/json",
+                TRACE_HEADER: trace_id,
+            },
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
@@ -144,6 +172,8 @@ class ServiceClient:
                     )
                 },
             ) from exc
+        if not decode_json:
+            return raw.decode("utf-8", "replace")
         try:
             return json.loads(raw or b"{}")
         except json.JSONDecodeError as exc:
@@ -179,6 +209,14 @@ class ServiceClient:
     def server_stats(self) -> dict:
         """Manager and solve-cache statistics."""
         return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the server's metrics registry."""
+        return self._request("GET", "/metrics", decode_json=False)
+
+    def metrics(self) -> dict:
+        """Server metrics as JSON: ``{"enabled": bool, "families": {...}}``."""
+        return self._request("GET", "/metrics?format=json")
 
     def list_sessions(self) -> list[dict]:
         """Summaries of live and checkpointed sessions."""

@@ -48,7 +48,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.core.session import ExplorationSession
 from repro.errors import ReproError
 from repro.feedback import (
@@ -513,6 +513,7 @@ class SessionManager:
         stats with the applied labels under ``"applied"``.
         """
         items = list(batch)
+        obs.feedback_batch(len(items))
         with self._checkout(session_id) as entry, perf.timer("service_feedback"):
             if any(isinstance(item, ViewSelectionFeedback) for item in items):
                 # apply_many will need the current view's axes, which may
@@ -586,13 +587,24 @@ class SessionManager:
             "is_fitted": session.model.is_fitted,
         }
 
+    def live_session_count(self) -> int:
+        """Sessions currently held in memory (cheap; used by metrics)."""
+        with self._lock:
+            return len(self._entries)
+
     def stats(self) -> dict:
         """Manager-level counters plus cache statistics.
 
-        When the :mod:`repro.perf` registry is enabled the snapshot of its
-        timers/counters is embedded under ``"perf"`` (``None`` otherwise),
-        so ``GET /v1/stats`` doubles as the live profiling endpoint.
+        The ``"perf"`` field is always present: a :mod:`repro.perf`
+        snapshot extended with an ``"enabled"`` marker, so clients can
+        tell "profiling off" (``enabled: false``, empty timings) from
+        "profiling on but idle" without sniffing for missing keys.
+        (Before v1.6 the field was ``null`` unless ``REPRO_PERF=1``;
+        consumers that only read ``timings``/``counters`` when the field
+        is truthy keep working unchanged.)
         """
+        perf_snapshot = perf.snapshot()
+        perf_snapshot["enabled"] = perf.is_enabled()
         with self._lock:
             in_memory = len(self._entries)
         return {
@@ -607,5 +619,5 @@ class SessionManager:
             "datasets": self.dataset_names(),
             "store": type(self.store).__name__ if self.store is not None else None,
             "cache": self.cache.stats() if self.cache is not None else None,
-            "perf": perf.snapshot() if perf.is_enabled() else None,
+            "perf": perf_snapshot,
         }

@@ -18,12 +18,19 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
+from repro import obs
 from repro.service.api import ServiceAPI
 from repro.service.manager import SessionManager
+
+#: Default request-body ceiling.  Large enough for any realistic feedback
+#: batch (a 100k-row cluster marking is ~1 MB of JSON), small enough that
+#: one bad client cannot make a handler thread buffer gigabytes.
+DEFAULT_MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -32,31 +39,110 @@ class _RequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-service"
     protocol_version = "HTTP/1.1"
 
+    #: Trace id of the request currently being handled (echoed back in the
+    #: response headers); None while observability/tracing is off.
+    _trace_id: str | None = None
+
     def _handle(self, method: str) -> None:
+        state = obs.active()
+        started = time.perf_counter()
+        self._trace_id = (
+            obs.accept_trace_id(self.headers.get(obs.TRACE_HEADER))
+            if state is not None and state.tracing
+            else None
+        )
         parsed = urlsplit(self.path)
         query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
         body = None
         length = int(self.headers.get("Content-Length") or 0)
+        max_bytes = self.server.max_body_bytes  # type: ignore[attr-defined]
+        if max_bytes is not None and length > max_bytes:
+            # Reject without reading; the unread body would poison the
+            # keep-alive stream, so this connection closes after the reply.
+            self.close_connection = True
+            self._reject(
+                state,
+                started,
+                method,
+                parsed.path,
+                413,
+                f"request body of {length} bytes exceeds "
+                f"the {max_bytes}-byte limit",
+                "oversized_body",
+            )
+            return
         if length:
             raw = self.rfile.read(length)
             try:
                 body = json.loads(raw)
             except json.JSONDecodeError as exc:
-                self._respond(400, {"error": f"request body is not JSON: {exc}"})
+                self._reject(
+                    state,
+                    started,
+                    method,
+                    parsed.path,
+                    400,
+                    f"request body is not JSON: {exc}",
+                    "malformed_body",
+                )
                 return
             if not isinstance(body, dict):
-                self._respond(400, {"error": "request body must be a JSON object"})
+                self._reject(
+                    state,
+                    started,
+                    method,
+                    parsed.path,
+                    400,
+                    "request body must be a JSON object",
+                    "malformed_body",
+                )
                 return
         status, payload = self.server.api.dispatch(  # type: ignore[attr-defined]
-            method, parsed.path, body=body, query=query
+            method, parsed.path, body=body, query=query,
+            trace_id=self._trace_id,
         )
         self._respond(status, payload)
 
-    def _respond(self, status: int, payload: dict) -> None:
-        encoded = json.dumps(payload).encode()
+    def _reject(
+        self,
+        state,
+        started: float,
+        method: str,
+        path: str,
+        status: int,
+        message: str,
+        kind: str,
+    ) -> None:
+        """Refuse a request before dispatch; still emits the typed error
+        event (these rejections never reach the API layer's envelope).
+
+        The event is recorded before the response goes out, so a client
+        that has seen the error can rely on the event being in the log.
+        """
+        if state is not None:
+            state.observe_request(
+                method,
+                path,
+                status,
+                time.perf_counter() - started,
+                trace_id=self._trace_id,
+                error=message,
+                error_kind=kind,
+            )
+        self._respond(status, {"error": message})
+
+    def _respond(self, status: int, payload) -> None:
+        content_type = getattr(payload, "content_type", None)
+        if content_type is not None:  # TextResponse (Prometheus metrics)
+            encoded = str(payload).encode()
+        else:
+            content_type = "application/json"
+            encoded = json.dumps(payload).encode()
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
+        if self._trace_id is not None:
+            self.send_header(obs.TRACE_HEADER, self._trace_id)
         self.end_headers()
         self.wfile.write(encoded)
 
@@ -95,6 +181,9 @@ class ReproServer(ThreadingHTTPServer):
     quiet:
         Suppress per-request access logging (default True; the CLI turns
         logging on).
+    max_body_bytes:
+        Largest request body accepted; anything longer answers ``413``
+        without reading the body.  ``None`` disables the limit.
     """
 
     daemon_threads = True
@@ -106,11 +195,13 @@ class ReproServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 8000,
         quiet: bool = True,
+        max_body_bytes: int | None = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
         if isinstance(api, SessionManager):
             api = ServiceAPI(api)
         self.api = api
         self.quiet = quiet
+        self.max_body_bytes = max_body_bytes
         self._thread: threading.Thread | None = None
         super().__init__((host, port), _RequestHandler)
 

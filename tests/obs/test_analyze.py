@@ -1,0 +1,131 @@
+"""The event-log analyzer behind ``repro trace``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.analyze import analyze_events, analyze_log, format_analysis
+
+
+def _request(route, ms, *, status=200, trace_id="a" * 32, **extra):
+    event = {
+        "event": "error" if status >= 400 else "request",
+        "trace_id": trace_id,
+        "route": route,
+        "method": route.split(" ")[0],
+        "path": route.split(" ")[1],
+        "status": status,
+        "duration_ms": ms,
+    }
+    event.update(extra)
+    return event
+
+
+class TestAnalyzeEvents:
+    def test_per_route_percentiles_are_exact(self):
+        events = [
+            _request("GET /v1/health", ms) for ms in (1.0, 2.0, 3.0, 4.0)
+        ]
+        report = analyze_events(events)
+        stats = report["routes"]["GET /v1/health"]
+        assert stats["count"] == 4
+        assert stats["p50_ms"] == 2.5
+        assert stats["max_ms"] == 4.0
+        assert stats["errors"] == 0
+
+    def test_errors_counted_by_kind(self):
+        events = [
+            _request("GET /v1/sessions/{id}", 1.0, status=404,
+                     error_kind="unknown_session"),
+            _request("POST /v1/sessions", 1.0, status=400,
+                     error_kind="bad_request"),
+            _request("POST /v1/sessions", 1.0, status=400,
+                     error_kind="bad_request"),
+            _request("GET /v1/health", 0.5),
+        ]
+        report = analyze_events(events)
+        assert report["errors"]["total"] == 3
+        assert report["errors"]["by_kind"] == {
+            "bad_request": 2,
+            "unknown_session": 1,
+        }
+        assert report["routes"]["POST /v1/sessions"]["errors"] == 2
+
+    def test_slowest_are_ranked_and_capped(self):
+        events = [
+            _request("GET /v1/x", float(i), trace_id=f"{i:032x}")
+            for i in range(20)
+        ]
+        report = analyze_events(events, top=5)
+        slow = report["slowest"]
+        assert len(slow) == 5
+        assert [row["duration_ms"] for row in slow] == [19.0, 18.0, 17.0, 16.0, 15.0]
+        assert slow[0]["trace_id"] == f"{19:032x}"
+
+    def test_span_trees_merge_across_events(self):
+        events = [
+            _request(
+                "GET /v1/x", 5.0,
+                spans={"solve": {"calls": 1, "seconds": 0.004},
+                       "solve/init": {"calls": 1, "seconds": 0.001}},
+            ),
+            _request(
+                "GET /v1/x", 6.0,
+                spans={"solve": {"calls": 2, "seconds": 0.005, "failed": 1}},
+            ),
+        ]
+        report = analyze_events(events)
+        solve = report["spans"]["solve"]
+        assert solve["calls"] == 3
+        assert solve["seconds"] == pytest.approx(0.009)
+        assert solve["failed"] == 1
+        assert report["spans"]["solve/init"]["calls"] == 1
+
+    def test_cache_summary_only_when_observed(self):
+        assert analyze_events([_request("GET /v1/x", 1.0)])["cache"] is None
+        report = analyze_events(
+            [
+                _request("GET /v1/x", 1.0, cache="hit"),
+                _request("GET /v1/x", 1.0, cache="miss"),
+            ]
+        )
+        assert report["cache"] == {"hits": 1, "misses": 1}
+
+    def test_non_request_events_are_ignored(self):
+        report = analyze_events(
+            [{"event": "startup"}, _request("GET /v1/x", 1.0)]
+        )
+        assert report["events"] == 2
+        assert report["requests"] == 1
+
+
+class TestAnalyzeLog:
+    def test_reads_jsonl_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w") as stream:
+            for event in (
+                _request("GET /v1/health", 1.5),
+                _request("GET /v1/health", 2.5),
+            ):
+                stream.write(json.dumps(event) + "\n")
+        report = analyze_log(path)
+        assert report["routes"]["GET /v1/health"]["count"] == 2
+
+    def test_format_analysis_is_human_readable(self):
+        events = [
+            _request(
+                "GET /v1/sessions/{id}/view", 120.0,
+                solver_sweeps=19, cache="miss",
+                spans={"service_view": {"calls": 1, "seconds": 0.1},
+                       "service_view/service_fit": {"calls": 1, "seconds": 0.08}},
+            ),
+            _request("GET /v1/oops", 1.0, status=404,
+                     error_kind="unknown_route"),
+        ]
+        text = format_analysis(analyze_events(events))
+        assert "GET /v1/sessions/{id}/view" in text
+        assert "unknown_route=1" in text
+        assert "sweeps=19" in text
+        assert "service_fit" in text

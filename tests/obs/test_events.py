@@ -1,0 +1,89 @@
+"""EventLog sink and the tolerant JSONL reader."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.obs.events import EventLog, read_events
+
+
+class TestEventLog:
+    def test_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit({"event": "request", "status": 200})
+            log.emit({"event": "error", "status": 404})
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "request"
+        assert "ts" in first  # stamped automatically
+        assert log.emitted == 2
+
+    def test_explicit_ts_is_kept(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit({"ts": 123.0, "event": "request"})
+        assert json.loads(path.read_text())["ts"] == 123.0
+
+    def test_appends_to_existing_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit({"event": "request"})
+        with EventLog(path) as log:
+            log.emit({"event": "request"})
+        assert len(list(read_events(path))) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit({"event": "request"})
+        assert path.exists()
+
+    def test_emit_after_close_drops_silently(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.close()
+        log.emit({"event": "request"})  # must not raise
+        assert log.emitted == 0
+
+    def test_stream_target_is_not_closed(self):
+        stream = io.StringIO()
+        log = EventLog(stream)
+        log.emit({"event": "request"})
+        log.close()
+        assert not stream.closed
+        assert stream.getvalue().count("\n") == 1
+
+    def test_concurrent_emits_never_interleave(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        payload = {"event": "request", "filler": "x" * 256}
+
+        def work():
+            for _ in range(200):
+                log.emit(dict(payload))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        events = list(read_events(path))
+        assert len(events) == 1600
+        assert all(e["filler"] == payload["filler"] for e in events)
+
+
+class TestReadEvents:
+    def test_skips_blank_and_truncated_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"event": "request", "status": 200}\n'
+            "\n"
+            '{"event": "request", "stat'  # crash mid-write
+        )
+        events = list(read_events(path))
+        assert len(events) == 1
+        assert events[0]["status"] == 200

@@ -219,9 +219,15 @@ class TestFastICAParity:
             return  # unconverged runs may sit far from any fixed point
         assert a.components.shape == b.components.shape
         scores_a = np.atleast_1d(ica_scores(data, a.components))
+        ranked = np.sort(np.abs(scores_a))[::-1]
         top = int(np.argmax(np.abs(scores_a)))
-        if abs(scores_a[top]) < 0.02:
+        if ranked[0] < 0.02:
             return  # structure too weak to pin a direction
+        if len(ranked) > 1 and ranked[0] - ranked[1] < 0.01:
+            # Near-tied top scores: the summation-order perturbation can
+            # legitimately swap which of the two optima wins, so the
+            # "dominant direction" is not well defined for this input.
+            return
         # Run B must recover run A's dominant direction (up to sign).
         cosines = np.abs(b.components @ a.components[top])
         assert cosines.max() > 0.999

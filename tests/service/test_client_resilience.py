@@ -98,7 +98,7 @@ class TestConnectionRetry:
         )
         calls = []
 
-        def flaky(method, path, body=None):
+        def flaky(method, path, body=None, *, decode_json=True):
             calls.append(1)
             if len(calls) < 3:
                 raise ServiceClientError(
@@ -116,7 +116,7 @@ class TestConnectionRetry:
         )
         calls = []
 
-        def always_refused(method, path, body=None):
+        def always_refused(method, path, body=None, *, decode_json=True):
             calls.append(1)
             raise ServiceClientError(
                 0, {"error": "refused"}, connection_refused=True
@@ -133,7 +133,7 @@ class TestConnectionRetry:
         )
         calls = []
 
-        def not_found(method, path, body=None):
+        def not_found(method, path, body=None, *, decode_json=True):
             calls.append(1)
             raise ServiceClientError(404, {"error": "no route"})
 

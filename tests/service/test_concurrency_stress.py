@@ -112,6 +112,87 @@ class TestSingleSessionStress:
         assert stats["n_constraints"] > 0
         assert len(stats["feedback"]) == _THREADS * _ROUNDS
 
+    def test_observability_under_contention(self, live_server, tmp_path):
+        """With obs on, the same hammering must produce consistent
+        telemetry: histogram totals equal the number of requests served,
+        and every logged event carries a unique, well-formed trace id."""
+        import re
+
+        from repro import obs
+        from repro.obs import parse_prometheus
+        from repro.obs.events import read_events
+
+        server, manager = live_server
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        log_path = tmp_path / "stress-events.jsonl"
+        obs.configure(event_log=log_path)
+        try:
+            setup = ServiceClient(url)
+            session_id = setup.create_session("stress", objective="pca")
+
+            errors: list[BaseException] = []
+
+            def worker(idx: int) -> None:
+                try:
+                    _hammer(ServiceClient(url), session_id, idx)
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(_THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=_TIMEOUT_S)
+            assert not errors, f"worker errors: {errors!r}"
+
+            # Scrape before tearing obs down; the scrape itself is then the
+            # only request not yet counted in what we parsed.
+            families = parse_prometheus(setup.metrics_text())
+            state = obs.active()
+            assert state is not None
+            state.events.close()
+        finally:
+            obs.disable()
+
+        events = [
+            e for e in read_events(log_path)
+            if e.get("event") in ("request", "error")
+        ]
+        # create + 8 threads x rounds x (feedback + view) requests; the
+        # final metrics scrape happened after the parse, so it may or may
+        # not be in the log but was not in the scraped counters.
+        expected_min = 1 + _THREADS * _ROUNDS * 2
+        assert len(events) >= expected_min
+
+        counted = sum(
+            s["value"]
+            for s in families["repro_requests_total"]["samples"]
+            if "/metrics" not in s["labels"]["route"]
+        )
+        histogram_total = sum(
+            s["value"]
+            for s in families["repro_request_duration_seconds"]["samples"]
+            if s["name"].endswith("_count")
+            and "/metrics" not in s["labels"]["route"]
+        )
+        non_scrape_events = [
+            e for e in events if "/metrics" not in e.get("path", "")
+        ]
+        assert counted == len(non_scrape_events)
+        assert histogram_total == counted
+
+        trace_ids = [e.get("trace_id") for e in events]
+        pattern = re.compile(r"^[0-9a-f]{8,64}$")
+        assert all(
+            isinstance(t, str) and pattern.match(t) for t in trace_ids
+        ), "every event must carry a well-formed trace id"
+        assert len(set(trace_ids)) == len(trace_ids), (
+            "trace ids must be unique per request"
+        )
+
     def test_mixed_feedback_and_stats_reads_direct_manager(self, stress_data):
         """Same contention pattern through the manager API (no HTTP), with
         undo mixed in — exercises the checkout pin/lock path directly."""

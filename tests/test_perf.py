@@ -5,9 +5,14 @@ import threading
 import time
 
 import numpy as np
+import pytest
 
 from repro import perf
 from repro.perf import PerfRegistry
+
+
+def _raise_mid_sweep(sweep, index, lam, params):
+    raise RuntimeError("killed mid-sweep")
 
 
 class TestRegistry:
@@ -52,6 +57,57 @@ class TestRegistry:
             reg.add("c")
         reg.reset()
         assert reg.snapshot() == {"timings": {}, "counters": {}}
+
+    def test_raising_block_still_pops_the_nesting_stack(self):
+        # Regression: a timer exited by an exception must pop its frame,
+        # or every later path on the thread is silently prefixed with it.
+        reg = PerfRegistry(enabled=True)
+        with pytest.raises(RuntimeError):
+            with reg.timer("solve"):
+                raise RuntimeError("solver blew up")
+        with reg.timer("after"):
+            pass
+        snap = reg.snapshot()
+        assert "after" in snap["timings"]
+        assert "solve/after" not in snap["timings"]
+        # the failed block itself is still recorded
+        assert snap["timings"]["solve"]["calls"] == 1
+
+    def test_raising_solve_leaves_later_paths_clean(self):
+        # End-to-end variant over the real solver instrumentation: a solve
+        # that dies mid-sweep must not corrupt subsequent recordings.
+        from repro.core.constraint import Constraint, ConstraintKind
+        from repro.core.solver import solve_maxent
+
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((40, 3))
+        constraints = [
+            Constraint(
+                ConstraintKind.QUADRATIC,
+                np.arange(10),
+                np.array([1.0, 0.0, 0.0]),
+            )
+        ]
+        perf.enable()
+        perf.reset()
+        try:
+            with pytest.raises(Exception):
+                solve_maxent(
+                    data,
+                    constraints,
+                    on_step=_raise_mid_sweep,
+                )
+            with perf.timer("clean_block"):
+                pass
+            snap = perf.snapshot()
+        finally:
+            perf.disable()
+            perf.reset()
+        assert "clean_block" in snap["timings"]
+        assert not any(
+            path.startswith("solver_optim/") and path.endswith("clean_block")
+            for path in snap["timings"]
+        )
 
     def test_snapshot_is_json_serialisable(self):
         reg = PerfRegistry(enabled=True)
@@ -128,21 +184,25 @@ class TestModuleLevelRegistry:
             perf.disable()
             perf.reset()
 
-    def test_service_stats_embed_snapshot_only_when_enabled(self):
+    def test_service_stats_always_embed_snapshot_with_enabled_marker(self):
         from repro.datasets import three_d_clusters
         from repro.service import SessionManager
 
         manager = SessionManager(
             {"three-d": lambda: three_d_clusters(seed=0)}
         )
-        assert manager.stats()["perf"] is None
+        # Disabled: the field is still there (explicit marker, empty data),
+        # so /v1/stats consumers never have to sniff for a missing key.
+        disabled = manager.stats()["perf"]
+        assert disabled["enabled"] is False
+        assert disabled["timings"] == {}
         perf.enable()
         perf.reset()
         try:
             sid = manager.create("three-d")
             manager.view(sid)
             stats = manager.stats()
-            assert stats["perf"] is not None
+            assert stats["perf"]["enabled"] is True
             assert "service_view" in stats["perf"]["timings"]
         finally:
             perf.disable()
