@@ -383,10 +383,236 @@ def run_projection_suite(quick: bool = True, seed: int = 0) -> dict:
     }
 
 
+#: Store-suite workload sizes: WAL batches appended/recovered/compacted,
+#: and the loadgen shape for the durability-overhead comparison.
+STORE_SIZES = {
+    "quick": {"batches": 48, "repeats": 3,
+              "lg_sessions": 4, "lg_rounds": 3, "lg_runs": 2},
+    "full": {"batches": 256, "repeats": 5,
+             "lg_sessions": 8, "lg_rounds": 4, "lg_runs": 3},
+}
+
+#: Acceptance bound on durable-service overhead: with ``fsync=batch`` the
+#: loadgen p99 view latency must stay within this factor of the no-store
+#: baseline (the view path never touches the WAL, so the overhead is
+#: lock/bookkeeping only).
+DURABILITY_P99_BOUND = 1.2
+
+
+def run_store_suite(quick: bool = True, seed: int = 0) -> dict:
+    """Time the durable-store tier: append, recover, compact, overhead.
+
+    Four measurements, written to ``BENCH_store.json``:
+
+    * **append** — seconds to write-ahead-append B feedback batches, per
+      backend (SQLite / JSONL) and fsync policy (``always``/``batch``/
+      ``off``) — the per-request durability cost;
+    * **checkpoint put** — B full-checkpoint rewrites through
+      ``DirectoryStore.put`` (fsync'd), the pre-WAL durability pattern
+      the log replaces;
+    * **recover** — open a fresh store and replay a B-batch log tail
+      through ``apply_many`` (crash-restart latency);
+    * **compact** — fold that tail into a fresh checkpoint;
+    * **durability overhead** — two identical loadgen runs against an
+      in-process server, no store vs ``sqlite:`` with ``fsync=batch``;
+      the ratio of p99 view latencies (best-of-``lg_runs`` per side to
+      damp scheduler jitter) must stay under
+      :data:`DURABILITY_P99_BOUND`.  The ratio is exported as the timing
+      key ``view_p99_durability_ratio`` so the baselines file can gate it
+      like any other metric.
+    """
+    import shutil
+    import tempfile
+
+    from repro.datasets import three_d_clusters
+    from repro.feedback import feedback_from_dict
+    from repro.service.manager import SessionManager
+    from repro.service.store import DirectoryStore
+    from repro.store import (
+        CompactionPolicy,
+        SQLiteStore,
+        compact_offline,
+        recover_session,
+    )
+
+    size = STORE_SIZES["quick" if quick else "full"]
+    batches, repeats = size["batches"], size["repeats"]
+    rng = np.random.default_rng(seed)
+    bundle = three_d_clusters(seed=seed)
+    data = bundle.data
+    n = data.shape[0]
+    items = [
+        [{"kind": "cluster",
+          "rows": sorted(int(r) for r in rng.choice(n, 8, replace=False)),
+          "label": f"bench-{i}"}]
+        for i in range(batches)
+    ]
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    timings: dict[str, float] = {}
+    try:
+        # -- append: B write-ahead batches per backend x fsync policy ----
+        def time_appends(make_store) -> float:
+            best = np.inf
+            for attempt in range(repeats):
+                store = make_store(attempt)
+                start = time.perf_counter()
+                for batch in items:
+                    store.append_feedback("bench", batch)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        for policy in ("always", "batch", "off"):
+            timings[f"append_sqlite_{policy}_s"] = time_appends(
+                lambda a, p=policy: SQLiteStore(
+                    root / f"append-{p}-{a}.db", fsync=p
+                )
+            )
+        timings["append_jsonl_batch_s"] = time_appends(
+            lambda a: _jsonl_log_store(root / f"append-jsonl-{a}", "batch")
+        )
+
+        # -- checkpoint put: the pre-WAL full-rewrite durability pattern -
+        ckpt_store = DirectoryStore(root / "ckpt")
+        ckpt_payload = {"session_id": "bench", "dataset": "three-d",
+                        "wal_seq": 0, "session": {"items": items}}
+
+        def checkpoint_puts() -> None:
+            for _ in range(len(items)):
+                ckpt_store.put("bench", ckpt_payload)
+
+        timings["checkpoint_put_s"] = _best_of(repeats, checkpoint_puts)
+
+        # -- recover + compact: a real session with a B-batch log tail ---
+        db = root / "recover.db"
+        setup = SessionManager(
+            {"three-d": lambda: bundle},
+            store=SQLiteStore(db, fsync="off"),
+            compaction=CompactionPolicy(0),  # keep the whole tail unfolded
+        )
+        sid = setup.create("three-d", session_id="bench-recover")
+        for batch in items:
+            setup.apply_feedback(
+                sid, [feedback_from_dict(b) for b in batch]
+            )
+
+        def recover() -> None:
+            recover_session(
+                SQLiteStore(db, fsync="off"), sid, data,
+                standardize=False, seed=0,
+            )
+
+        timings["recover_replay_s"] = _best_of(repeats, recover)
+
+        def compact() -> None:
+            compact_offline(
+                SQLiteStore(db, fsync="off"), sid, data,
+                standardize=False, seed=0,
+            )
+
+        # First call does the real fold; later repeats are near-no-ops,
+        # so time the first call only.
+        timings["compact_fold_s"] = _best_of(1, compact)
+
+        # -- durability overhead: loadgen p99 views, store vs no store ---
+        durability = _durability_overhead(
+            root, bundle, size, seed=seed
+        )
+        timings["view_p99_durability_ratio"] = durability["ratio"]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    timings = {k: round(v, 6) for k, v in timings.items()}
+    return {
+        "suite": "store",
+        "mode": "quick" if quick else "full",
+        "workload": {
+            "batches": batches,
+            "rows": int(n),
+            "repeats": repeats,
+            "loadgen_sessions": size["lg_sessions"],
+            "loadgen_rounds": size["lg_rounds"],
+            "loadgen_runs": size["lg_runs"],
+            "seed": seed,
+        },
+        "timings": timings,
+        "durability": durability,
+    }
+
+
+def _jsonl_log_store(root: Path, fsync: str):
+    """A bare JSONL log exposing ``append_feedback`` for the bench loop."""
+    from repro.store import JsonlWal
+
+    wal = JsonlWal(Path(root) / "feedback.wal", fsync=fsync)
+
+    class _Shim:
+        @staticmethod
+        def append_feedback(session_id, items, kind="feedback", ref=None):
+            return wal.append(session_id, items, kind=kind, ref=ref)
+
+    return _Shim()
+
+
+def _durability_overhead(root: Path, bundle, size: dict, seed: int) -> dict:
+    """p99 view latency, durable ``sqlite:`` (fsync=batch) vs no store.
+
+    Runs the identical loadgen workload ``lg_runs`` times per side and
+    keeps each side's best (minimum) p99 — the same jitter-damping as
+    ``_best_of``; a shared warm-up run pays the import/solver warm-up
+    cost before either side is on the clock.
+    """
+    from repro.explore import LoadGenConfig, run_loadgen
+    from repro.service import start_background
+    from repro.service.manager import SessionManager
+    from repro.store import SQLiteStore
+
+    def view_p99(store) -> float:
+        manager = SessionManager({"three-d": lambda: bundle}, store=store)
+        server = start_background(manager)
+        try:
+            report = run_loadgen(LoadGenConfig(
+                url=server.base_url,
+                sessions=size["lg_sessions"],
+                workers=size["lg_sessions"],
+                policies=("objective-sweep",),
+                datasets=("three-d",),
+                rounds=size["lg_rounds"],
+                objective="pca",
+                seed=seed,
+            ))
+        finally:
+            server.stop()
+        views = [
+            stats for route, stats in report.routes.items()
+            if route.endswith("/view")
+        ]
+        if not views:
+            raise RuntimeError(
+                f"loadgen recorded no view route: {sorted(report.routes)}"
+            )
+        return max(float(stats["p99_ms"]) for stats in views)
+
+    view_p99(None)  # warm-up: numpy/solver first-call costs off the clock
+    no_store_ms = min(view_p99(None) for _ in range(size["lg_runs"]))
+    durable_ms = min(
+        view_p99(SQLiteStore(root / f"loadgen-{run}.db", fsync="batch"))
+        for run in range(size["lg_runs"])
+    )
+    ratio = durable_ms / max(no_store_ms, 1e-9)
+    return {
+        "view_p99_no_store_ms": round(no_store_ms, 3),
+        "view_p99_sqlite_batch_ms": round(durable_ms, 3),
+        "ratio": round(ratio, 4),
+        "bound": DURABILITY_P99_BOUND,
+        "within_bound": ratio <= DURABILITY_P99_BOUND,
+    }
+
+
 #: Suite name -> runner; ``repro bench`` executes these in order.
 SUITES = {
     "core_solver": run_core_solver_suite,
     "projection": run_projection_suite,
+    "store": run_store_suite,
 }
 
 
@@ -406,8 +632,11 @@ def check_baselines(payload: dict, baselines_path: str | Path) -> list[str]:
     seconds} plus a top-level ``tolerance`` factor (the pre-projection
     flat layout, mode -> budgets, is still read for older files).
     Returns a list of human-readable failures (empty = within budget).
-    Only ``*_vectorized_s`` keys are gated — the reference loops exist to
-    be slow.
+    Every key listed in the budgets map is gated; reference-loop timings
+    are deliberately left out of the baselines so they are never judged.
+    The ``store`` suite also gates ``view_p99_durability_ratio`` — a
+    ratio, not seconds — whose baseline x tolerance encodes the durable
+    overhead bound.
     """
     spec = json.loads(Path(baselines_path).read_text())
     tolerance = float(spec.get("tolerance", 2.0))
@@ -440,17 +669,38 @@ def check_baselines(payload: dict, baselines_path: str | Path) -> list[str]:
 
 
 def format_payload(payload: dict) -> str:
-    """Terminal rendering of a suite result (any suite's workload keys)."""
+    """Terminal rendering of a suite result (any suite's workload keys).
+
+    Suites built around reference-vs-vectorized pairs render their
+    speedup table; suites without one (``store``) render the raw timing
+    keys, plus the durability section when present.
+    """
     workload = ", ".join(
         f"{key}={value}" for key, value in payload["workload"].items()
     )
     lines = [f"suite {payload['suite']} ({payload['mode']}): {workload}"]
-    width = max(len(name) for name in payload["speedups"])
-    for name, factor in payload["speedups"].items():
-        ref = payload["timings"][f"{name}_reference_s"]
-        vec = payload["timings"][f"{name}_vectorized_s"]
+    speedups = payload.get("speedups")
+    if speedups:
+        width = max(len(name) for name in speedups)
+        for name, factor in speedups.items():
+            ref = payload["timings"][f"{name}_reference_s"]
+            vec = payload["timings"][f"{name}_vectorized_s"]
+            lines.append(
+                f"  {name:<{width}} {ref:>9.4f}s -> {vec:>9.4f}s  ({factor:g}x)"
+            )
+    else:
+        width = max(len(name) for name in payload["timings"])
+        for name, value in payload["timings"].items():
+            lines.append(f"  {name:<{width}} {value:>10.4f}")
+    durability = payload.get("durability")
+    if durability:
         lines.append(
-            f"  {name:<{width}} {ref:>9.4f}s -> {vec:>9.4f}s  ({factor:g}x)"
+            "  durability: view p99 "
+            f"{durability['view_p99_no_store_ms']:.1f}ms (no store) -> "
+            f"{durability['view_p99_sqlite_batch_ms']:.1f}ms "
+            f"(sqlite, fsync=batch), ratio {durability['ratio']:g} "
+            f"(bound {durability['bound']:g}, "
+            f"{'OK' if durability['within_bound'] else 'EXCEEDED'})"
         )
     return "\n".join(lines)
 

@@ -12,7 +12,11 @@ Usage (after install)::
         --rounds 5 --trace t.jsonl             # autonomous exploration
     python -m repro explore --replay t.jsonl   # verify a recorded trace
     python -m repro serve --port 8000          # multi-tenant session service
+    python -m repro serve --store sqlite:sessions.db --fsync batch  # durable
     python -m repro serve --obs --obs-log events.jsonl  # ... with tracing
+    python -m repro store verify sqlite:sessions.db     # integrity sweep
+    python -m repro store inspect sqlite:sessions.db    # sessions + log tails
+    python -m repro store compact sqlite:sessions.db    # fold logs offline
     python -m repro loadgen --sessions 8       # policy-driven load generator
     python -m repro loadgen --obs              # ... + server-side metrics
     python -m repro trace events.jsonl         # analyze a request-event log
@@ -235,7 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="all",
-        choices=("all", "core_solver", "projection"),
+        choices=("all", "core_solver", "projection", "store"),
         help="which kernel suite to run (default: all)",
     )
     bench.add_argument(
@@ -263,9 +267,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
     serve.add_argument(
+        "--store",
+        default=None,
+        metavar="URL",
+        help="session store URL: sqlite:PATH (durable write-ahead log), "
+        "wal:PATH (JSON checkpoints + JSONL log), dir:PATH (checkpoints "
+        "only), memory: (default)",
+    )
+    serve.add_argument(
         "--store-dir",
         default=None,
-        help="checkpoint sessions as JSON files here (enables resume)",
+        help="checkpoint sessions as JSON files here (shorthand for "
+        "--store dir:PATH)",
+    )
+    serve.add_argument(
+        "--fsync",
+        default="batch",
+        choices=("always", "batch", "off"),
+        help="durability of write-ahead appends on sqlite:/wal: stores "
+        "(default: batch)",
     )
     serve.add_argument(
         "--max-sessions",
@@ -305,6 +325,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests slower than this carry full span detail in the "
         "event log",
     )
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="inspect, verify, or compact a session store",
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    inspect = store_sub.add_parser(
+        "inspect", help="summarise sessions, checkpoints, and log tails"
+    )
+    verify = store_sub.add_parser(
+        "verify",
+        help="integrity sweep: checkpoints parse, log tails are contiguous "
+        "with valid checksums (exit 1 on any damage)",
+    )
+    verify.add_argument(
+        "--policy",
+        choices=("fail", "truncate"),
+        default="fail",
+        help="fail: any damage is an error (default); truncate: report "
+        "what recovery would drop instead",
+    )
+    compact = store_sub.add_parser(
+        "compact",
+        help="fold feedback-log tails into fresh checkpoints offline",
+    )
+    compact.add_argument(
+        "--session",
+        default=None,
+        metavar="ID",
+        help="compact just this session (default: every session with a "
+        "log tail)",
+    )
+    for store_action in (inspect, verify, compact):
+        store_action.add_argument(
+            "url",
+            metavar="URL",
+            help="store URL: sqlite:PATH, wal:PATH, or dir:PATH",
+        )
+        store_action.add_argument(
+            "--json",
+            action="store_true",
+            help="print the full report as JSON",
+        )
 
     trace = sub.add_parser(
         "trace",
@@ -634,15 +697,32 @@ def cmd_serve(
     obs_enabled: bool = False,
     obs_log: str | None = None,
     slow_ms: float = 500.0,
+    store_url: str | None = None,
+    fsync: str = "batch",
 ) -> int:
     from repro.service import (
-        DirectoryStore,
         ReproServer,
         ServiceAPI,
         SessionManager,
         SolveCache,
         serve,
     )
+    from repro.service.store import StoreError
+
+    if store_url is not None and store_dir is not None:
+        print("--store and --store-dir are mutually exclusive", file=sys.stderr)
+        return 2
+    if store_url is None and store_dir is not None:
+        store_url = f"dir:{store_dir}"
+    store = None
+    if store_url is not None:
+        from repro.store import store_from_url
+
+        try:
+            store = store_from_url(store_url, fsync=fsync)
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     if obs_enabled or obs_log is not None:
         from repro import obs as obs_module
@@ -650,7 +730,7 @@ def cmd_serve(
         obs_module.configure(event_log=obs_log, slow_ms=slow_ms)
     manager = SessionManager(
         DATASETS,
-        store=DirectoryStore(store_dir) if store_dir else None,
+        store=store,
         cache=SolveCache(max_entries=cache_size) if cache_size > 0 else None,
         max_sessions=max_sessions,
         ttl_seconds=ttl,
@@ -661,8 +741,9 @@ def cmd_serve(
     print("routes: /v1/... (unversioned paths kept as legacy aliases)")
     print(f"datasets:   {', '.join(manager.dataset_names())}")
     print(f"objectives: {', '.join(registry.names())}")
-    if store_dir:
-        print(f"checkpoints: {store_dir}")
+    if store is not None:
+        durability = f", fsync={fsync}" if manager.durable else ""
+        print(f"store: {store_url}{durability}")
     if obs_enabled or obs_log is not None:
         print(
             "observability: tracing on, metrics at /v1/metrics"
@@ -675,6 +756,137 @@ def cmd_serve(
 
     serve(server, on_shutdown=checkpoint_on_shutdown)
     return 0
+
+
+def cmd_store(
+    action: str,
+    url: str,
+    as_json: bool = False,
+    policy: str = "fail",
+    session: str | None = None,
+) -> int:
+    """``repro store inspect|verify|compact`` — offline store tooling."""
+    import json
+
+    from repro.service.store import SessionNotFoundError, StoreError
+    from repro.store import (
+        FeedbackLogStore,
+        compact_offline,
+        store_from_url,
+        verify_store,
+    )
+
+    try:
+        store = store_from_url(url)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if action == "inspect":
+        sessions = {}
+        for sid in store.list_ids():
+            try:
+                payload = store.get(sid)
+                info = {
+                    "checkpointed": True,
+                    "dataset": payload.get("dataset"),
+                    "checkpoint_wal_seq": int(payload.get("wal_seq", 0)),
+                }
+            except SessionNotFoundError:
+                info = {"checkpointed": False}
+            except StoreError as exc:
+                info = {"checkpointed": False, "error": str(exc)}
+            if isinstance(store, FeedbackLogStore):
+                tail, damage = store.feedback_tail(
+                    sid, after_seq=info.get("checkpoint_wal_seq", 0)
+                )
+                info["tail_records"] = len(tail)
+                info["last_seq"] = store.last_seq(sid)
+                if damage:
+                    info["damage"] = damage
+            sessions[sid] = info
+        report = {
+            "url": url,
+            "backend": type(store).__name__,
+            "durable": isinstance(store, FeedbackLogStore),
+            "sessions": sessions,
+        }
+        if as_json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"{url} ({report['backend']}, "
+                  f"{'durable' if report['durable'] else 'checkpoint-only'})")
+            if not sessions:
+                print("no sessions")
+            for sid, info in sessions.items():
+                parts = [f"dataset={info.get('dataset')}"]
+                if "tail_records" in info:
+                    parts.append(
+                        f"wal_seq={info.get('checkpoint_wal_seq', 0)}"
+                        f" tail={info['tail_records']}"
+                    )
+                if "damage" in info:
+                    parts.append(f"DAMAGE: {info['damage']}")
+                if "error" in info:
+                    parts.append(f"ERROR: {info['error']}")
+                print(f"  {sid}: " + " ".join(parts))
+        return 0
+
+    if action == "verify":
+        report = verify_store(store, policy=policy)
+        if as_json:
+            print(json.dumps(report, indent=2))
+        else:
+            for sid, info in report["sessions"].items():
+                line = f"  {sid}: {info['tail_records']} tail record(s)"
+                for warning in info["warnings"]:
+                    line += f"\n    WARNING {warning}"
+                print(line)
+            for sid, why in report["errors"].items():
+                print(f"  {sid}: CORRUPT — {why}")
+            print("store OK" if report["ok"] else "store has damage")
+        return 0 if report["ok"] else 1
+
+    # compact
+    if not isinstance(store, FeedbackLogStore):
+        print(
+            f"{url} has no feedback log to compact (checkpoint-only store)",
+            file=sys.stderr,
+        )
+        return 2
+    ids = [session] if session else store.list_ids()
+    results = {}
+    status = 0
+    for sid in ids:
+        try:
+            payload = store.get(sid)
+            dataset = payload.get("dataset")
+            if dataset not in DATASETS:
+                raise StoreError(
+                    f"checkpoint names unknown dataset {dataset!r}"
+                )
+            results[sid] = compact_offline(
+                store,
+                sid,
+                DATASETS[dataset]().data,
+                standardize=bool(payload.get("standardize", False)),
+                seed=payload.get("seed", 0),
+            )
+        except (StoreError, SessionNotFoundError) as exc:
+            results[sid] = {"error": str(exc)}
+            status = 1
+    if as_json:
+        print(json.dumps(results, indent=2))
+    else:
+        for sid, info in results.items():
+            if "error" in info:
+                print(f"  {sid}: FAILED — {info['error']}")
+            else:
+                print(
+                    f"  {sid}: replayed {info['replayed']}, pruned "
+                    f"{info['pruned']}, wal_seq -> {info['wal_seq']}"
+                )
+    return status
 
 
 def cmd_trace(log: str, top: int, as_json: bool) -> int:
@@ -763,6 +975,16 @@ def main(argv: list[str] | None = None) -> int:
             args.obs,
             args.obs_log,
             args.slow_ms,
+            args.store,
+            args.fsync,
+        )
+    if args.command == "store":
+        return cmd_store(
+            args.store_command,
+            args.url,
+            as_json=args.json,
+            policy=getattr(args, "policy", "fail"),
+            session=getattr(args, "session", None),
         )
     if args.command == "trace":
         return cmd_trace(args.log, args.top, args.json)

@@ -54,6 +54,7 @@ __all__ = [
     "active",
     "bucket_bounds",
     "cache_lookup",
+    "compaction",
     "configure",
     "disable",
     "feedback_batch",
@@ -62,9 +63,11 @@ __all__ = [
     "new_trace_id",
     "parse_prometheus",
     "read_events",
+    "recovery",
     "route_template",
     "solve_completed",
     "trace_module",
+    "wal_append",
 ]
 
 #: HTTP header carrying the trace id in both directions.
@@ -148,6 +151,27 @@ class Observability:
             "repro_feedback_batch_size",
             "Feedback items per applied batch.",
             buckets=DEFAULT_SIZE_BUCKETS,
+        ).default()
+        self._wal_append = m.histogram(
+            "repro_wal_append_seconds",
+            "Durable write-ahead append per feedback batch.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).default()
+        self._compactions = m.counter(
+            "repro_store_compactions_total",
+            "Feedback-log folds into a fresh checkpoint.",
+        ).default()
+        self._compacted_records = m.counter(
+            "repro_store_compacted_records_total",
+            "WAL records pruned by compaction.",
+        ).default()
+        self._recoveries = m.counter(
+            "repro_store_recoveries_total",
+            "Session resumes that replayed a feedback-log tail.",
+        ).default()
+        self._recovered_batches = m.counter(
+            "repro_store_recovered_batches_total",
+            "Feedback batches replayed from the log during recovery.",
         ).default()
         self._sessions_gauge = m.gauge(
             "repro_sessions_in_memory",
@@ -246,6 +270,22 @@ class Observability:
     def record_feedback_batch(self, size: int) -> None:
         self._feedback_batch.observe(size)
 
+    def record_wal_append(self, seconds: float) -> None:
+        self._wal_append.observe(seconds)
+
+    def record_compaction(self, pruned_records: int) -> None:
+        self._compactions.inc()
+        self._compacted_records.inc(pruned_records)
+
+    def record_recovery(self, batches: int, warnings: int = 0) -> None:
+        self._recoveries.inc()
+        self._recovered_batches.inc(batches)
+        if warnings and self.events is not None:
+            self.events.emit(
+                {"event": "recovery_warning", "warnings": int(warnings),
+                 "replayed_batches": int(batches)}
+            )
+
 
 # ----------------------------------------------------------------------
 # Process-wide state
@@ -326,6 +366,27 @@ def feedback_batch(size: int) -> None:
     state = _active
     if state is not None:
         state.record_feedback_batch(size)
+
+
+def wal_append(seconds: float) -> None:
+    """Called by the manager after each durable write-ahead append."""
+    state = _active
+    if state is not None:
+        state.record_wal_append(seconds)
+
+
+def compaction(pruned_records: int) -> None:
+    """Called when a feedback log is folded into a checkpoint."""
+    state = _active
+    if state is not None:
+        state.record_compaction(pruned_records)
+
+
+def recovery(batches: int, warnings: int = 0) -> None:
+    """Called when a resume replays a feedback-log tail."""
+    state = _active
+    if state is not None:
+        state.record_recovery(batches, warnings)
 
 
 def request_envelope(method: str, path: str, trace_id: str | None = None):

@@ -81,7 +81,11 @@ from repro.service.manager import (
     SessionManager,
     UnknownDatasetError,
 )
-from repro.service.store import InvalidSessionIdError, SessionNotFoundError
+from repro.service.store import (
+    InvalidSessionIdError,
+    SessionNotFoundError,
+    StoreError,
+)
 
 #: Version prefix of the canonical routes.
 API_VERSION = "v1"
@@ -225,8 +229,19 @@ class ServiceAPI:
             OverflowError,
         ) as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}, "bad_request"
+        except StoreError as exc:
+            # Damaged or unusable persistent state (corrupt checkpoint,
+            # failed WAL append, recovery refusal) — still a server fault,
+            # but tagged distinctly so operators can alert on storage rot
+            # separately from handler bugs.  InvalidSessionIdError, though
+            # a StoreError subclass, is caught as a 400 above: a bad id in
+            # the request is the client's fault, not the store's.
+            return (
+                500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                "corrupt_store",
+            )
         except ReproError as exc:
-            # Includes StoreError: checkpoint I/O failures are server faults.
             return (
                 500,
                 {"error": f"{type(exc).__name__}: {exc}"},

@@ -13,7 +13,11 @@ library's single-session loop it adds exactly what a server needs:
   and transparently resumed on the next request;
 * **solve caching** — view requests route fits through a
   :class:`~repro.service.cache.SolveCache`, so identical belief states
-  across sessions (same data, constraints, options) reuse one solve.
+  across sessions (same data, constraints, options) reuse one solve;
+* **durability** (optional) — with a write-ahead-logged store from
+  :mod:`repro.store` (``sqlite:`` / ``wal:``), every feedback batch is
+  durable before its apply commits and crash recovery replays the log
+  tail bit-for-bit; see the constructor's "Durable stores" notes.
 
 Everything here is transport-agnostic; the HTTP layer in
 :mod:`repro.service.api` is a thin JSON veneer over these methods.
@@ -65,6 +69,13 @@ from repro.service.store import (
     StoreError,
     validate_session_id,
 )
+from repro.store.compaction import CompactionPolicy, should_compact
+from repro.store.recovery import (
+    load_session_state,
+    replay_records,
+    validate_recovery_policy,
+)
+from repro.store.wal import FeedbackLogStore
 
 
 class UnknownDatasetError(ReproError):
@@ -90,6 +101,8 @@ class _Entry:
         "pins",
         "created_at",
         "last_access",
+        "wal_seq",
+        "tail_records",
     )
 
     def __init__(
@@ -116,6 +129,12 @@ class _Entry:
         self.pins = 0
         self.created_at = now
         self.last_access = now
+        # Durable-store bookkeeping: the highest WAL sequence number this
+        # in-memory session has applied (what the next checkpoint folds),
+        # and how many log records have accumulated since the last fold
+        # (what the compaction policy watches).
+        self.wal_seq = 0
+        self.tail_records = 0
 
 
 class SessionManager:
@@ -142,8 +161,26 @@ class SessionManager:
         Idle time after which a session is expired out of memory
         (checkpointing it first when a store is attached).  ``None``
         disables expiry.
+    recovery_policy:
+        How resume treats a damaged feedback log on a durable store:
+        ``"truncate"`` (default) recovers the valid prefix and warns,
+        ``"fail"`` raises :class:`StoreError`.  Ignored for plain stores.
+    compaction:
+        When to fold a durable store's feedback log into a fresh
+        checkpoint; defaults to :class:`CompactionPolicy` (64 tail
+        records).  Pass ``CompactionPolicy(0)`` to disable automatic
+        folding.  Ignored for plain stores.
     clock:
         Monotonic time source; injectable for tests.
+
+    Durable stores
+    --------------
+    When ``store`` is also a :class:`~repro.store.wal.FeedbackLogStore`
+    (``sqlite:`` / ``wal:``), every feedback batch and undo is appended
+    to the write-ahead log *before* the in-memory apply commits, a
+    genesis checkpoint is written at :meth:`create`, and resume replays
+    the log tail through the normal ``apply_many`` codepath — so every
+    acknowledged batch survives a crash bit-for-bit.
     """
 
     def __init__(
@@ -154,6 +191,8 @@ class SessionManager:
         cache: SolveCache | bool | None = True,
         max_sessions: int = 64,
         ttl_seconds: float | None = None,
+        recovery_policy: str = "truncate",
+        compaction: CompactionPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_sessions <= 0:
@@ -176,12 +215,21 @@ class SessionManager:
             self.cache = cache  # type: ignore[assignment]
         self.max_sessions = int(max_sessions)
         self.ttl_seconds = ttl_seconds
+        self.durable = isinstance(store, FeedbackLogStore)
+        self.recovery_policy = validate_recovery_policy(recovery_policy)
+        self.compaction = (
+            compaction if compaction is not None else CompactionPolicy()
+        )
         self._clock = clock
         self._created = 0
         self._resumed = 0
         self._evicted = 0
         self._expired = 0
         self._checkpoints = 0
+        self._wal_appends = 0
+        self._wal_rollbacks = 0
+        self._compactions = 0
+        self._replayed_batches = 0
 
     # ------------------------------------------------------------------
     # Dataset registry
@@ -247,7 +295,7 @@ class SessionManager:
                 self.store is not None and sid in self.store
             ):
                 raise SessionExistsError(f"session {sid!r} already exists")
-            self._entries[sid] = _Entry(
+            entry = _Entry(
                 sid,
                 session,
                 dataset,
@@ -256,6 +304,16 @@ class SessionManager:
                 self._clock(),
                 feature_names=self.feature_names(dataset),
             )
+            self._entries[sid] = entry
+            if self.durable:
+                # Genesis checkpoint: recovery is always "checkpoint +
+                # tail", so a session must be checkpointable from birth —
+                # WAL records alone carry no dataset/seed information.
+                try:
+                    self._checkpoint_entry(entry)
+                except StoreError:
+                    del self._entries[sid]
+                    raise
             self._created += 1
             self._expire_stale_locked()
             self._evict_locked()
@@ -330,10 +388,21 @@ class SessionManager:
                 entry.pins -= 1
 
     def _resume_locked(self, session_id: str) -> _Entry:
-        """Lazily rebuild a checkpointed session (global lock held)."""
+        """Lazily rebuild a checkpointed session (global lock held).
+
+        On a durable store this is full crash recovery: checkpoint +
+        validated feedback-log tail replayed through ``apply_many``; on a
+        plain store it is exactly the checkpoint.
+        """
         if self.store is None:
             raise SessionNotFoundError(f"no session {session_id!r}")
-        payload = self.store.get(session_id)  # raises SessionNotFoundError
+        # raises SessionNotFoundError for unknown ids; StoreError (mapped
+        # to the `corrupt_store` error kind by the API) for damage the
+        # recovery policy refuses to truncate away
+        state = load_session_state(
+            self.store, session_id, policy=self.recovery_policy
+        )
+        payload = state.payload
         dataset = payload.get("dataset")
         if not isinstance(dataset, str):
             raise SessionNotFoundError(
@@ -346,6 +415,7 @@ class SessionManager:
             standardize=bool(payload.get("standardize", False)),
             seed=payload.get("seed", 0),
         )
+        replay_records(session, state.records)
         entry = _Entry(
             session_id,
             session,
@@ -355,8 +425,13 @@ class SessionManager:
             self._clock(),
             feature_names=self.feature_names(dataset),
         )
+        entry.wal_seq = state.wal_seq
+        entry.tail_records = len(state.records)
         self._entries[session_id] = entry
         self._resumed += 1
+        self._replayed_batches += len(state.records)
+        if state.records or state.warnings:
+            obs.recovery(len(state.records), warnings=len(state.warnings))
         return entry
 
     # ------------------------------------------------------------------
@@ -364,16 +439,30 @@ class SessionManager:
     # ------------------------------------------------------------------
 
     def _checkpoint_entry(self, entry: _Entry) -> None:
-        self.store.put(
-            entry.session_id,
-            {
-                "session_id": entry.session_id,
-                "dataset": entry.dataset,
-                "standardize": entry.standardize,
-                "seed": entry.seed,
-                "session": session_to_payload(entry.session),
-            },
-        )
+        """Persist the entry's knowledge state; folds the log when durable.
+
+        The in-memory session already contains every logged record up to
+        ``entry.wal_seq``, so the checkpoint covers them and the durable
+        path prunes them in the same (transactional, on SQLite) step.
+        """
+        payload = {
+            "session_id": entry.session_id,
+            "dataset": entry.dataset,
+            "standardize": entry.standardize,
+            "seed": entry.seed,
+            "wal_seq": entry.wal_seq,
+            "session": session_to_payload(entry.session),
+        }
+        if self.durable:
+            pruned = self.store.checkpoint_and_prune(
+                entry.session_id, payload, entry.wal_seq
+            )
+            entry.tail_records = 0
+            if pruned:
+                self._compactions += 1
+                obs.compaction(pruned)
+        else:
+            self.store.put(entry.session_id, payload)
         self._checkpoints += 1
 
     def _evict_locked(self) -> None:
@@ -520,10 +609,55 @@ class SessionManager:
                 # require a fit — route it through the cache first, exactly
                 # like a view request.
                 self._fit_with_cache(entry)
-            applied = entry.session.apply_many(items)
+            record = self._wal_append(
+                entry, [item.to_dict() for item in items]
+            )
+            try:
+                applied = entry.session.apply_many(items)
+            except BaseException:
+                # The write-ahead record is durable but the apply never
+                # committed — annul it so recovery does not replay a batch
+                # the client saw rejected.
+                self._wal_rollback(entry, record)
+                raise
+            self._wal_commit(entry, record)
             stats = self._stats_locked(entry)
             stats["applied"] = applied
             return stats
+
+    def _wal_append(self, entry: _Entry, items: list[dict], kind="feedback"):
+        """Durably log one batch before its in-memory apply (durable only)."""
+        if not self.durable:
+            return None
+        start = time.perf_counter()
+        record = self.store.append_feedback(entry.session_id, items, kind=kind)
+        self._wal_appends += 1
+        obs.wal_append(time.perf_counter() - start)
+        return record
+
+    def _wal_rollback(self, entry: _Entry, record) -> None:
+        if record is None:
+            return
+        try:
+            self.store.rollback_feedback(entry.session_id, record.seq)
+            self._wal_rollbacks += 1
+        except StoreError:
+            # Best effort: the store just failed an append-shaped write,
+            # so this likely fails too.  Surfacing the *original* apply
+            # error matters more than the unlogged abort.
+            pass
+
+    def _wal_commit(self, entry: _Entry, record) -> None:
+        """Bookkeeping after a logged apply committed; maybe compact."""
+        if record is None:
+            return
+        entry.wal_seq = record.seq
+        entry.tail_records += 1
+        if should_compact(self.compaction, entry.tail_records):
+            try:
+                self._checkpoint_entry(entry)
+            except StoreError:
+                pass  # the batch is durable in the log; fold on a later pass
 
     def mark_cluster(
         self,
@@ -561,9 +695,25 @@ class SessionManager:
         )
 
     def undo(self, session_id: str) -> str | None:
-        """Retract the session's most recent feedback action."""
+        """Retract the session's most recent feedback action.
+
+        On a durable store the undo is write-ahead logged like any other
+        mutation (kind ``undo``), so recovery replays it and a recovered
+        session does not resurrect retracted knowledge.
+        """
         with self._checkout(session_id) as entry:
-            return entry.session.undo_last_feedback()
+            record = self._wal_append(entry, [], kind="undo")
+            try:
+                label = entry.session.undo_last_feedback()
+            except BaseException:
+                self._wal_rollback(entry, record)
+                raise
+            if label is None:
+                # Nothing to undo — no state change, nothing to replay.
+                self._wal_rollback(entry, record)
+            else:
+                self._wal_commit(entry, record)
+            return label
 
     def session_stats(self, session_id: str) -> dict:
         """Full status of one session (resuming it if checkpointed)."""
@@ -616,6 +766,11 @@ class SessionManager:
             "evicted": self._evicted,
             "expired": self._expired,
             "checkpoints": self._checkpoints,
+            "durable": self.durable,
+            "wal_appends": self._wal_appends,
+            "wal_rollbacks": self._wal_rollbacks,
+            "compactions": self._compactions,
+            "replayed_batches": self._replayed_batches,
             "datasets": self.dataset_names(),
             "store": type(self.store).__name__ if self.store is not None else None,
             "cache": self.cache.stats() if self.cache is not None else None,

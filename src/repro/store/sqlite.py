@@ -1,0 +1,457 @@
+"""`SQLiteStore`: checkpoints + write-ahead feedback log in one database.
+
+One file holds everything the durable tier needs — the latest checkpoint
+per session and the feedback records appended since that checkpoint — so
+state is shareable across server restarts and (later) across worker
+processes.  Concretely:
+
+* **WAL-mode SQLite** with a busy timeout: many readers plus one writer
+  at a time, safe across threads *and* processes (each thread gets its
+  own connection; cross-process writers serialise on the database lock);
+* **fsync policy** maps onto ``PRAGMA synchronous``: ``always`` →
+  ``FULL`` (every commit hits the platter), ``batch`` → ``NORMAL``
+  (SQLite syncs at WAL checkpoints — a process crash loses nothing, a
+  power cut can lose the last unsynced commits), ``off`` → ``OFF``;
+* **schema versioning** via ``PRAGMA user_version`` with a migration
+  table stub, so a future schema change upgrades old databases in place
+  instead of refusing them;
+* **transactional compaction** — :meth:`checkpoint_and_prune` folds the
+  log into a fresh checkpoint and drops the folded records in one
+  transaction, so a crash mid-compaction can never lose feedback.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.service.store import (
+    SessionNotFoundError,
+    SessionStore,
+    StoreError,
+    validate_session_id,
+)
+from repro.store.wal import (
+    FeedbackLogStore,
+    WalRecord,
+    record_checksum,
+    validate_fsync_policy,
+)
+
+__all__ = ["SCHEMA_VERSION", "SQLiteStore"]
+
+#: Current schema version (``PRAGMA user_version``).  Bump together with
+#: an entry in :data:`_MIGRATIONS` that upgrades ``N-1 -> N`` in place.
+SCHEMA_VERSION = 1
+
+# Statements run one by one inside the schema transaction
+# (``executescript`` would implicitly commit and break its atomicity).
+_SCHEMA = (
+    """
+    CREATE TABLE IF NOT EXISTS checkpoints (
+        session_id TEXT PRIMARY KEY,
+        payload    TEXT NOT NULL,
+        wal_seq    INTEGER NOT NULL DEFAULT 0,
+        updated_at REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS wal (
+        session_id TEXT NOT NULL,
+        seq        INTEGER NOT NULL,
+        kind       TEXT NOT NULL DEFAULT 'feedback',
+        items      TEXT NOT NULL,
+        ref        INTEGER,
+        checksum   TEXT NOT NULL,
+        created_at REAL NOT NULL,
+        PRIMARY KEY (session_id, seq)
+    )
+    """,
+)
+
+#: Migration stub: ``{from_version: callable(conn)}`` steps applied in
+#: order until ``user_version`` reaches :data:`SCHEMA_VERSION`.  Empty
+#: while there is only one schema version; the machinery is exercised by
+#: the tests so adding the first real migration is a one-liner.
+_MIGRATIONS: dict[int, callable] = {}
+
+_SYNCHRONOUS = {"always": "FULL", "batch": "NORMAL", "off": "OFF"}
+
+
+class SQLiteStore(SessionStore, FeedbackLogStore):
+    """Durable session store backed by one SQLite database file.
+
+    Parameters
+    ----------
+    path:
+        Database file (created, along with parent directories, on first
+        use).  In-memory databases are rejected: they cannot provide the
+        durability this class exists for.
+    fsync:
+        ``always`` / ``batch`` / ``off`` — see the module docstring.
+    busy_timeout_ms:
+        How long a connection waits on the database lock before raising,
+        honoured for every concurrent writer (threads and processes).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: str = "batch",
+        busy_timeout_ms: int = 5000,
+    ) -> None:
+        text = str(path)
+        if text == ":memory:" or text.startswith("file::memory:"):
+            raise StoreError(
+                "SQLiteStore needs a database file; an in-memory database "
+                "cannot survive the crash this store protects against"
+            )
+        self.path = Path(text)
+        self.fsync = validate_fsync_policy(fsync)
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._local = threading.local()
+        # Opening one connection eagerly creates/migrates the schema, so
+        # construction fails loudly on an unusable database.
+        self._conn()
+
+    # ------------------------------------------------------------------
+    # Connections and schema
+    # ------------------------------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        """This thread's connection (one per thread; SQLite requirement)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn
+        try:
+            conn = sqlite3.connect(
+                self.path,
+                timeout=self.busy_timeout_ms / 1000.0,
+                isolation_level=None,  # autocommit; explicit BEGIN below
+            )
+            conn.execute(f"PRAGMA busy_timeout = {self.busy_timeout_ms}")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute(
+                f"PRAGMA synchronous = {_SYNCHRONOUS[self.fsync]}"
+            )
+            self._ensure_schema(conn)
+        except sqlite3.Error as exc:
+            raise StoreError(
+                f"cannot open session database {self.path}: {exc}"
+            ) from exc
+        self._local.conn = conn
+        return conn
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        version = conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == SCHEMA_VERSION:
+            return
+        if version > SCHEMA_VERSION:
+            raise StoreError(
+                f"database {self.path} has schema version {version}, newer "
+                f"than this code understands ({SCHEMA_VERSION}); refusing "
+                "to touch it"
+            )
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            # Re-check under the write lock: another process may have
+            # created/migrated the schema while we waited.
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                for statement in _SCHEMA:
+                    conn.execute(statement)
+            else:
+                while version < SCHEMA_VERSION:
+                    step = _MIGRATIONS.get(version)
+                    if step is None:
+                        raise StoreError(
+                            f"no migration from schema version {version} "
+                            f"in {self.path}"
+                        )
+                    step(conn)
+                    version += 1
+            conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def close(self) -> None:
+        """Close this thread's connection (other threads' stay open)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def _execute(self, sql: str, params: tuple = ()):
+        try:
+            return self._conn().execute(sql, params)
+        except sqlite3.Error as exc:
+            raise StoreError(f"store query failed on {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # SessionStore: checkpoints
+    # ------------------------------------------------------------------
+
+    def put(self, session_id: str, payload: dict) -> None:
+        validate_session_id(session_id)
+        encoded = self._encode(payload)
+        self._execute(
+            "INSERT INTO checkpoints (session_id, payload, wal_seq, updated_at) "
+            "VALUES (?, ?, ?, ?) ON CONFLICT(session_id) DO UPDATE SET "
+            "payload = excluded.payload, wal_seq = excluded.wal_seq, "
+            "updated_at = excluded.updated_at",
+            (session_id, encoded, int(payload.get("wal_seq", 0)), time.time()),
+        )
+
+    @staticmethod
+    def _encode(payload: dict) -> str:
+        try:
+            return json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"payload is not JSON-serialisable: {exc}") from exc
+
+    def get(self, session_id: str) -> dict:
+        validate_session_id(session_id)
+        row = self._execute(
+            "SELECT payload FROM checkpoints WHERE session_id = ?",
+            (session_id,),
+        ).fetchone()
+        if row is None:
+            raise SessionNotFoundError(
+                f"no stored session {session_id!r} in {self.path}"
+            )
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt checkpoint for {session_id!r} in {self.path}: {exc}"
+            ) from exc
+
+    def delete(self, session_id: str) -> None:
+        validate_session_id(session_id)
+        conn = self._conn()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "DELETE FROM checkpoints WHERE session_id = ?", (session_id,)
+            )
+            conn.execute("DELETE FROM wal WHERE session_id = ?", (session_id,))
+            conn.execute("COMMIT")
+        except sqlite3.Error as exc:
+            conn.execute("ROLLBACK")
+            raise StoreError(
+                f"cannot delete session {session_id!r} from {self.path}: {exc}"
+            ) from exc
+
+    def list_ids(self) -> list[str]:
+        rows = self._execute(
+            "SELECT session_id FROM checkpoints "
+            "UNION SELECT session_id FROM wal ORDER BY session_id"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def __contains__(self, session_id: str) -> bool:
+        try:
+            validate_session_id(session_id)
+        except StoreError:
+            return False
+        row = self._execute(
+            "SELECT 1 FROM checkpoints WHERE session_id = ? LIMIT 1",
+            (session_id,),
+        ).fetchone()
+        return row is not None
+
+    # ------------------------------------------------------------------
+    # FeedbackLogStore: the write-ahead log
+    # ------------------------------------------------------------------
+
+    def append_feedback(
+        self,
+        session_id: str,
+        items: list[dict],
+        kind: str = "feedback",
+        ref: int | None = None,
+    ) -> WalRecord:
+        validate_session_id(session_id)
+        items = list(items)
+        encoded = self._encode({"items": items})
+        conn = self._conn()
+        try:
+            # BEGIN IMMEDIATE takes the write lock up front, so the
+            # MAX(seq) read and the insert are one atomic step even with
+            # concurrent writers in other threads or processes.
+            conn.execute("BEGIN IMMEDIATE")
+            # The floor is MAX(log, checkpoint.wal_seq): compaction deletes
+            # folded records, and sequence numbers must stay monotonic past
+            # the fold or the folded-in batches' numbers would be reissued
+            # below the checkpoint's wal_seq — invisible to recovery.
+            row = conn.execute(
+                "SELECT MAX("
+                " COALESCE((SELECT MAX(seq) FROM wal WHERE session_id = ?1), 0),"
+                " COALESCE((SELECT wal_seq FROM checkpoints"
+                "           WHERE session_id = ?1), 0))",
+                (session_id,),
+            ).fetchone()
+            seq = int(row[0]) + 1
+            record = WalRecord.make(session_id, seq, kind, items, ref)
+            conn.execute(
+                "INSERT INTO wal "
+                "(session_id, seq, kind, items, ref, checksum, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    session_id,
+                    seq,
+                    kind,
+                    encoded,
+                    ref,
+                    record.checksum,
+                    time.time(),
+                ),
+            )
+            conn.execute("COMMIT")
+        except sqlite3.Error as exc:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+            raise StoreError(
+                f"cannot append feedback for {session_id!r} to "
+                f"{self.path}: {exc}"
+            ) from exc
+        return record
+
+    def rollback_feedback(self, session_id: str, seq: int) -> None:
+        """Remove the annulled record outright (transactional backend)."""
+        self._execute(
+            "DELETE FROM wal WHERE session_id = ? AND seq = ?",
+            (session_id, int(seq)),
+        )
+
+    def feedback_tail(
+        self, session_id: str, after_seq: int = 0
+    ) -> tuple[list[WalRecord], str | None]:
+        validate_session_id(session_id)
+        rows = self._execute(
+            "SELECT seq, kind, items, ref, checksum FROM wal "
+            "WHERE session_id = ? AND seq > ? ORDER BY seq",
+            (session_id, int(after_seq)),
+        ).fetchall()
+        records: list[WalRecord] = []
+        for seq, kind, encoded, ref, checksum in rows:
+            try:
+                items = json.loads(encoded)["items"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                return records, (
+                    f"unreadable WAL record {session_id!r}#{seq} in "
+                    f"{self.path}"
+                )
+            records.append(
+                WalRecord(
+                    session_id=session_id,
+                    seq=int(seq),
+                    kind=str(kind),
+                    items=list(items),
+                    ref=ref if ref is None else int(ref),
+                    checksum=str(checksum),
+                )
+            )
+        return records, None
+
+    def last_seq(self, session_id: str) -> int:
+        row = self._execute(
+            "SELECT MAX("
+            " COALESCE((SELECT MAX(seq) FROM wal WHERE session_id = ?1), 0),"
+            " COALESCE((SELECT wal_seq FROM checkpoints"
+            "           WHERE session_id = ?1), 0))",
+            (session_id,),
+        ).fetchone()
+        return int(row[0])
+
+    def prune_feedback(self, session_id: str, up_to_seq: int) -> int:
+        cursor = self._execute(
+            "DELETE FROM wal WHERE session_id = ? AND seq <= ?",
+            (session_id, int(up_to_seq)),
+        )
+        return int(cursor.rowcount)
+
+    def checkpoint_and_prune(
+        self, session_id: str, payload: dict, up_to_seq: int
+    ) -> int:
+        """Fold the log into a fresh checkpoint in ONE transaction."""
+        validate_session_id(session_id)
+        encoded = self._encode(payload)
+        conn = self._conn()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "INSERT INTO checkpoints "
+                "(session_id, payload, wal_seq, updated_at) "
+                "VALUES (?, ?, ?, ?) ON CONFLICT(session_id) DO UPDATE SET "
+                "payload = excluded.payload, wal_seq = excluded.wal_seq, "
+                "updated_at = excluded.updated_at",
+                (
+                    session_id,
+                    encoded,
+                    int(payload.get("wal_seq", 0)),
+                    time.time(),
+                ),
+            )
+            cursor = conn.execute(
+                "DELETE FROM wal WHERE session_id = ? AND seq <= ?",
+                (session_id, int(up_to_seq)),
+            )
+            dropped = int(cursor.rowcount)
+            conn.execute("COMMIT")
+        except sqlite3.Error as exc:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+            raise StoreError(
+                f"cannot compact session {session_id!r} in {self.path}: {exc}"
+            ) from exc
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection (CLI `repro store inspect`)
+    # ------------------------------------------------------------------
+
+    def schema_version(self) -> int:
+        """The database's ``PRAGMA user_version``."""
+        return int(self._execute("PRAGMA user_version").fetchone()[0])
+
+    def describe(self) -> dict:
+        """Shape summary: sessions, tail lengths, schema version."""
+        sessions = {}
+        for sid in self.list_ids():
+            row = self._execute(
+                "SELECT wal_seq, LENGTH(payload) FROM checkpoints "
+                "WHERE session_id = ?",
+                (sid,),
+            ).fetchone()
+            tail = self._execute(
+                "SELECT COUNT(*) FROM wal WHERE session_id = ?", (sid,)
+            ).fetchone()[0]
+            sessions[sid] = {
+                "checkpointed": row is not None,
+                "checkpoint_bytes": int(row[1]) if row is not None else 0,
+                "checkpoint_wal_seq": int(row[0]) if row is not None else 0,
+                "tail_records": int(tail),
+                "last_seq": self.last_seq(sid),
+            }
+        return {
+            "backend": "sqlite",
+            "path": str(self.path),
+            "fsync": self.fsync,
+            "schema_version": self.schema_version(),
+            "sessions": sessions,
+        }
+
+
+# record_checksum re-exported for checksum verification convenience.
+_ = record_checksum

@@ -1,0 +1,573 @@
+"""Append-only write-ahead log of typed feedback batches.
+
+The durable tier's core idea: every mutation of a session's knowledge
+state (one :meth:`~repro.core.session.ExplorationSession.apply_many`
+batch, or one undo) is appended to a log *before* the in-memory apply
+commits.  Recovery is then "load the latest checkpoint and replay the
+log tail" — bit-for-bit, because all feedback is typed and serialisable
+and the session's refits are deterministic.
+
+This module defines the pieces every durable backend shares:
+
+* :class:`WalRecord` — one logged batch: session id, per-session
+  monotonic sequence number, kind (``feedback`` / ``undo`` / ``abort``),
+  the serialized feedback items, and a content checksum;
+* :class:`FeedbackLogStore` — the capability interface a
+  :class:`~repro.service.store.SessionStore` grows to become a durable
+  store (append / tail / rollback / prune / transactional
+  checkpoint-and-prune).  :class:`~repro.store.sqlite.SQLiteStore` keeps
+  the log in a database table; :class:`WalDirectoryStore` here pairs the
+  JSON-file checkpoints of :class:`~repro.service.store.DirectoryStore`
+  with a shared JSONL log file;
+* :class:`JsonlWal` — the append-only JSONL file itself, with a
+  configurable fsync policy (``always`` / ``batch`` / ``off``) and
+  partial-tail repair on open.
+
+Record kinds
+------------
+``feedback``   a batch of feedback dicts, replayed through ``apply_many``
+``undo``       one undo action, replayed through ``undo_last_feedback``
+``abort``      annuls the record named by ``ref`` — written when the
+               in-memory apply failed *after* its write-ahead record was
+               already durable, so recovery must not replay it
+``prune``      (JSONL backend only) a sequence-floor marker left behind by
+               compaction, so sequence numbers stay monotonic across folds
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.service.store import (
+    DirectoryStore,
+    StoreError,
+    _fsync_dir,
+    validate_session_id,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "FeedbackLogStore",
+    "JsonlWal",
+    "WalDirectoryStore",
+    "WalRecord",
+    "record_checksum",
+    "validate_fsync_policy",
+]
+
+#: Accepted fsync policies, strictest first.
+#:
+#: ``always``  fsync after every append — an acknowledged batch survives
+#:             power loss, at the cost of one disk flush per batch;
+#: ``batch``   flush to the OS after every append, fsync every
+#:             ``batch_every`` appends — a kernel crash can lose at most
+#:             the last unsynced batches, a *process* crash loses nothing;
+#: ``off``     leave flushing to the OS entirely (benchmarks, tests).
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
+def validate_fsync_policy(policy: str) -> str:
+    """Return the policy unchanged, or raise :class:`StoreError`."""
+    if policy not in FSYNC_POLICIES:
+        raise StoreError(
+            f"unknown fsync policy {policy!r}; expected one of {FSYNC_POLICIES}"
+        )
+    return policy
+
+
+def record_checksum(
+    session_id: str,
+    seq: int,
+    kind: str,
+    items: list[dict],
+    ref: int | None = None,
+) -> str:
+    """Content hash of one WAL record (everything except the hash itself).
+
+    Canonical JSON (sorted keys, no whitespace) so the checksum is stable
+    across writers and Python versions.
+    """
+    blob = json.dumps(
+        [session_id, int(seq), kind, items, ref],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable log entry: a feedback batch, an undo, or an abort."""
+
+    session_id: str
+    seq: int
+    kind: str = "feedback"
+    items: list[dict] = field(default_factory=list)
+    ref: int | None = None
+    checksum: str = ""
+
+    @classmethod
+    def make(
+        cls,
+        session_id: str,
+        seq: int,
+        kind: str = "feedback",
+        items: list[dict] | None = None,
+        ref: int | None = None,
+    ) -> "WalRecord":
+        items = list(items) if items else []
+        return cls(
+            session_id=session_id,
+            seq=int(seq),
+            kind=kind,
+            items=items,
+            ref=ref,
+            checksum=record_checksum(session_id, seq, kind, items, ref),
+        )
+
+    def verify(self) -> bool:
+        """True when the stored checksum matches the record content."""
+        return self.checksum == record_checksum(
+            self.session_id, self.seq, self.kind, self.items, self.ref
+        )
+
+    def to_json_line(self) -> str:
+        """One JSONL line (no trailing newline)."""
+        return json.dumps(
+            {
+                "sid": self.session_id,
+                "seq": self.seq,
+                "kind": self.kind,
+                "items": self.items,
+                "ref": self.ref,
+                "sum": self.checksum,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "WalRecord":
+        """Parse one JSONL line; raises :class:`StoreError` when malformed."""
+        try:
+            raw = json.loads(line)
+            return cls(
+                session_id=raw["sid"],
+                seq=int(raw["seq"]),
+                kind=str(raw.get("kind", "feedback")),
+                items=list(raw.get("items") or []),
+                ref=raw.get("ref"),
+                checksum=str(raw.get("sum", "")),
+            )
+        except (ValueError, TypeError, KeyError) as exc:
+            raise StoreError(f"malformed WAL record: {exc}") from exc
+
+
+def resolve_aborts(records: list[WalRecord]) -> list[WalRecord]:
+    """Drop aborted records and the abort markers that annul them.
+
+    The sequence numbers of abort records still count for continuity —
+    callers verify continuity on the raw tail first, then filter.
+    """
+    aborted = {r.ref for r in records if r.kind == "abort" and r.ref is not None}
+    return [
+        r
+        for r in records
+        if r.kind not in ("abort", "prune") and r.seq not in aborted
+    ]
+
+
+class FeedbackLogStore(ABC):
+    """Capability interface of a durable (write-ahead-logged) store.
+
+    A concrete durable store is both a
+    :class:`~repro.service.store.SessionStore` (checkpoints) and a
+    ``FeedbackLogStore`` (the feedback tail since the last checkpoint);
+    :mod:`repro.store.recovery` composes the two back into a live
+    session.
+    """
+
+    @abstractmethod
+    def append_feedback(
+        self,
+        session_id: str,
+        items: list[dict],
+        kind: str = "feedback",
+        ref: int | None = None,
+    ) -> WalRecord:
+        """Durably append one batch; returns the record with its seq.
+
+        Sequence numbers are per-session, monotonic, and contiguous; the
+        append must be durable (per the store's fsync policy) before this
+        returns — the caller commits the in-memory apply only afterwards.
+        """
+
+    @abstractmethod
+    def rollback_feedback(self, session_id: str, seq: int) -> None:
+        """Annul the record ``seq`` (the in-memory apply failed).
+
+        Only ever called for the newest record of a session, immediately
+        after its append.  Backends either remove the record or append an
+        ``abort`` marker; recovery treats both identically.
+        """
+
+    @abstractmethod
+    def feedback_tail(
+        self, session_id: str, after_seq: int = 0
+    ) -> tuple[list[WalRecord], str | None]:
+        """Records with ``seq > after_seq`` in order, plus damage info.
+
+        The second element is ``None`` for a clean read, or a description
+        of storage-level tail damage (a torn final line, an unreadable
+        row) — in which case the returned records are the valid prefix
+        and :mod:`repro.store.recovery`'s corrupt-tail policy decides
+        whether that prefix is acceptable.
+        """
+
+    @abstractmethod
+    def last_seq(self, session_id: str) -> int:
+        """Highest sequence number logged for the session (0 = none)."""
+
+    @abstractmethod
+    def prune_feedback(self, session_id: str, up_to_seq: int) -> int:
+        """Drop records with ``seq <= up_to_seq``; returns how many."""
+
+    def checkpoint_and_prune(
+        self, session_id: str, payload: dict, up_to_seq: int
+    ) -> int:
+        """Write a checkpoint and drop the log it folds, atomically.
+
+        Default implementation checkpoints first, then prunes — safe
+        (a crash in between leaves extra replayable records, never lost
+        ones) but not atomic; :class:`~repro.store.sqlite.SQLiteStore`
+        overrides with one transaction.
+        """
+        self.put(session_id, payload)  # type: ignore[attr-defined]
+        return self.prune_feedback(session_id, up_to_seq)
+
+
+class JsonlWal:
+    """One append-only JSONL file of :class:`WalRecord` lines.
+
+    Shared by every session of a store: records carry their session id,
+    and per-session sequence numbers are tracked in memory (rebuilt by
+    scanning on open).  Appends serialize under one lock; reads re-scan
+    the file, so a fresh instance (another process) sees every durable
+    record.
+
+    A torn final line — the classic crash-mid-append artifact — is
+    repaired on open by truncating to the last complete record; torn or
+    corrupt lines *before* other valid lines are reported as damage, not
+    silently dropped.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: str = "batch",
+        batch_every: int = 32,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = validate_fsync_policy(fsync)
+        self.batch_every = max(int(batch_every), 1)
+        self._lock = threading.Lock()
+        self._unsynced = 0
+        self._last_seq: dict[str, int] = {}
+        self._damaged: str | None = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self._repair_and_scan_locked()
+
+    # -- scanning ------------------------------------------------------
+
+    def _scan_lines(self) -> tuple[list[WalRecord], int, str | None]:
+        """Parse the file: (records, valid_byte_length, damage)."""
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0, None
+        except OSError as exc:
+            raise StoreError(f"cannot read WAL {self.path}: {exc}") from exc
+        records: list[WalRecord] = []
+        offset = 0
+        damage: str | None = None
+        while offset < len(blob):
+            newline = blob.find(b"\n", offset)
+            line = blob[offset : newline if newline >= 0 else len(blob)]
+            try:
+                records.append(WalRecord.from_json_line(line.decode()))
+            except (StoreError, UnicodeDecodeError):
+                tail_bytes = len(blob) - offset
+                damage = (
+                    f"WAL {self.path}: unparseable record at byte {offset} "
+                    f"({tail_bytes} trailing byte(s) dropped)"
+                )
+                break
+            if newline < 0:
+                # Complete JSON but no newline: the fsync raced the crash.
+                offset = len(blob)
+                break
+            offset = newline + 1
+        return records, offset, damage
+
+    def _repair_and_scan_locked(self) -> None:
+        """Truncate a torn tail so new appends start on a clean line.
+
+        Truncation here never drops a *complete* record — only the bytes
+        past the last parseable line; whether those bytes were an
+        acknowledged batch is recovery's question, and a torn final line
+        by construction never finished its append (so was never
+        acknowledged).
+
+        Mid-file rot — an unparseable region with complete records
+        *after* it — is a different animal: those trailing records may be
+        acknowledged batches, so auto-truncating them would destroy data
+        a crash never touched.  Such a file is left byte-identical,
+        reads report the damage (recovery's corrupt-tail policy decides
+        what to do with the valid prefix), and writes are refused until
+        an operator intervenes.
+        """
+        records, valid_bytes, damage = self._scan_lines()
+        self._damaged = None
+        if damage is not None:
+            if self._complete_records_past(valid_bytes):
+                self._damaged = damage
+            else:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid_bytes)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        self._last_seq = {}
+        for record in records:
+            self._last_seq[record.session_id] = max(
+                self._last_seq.get(record.session_id, 0), record.seq
+            )
+
+    def _complete_records_past(self, damage_offset: int) -> bool:
+        """Whether any *parseable* record line follows the damaged bytes.
+
+        Distinguishes a torn tail (nothing valid after — safe to
+        truncate) from mid-file rot (valid records stranded after the
+        damage — never auto-truncate).
+        """
+        blob = self.path.read_bytes()
+        offset = blob.find(b"\n", damage_offset)
+        while 0 <= offset < len(blob) - 1:
+            offset += 1
+            newline = blob.find(b"\n", offset)
+            line = blob[offset : newline if newline >= 0 else len(blob)]
+            try:
+                WalRecord.from_json_line(line.decode())
+                return True
+            except (StoreError, UnicodeDecodeError):
+                pass
+            if newline < 0:
+                break
+            offset = newline
+        return False
+
+    def _refuse_if_damaged(self) -> None:
+        if self._damaged is not None:
+            raise StoreError(
+                f"refusing to write: {self._damaged}; complete records "
+                "follow the damage, repair the file by hand first"
+            )
+
+    # -- FeedbackLogStore-shaped operations ----------------------------
+
+    def append(
+        self,
+        session_id: str,
+        items: list[dict],
+        kind: str = "feedback",
+        ref: int | None = None,
+    ) -> WalRecord:
+        validate_session_id(session_id)
+        with self._lock:
+            self._refuse_if_damaged()
+            seq = self._last_seq.get(session_id, 0) + 1
+            record = WalRecord.make(session_id, seq, kind, items, ref)
+            line = record.to_json_line() + "\n"
+            try:
+                with open(self.path, "ab") as fh:
+                    fh.write(line.encode())
+                    if self.fsync == "off":
+                        pass
+                    else:
+                        fh.flush()
+                        if self.fsync == "always":
+                            os.fsync(fh.fileno())
+                        else:  # batch
+                            self._unsynced += 1
+                            if self._unsynced >= self.batch_every:
+                                os.fsync(fh.fileno())
+                                self._unsynced = 0
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot append to WAL {self.path}: {exc}"
+                ) from exc
+            self._last_seq[session_id] = seq
+            return record
+
+    def rollback(self, session_id: str, seq: int) -> None:
+        """Annul record ``seq`` by appending an ``abort`` marker.
+
+        Appending (rather than truncating) keeps the file strictly
+        append-only, so a concurrent reader never sees bytes disappear.
+        """
+        self.append(session_id, [], kind="abort", ref=int(seq))
+
+    def records(
+        self, session_id: str | None = None, after_seq: int = 0
+    ) -> tuple[list[WalRecord], str | None]:
+        """Durable records (optionally one session's), plus damage info."""
+        records, _, damage = self._scan_lines()
+        if session_id is not None:
+            records = [r for r in records if r.session_id == session_id]
+        if after_seq:
+            records = [r for r in records if r.seq > after_seq]
+        return records, damage
+
+    def last_seq(self, session_id: str) -> int:
+        with self._lock:
+            return self._last_seq.get(session_id, 0)
+
+    def session_ids(self) -> list[str]:
+        """Sessions with at least one logged record, sorted."""
+        records, _, _ = self._scan_lines()
+        return sorted({r.session_id for r in records})
+
+    def prune(
+        self, session_id: str, up_to_seq: int, marker: bool = True
+    ) -> int:
+        """Rewrite the file without the folded records, atomically.
+
+        The rewrite goes through a temp file + fsync + ``os.replace`` so
+        a crash mid-compaction leaves either the old complete log or the
+        new complete log, never a torn hybrid.
+
+        With ``marker`` (the default) the rewrite keeps the session's
+        sequence floor durable via a ``prune`` marker record at
+        ``up_to_seq`` whenever no surviving record carries it: sequence
+        numbers must stay monotonic past a fold, or a fresh process
+        scanning the shortened log would reissue numbers at or below the
+        checkpoint's ``wal_seq`` — and recovery, which only replays
+        ``seq > wal_seq``, would silently skip those batches.  Pass
+        ``marker=False`` when deleting a session outright.
+
+        Returns the number of *feedback-bearing* records dropped (markers
+        do not count).
+        """
+        with self._lock:
+            # A rewrite in the mid-file-rot state would silently drop the
+            # complete records stranded past the damage.
+            self._refuse_if_damaged()
+            records, _, _ = self._scan_lines()
+            keep = [
+                r
+                for r in records
+                if r.session_id != session_id
+                or r.seq > up_to_seq
+                # an existing marker already at the new floor stays put,
+                # so repeated folds at the same seq are no-op rewrites
+                or (marker and r.kind == "prune" and r.seq == up_to_seq)
+            ]
+            removed = [r for r in records if r not in keep]
+            dropped = sum(1 for r in removed if r.kind != "prune")
+            kept_max = max(
+                (r.seq for r in keep if r.session_id == session_id),
+                default=0,
+            )
+            need_marker = marker and up_to_seq > 0 and kept_max < up_to_seq
+            if not removed and not need_marker:
+                return 0
+            out = (
+                [WalRecord.make(session_id, up_to_seq, kind="prune")]
+                if need_marker
+                else []
+            ) + keep
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            try:
+                with open(tmp, "wb") as fh:
+                    for record in out:
+                        fh.write((record.to_json_line() + "\n").encode())
+                    fh.flush()
+                    if self.fsync != "off":
+                        os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+                if self.fsync != "off":
+                    _fsync_dir(self.path.parent)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot compact WAL {self.path}: {exc}"
+                ) from exc
+            self._unsynced = 0
+            if need_marker:
+                self._last_seq[session_id] = max(
+                    self._last_seq.get(session_id, 0), up_to_seq
+                )
+            return dropped
+
+
+class WalDirectoryStore(DirectoryStore, FeedbackLogStore):
+    """Directory checkpoints plus a shared JSONL write-ahead log.
+
+    The file layout is the familiar ``<session_id>.json`` checkpoint per
+    session with one ``feedback.wal`` JSONL log alongside.  Durability
+    semantics match :class:`~repro.store.sqlite.SQLiteStore` (minus the
+    transactional checkpoint+prune); it exists so the WAL machinery is
+    usable — and benchmarkable — without SQLite in the picture.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        fsync: str = "batch",
+        batch_every: int = 32,
+    ) -> None:
+        super().__init__(root)
+        self.wal = JsonlWal(
+            self.root / "feedback.wal", fsync=fsync, batch_every=batch_every
+        )
+
+    def append_feedback(
+        self,
+        session_id: str,
+        items: list[dict],
+        kind: str = "feedback",
+        ref: int | None = None,
+    ) -> WalRecord:
+        return self.wal.append(session_id, items, kind=kind, ref=ref)
+
+    def rollback_feedback(self, session_id: str, seq: int) -> None:
+        self.wal.rollback(session_id, seq)
+
+    def feedback_tail(
+        self, session_id: str, after_seq: int = 0
+    ) -> tuple[list[WalRecord], str | None]:
+        return self.wal.records(session_id, after_seq=after_seq)
+
+    def last_seq(self, session_id: str) -> int:
+        return self.wal.last_seq(session_id)
+
+    def prune_feedback(self, session_id: str, up_to_seq: int) -> int:
+        return self.wal.prune(session_id, up_to_seq)
+
+    def list_ids(self) -> list[str]:
+        """Checkpointed sessions plus any with only WAL records."""
+        ids = set(super().list_ids())
+        ids.update(self.wal.session_ids())
+        return sorted(ids)
+
+    def delete(self, session_id: str) -> None:
+        super().delete(session_id)
+        self.wal.prune(
+            session_id,
+            up_to_seq=self.wal.last_seq(session_id),
+            marker=False,
+        )

@@ -177,15 +177,21 @@ class TestFastICAParity:
         np.testing.assert_allclose(got_w, want_w, atol=_TOL)
         np.testing.assert_array_equal(got_it, want_it)
         np.testing.assert_array_equal(got_conv, want_conv)
-        # The production entry point picks the same winner the serial
-        # selection would.
+        # The production entry point picks a winner the serial selection
+        # would accept: its restart's contrast ties the serial maximum.
+        # (Index equality is ill-posed — on rank-deficient inputs every
+        # restart converges to the same component and the contrasts tie
+        # at floating-point noise, so batched and serial argmax may
+        # break the tie differently.)
         result = fit_fastica(
             data,
             rng=np.random.default_rng(seed),
             max_iterations=150,
             n_restarts=restarts,
         )
-        assert result.best_restart == int(np.argmax(want_contrast))
+        assert float(want_contrast[result.best_restart]) == pytest.approx(
+            float(want_contrast.max()), abs=_TOL
+        )
         assert result.contrast == pytest.approx(
             float(want_contrast[result.best_restart]), abs=_TOL
         )

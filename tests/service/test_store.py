@@ -124,3 +124,36 @@ class TestSessionRoundtripThroughStore:
         np.testing.assert_allclose(
             np.abs(resumed_view.axes), np.abs(expected.axes), atol=1e-6
         )
+
+
+class TestDirectoryStoreDurability:
+    """Checkpoint writes are crash-safe: fsync file, replace, fsync dir."""
+
+    def test_put_fsyncs_tmp_file_before_replace(self, tmp_path, monkeypatch):
+        import os as _os
+
+        events = []
+        real_fsync = _os.fsync
+        real_replace = _os.replace
+        monkeypatch.setattr(
+            _os, "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            _os, "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        DirectoryStore(tmp_path / "ckpt").put("s", {"v": 1})
+        # File contents are durable before the rename publishes them, and
+        # the directory entry is durable after.
+        assert "replace" in events
+        replace_at = events.index("replace")
+        assert "fsync" in events[:replace_at]
+        assert "fsync" in events[replace_at + 1:]
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        root = tmp_path / "ckpt"
+        store = DirectoryStore(root)
+        store.put("s", {"v": 1})
+        leftovers = [p.name for p in root.iterdir() if ".tmp" in p.name]
+        assert leftovers == []

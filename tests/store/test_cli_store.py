@@ -1,0 +1,149 @@
+"""Tests for ``store_from_url`` and the ``repro store`` subcommands."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import DATASETS, build_parser, cmd_store, main
+from repro.core.session import ExplorationSession
+from repro.io import session_to_payload
+from repro.service.store import (
+    DirectoryStore,
+    MemoryStore,
+    StoreError,
+)
+from repro.store import store_from_url
+from repro.store.sqlite import SQLiteStore
+from repro.store.wal import WalDirectoryStore
+
+
+class TestStoreFromUrl:
+    def test_memory(self):
+        assert isinstance(store_from_url("memory:"), MemoryStore)
+        assert isinstance(store_from_url("memory"), MemoryStore)
+
+    def test_dir(self, tmp_path):
+        store = store_from_url(f"dir:{tmp_path / 'ck'}")
+        assert isinstance(store, DirectoryStore)
+        assert not isinstance(store, WalDirectoryStore)
+
+    def test_wal(self, tmp_path):
+        assert isinstance(
+            store_from_url(f"wal:{tmp_path / 'ck'}"), WalDirectoryStore
+        )
+
+    def test_sqlite(self, tmp_path):
+        store = store_from_url(f"sqlite:{tmp_path / 's.db'}", fsync="always")
+        assert isinstance(store, SQLiteStore)
+        assert store.fsync == "always"
+        store.close()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(StoreError, match="sqlite:"):
+            store_from_url("redis://nope")
+
+
+class TestParser:
+    def test_serve_store_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "sqlite:/tmp/s.db", "--fsync", "always"]
+        )
+        assert args.store == "sqlite:/tmp/s.db"
+        assert args.fsync == "always"
+
+    def test_store_subcommands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["store", "verify", "sqlite:x.db"])
+        assert args.store_command == "verify" and args.policy == "fail"
+        args = parser.parse_args(
+            ["store", "compact", "wal:dir", "--session", "s1"]
+        )
+        assert args.session == "s1"
+        args = parser.parse_args(["store", "inspect", "dir:ck", "--json"])
+        assert args.json
+
+
+def _seed_served_session(url, dataset="three-d", batches=3, sid="cli-s"):
+    """Create a session + feedback the way a durable server would."""
+    from repro.feedback import ClusterFeedback
+    from repro.service.manager import SessionManager
+    from repro.store.compaction import CompactionPolicy
+
+    store = store_from_url(url)
+    manager = SessionManager(
+        {dataset: DATASETS[dataset]().data},
+        store=store,
+        compaction=CompactionPolicy(0),
+    )
+    manager.create(dataset, session_id=sid, seed=0)
+    for i in range(batches):
+        manager.apply_feedback(
+            sid, [ClusterFeedback(rows=(i, i + 1, i + 2), label=f"b{i}")]
+        )
+    if isinstance(store, SQLiteStore):
+        store.close()
+
+
+class TestCmdStore:
+    def test_inspect_reports_tail(self, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 's.db'}"
+        _seed_served_session(url)
+        assert cmd_store("inspect", url, as_json=True) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["durable"] is True
+        assert report["sessions"]["cli-s"]["tail_records"] == 3
+
+    def test_verify_ok_and_exit_codes(self, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 's.db'}"
+        _seed_served_session(url)
+        assert cmd_store("verify", url) == 0
+        out = capsys.readouterr().out
+        assert "store OK" in out
+
+    def test_verify_fails_on_damage(self, tmp_path, capsys):
+        import sqlite3
+
+        db = tmp_path / "s.db"
+        _seed_served_session(f"sqlite:{db}")
+        with sqlite3.connect(db) as conn:
+            conn.execute("DELETE FROM wal WHERE seq = 2")
+        assert cmd_store("verify", f"sqlite:{db}") == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_compact_folds_the_log(self, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 's.db'}"
+        _seed_served_session(url)
+        assert cmd_store("compact", url) == 0
+        out = capsys.readouterr().out
+        assert "replayed 3" in out
+        assert cmd_store("inspect", url, as_json=True) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sessions"]["cli-s"]["tail_records"] == 0
+        assert report["sessions"]["cli-s"]["checkpoint_wal_seq"] == 3
+
+    def test_compact_rejects_checkpoint_only_store(self, tmp_path, capsys):
+        url = f"dir:{tmp_path / 'ck'}"
+        assert cmd_store("compact", url) == 2
+        assert "no feedback log" in capsys.readouterr().err
+
+    def test_main_dispatches_store(self, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 's.db'}"
+        _seed_served_session(url)
+        assert main(["store", "verify", url]) == 0
+
+    def test_compact_unknown_dataset_fails(self, tmp_path, capsys):
+        db = tmp_path / "odd.db"
+        store = SQLiteStore(db)
+        session = ExplorationSession(np.eye(4), seed=0)
+        store.put(
+            "odd",
+            {
+                "dataset": "not-a-registered-dataset",
+                "wal_seq": 0,
+                "session": session_to_payload(session),
+            },
+        )
+        store.close()
+        assert cmd_store("compact", f"sqlite:{db}") == 1
+        assert "FAILED" in capsys.readouterr().out
