@@ -88,7 +88,7 @@ from repro.service import (
     SolveCache,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BackgroundModel",

@@ -21,6 +21,8 @@ Usage (after install)::
     python -m repro loadgen --obs              # ... + server-side metrics
     python -m repro trace events.jsonl         # analyze a request-event log
     python -m repro bench --quick              # vectorized-core benchmarks
+    python -m repro slo check --url http://127.0.0.1:8000  # gate SLOs (CI)
+    python -m repro top --url http://127.0.0.1:8000        # live dashboard
 
 The CLI is a thin veneer over :mod:`repro.experiments` and
 :mod:`repro.datasets`; everything it prints is available programmatically.
@@ -226,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --obs and a temporary server: write the structured "
         "JSONL request-event log here (implies --obs)",
     )
+    loadgen.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="with --obs: scrape /v1/metrics this often during the run "
+        "and record the series in the report (0 disables; default 0.5)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -239,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="all",
-        choices=("all", "core_solver", "projection", "store"),
+        choices=("all", "core_solver", "projection", "store", "obs"),
         help="which kernel suite to run (default: all)",
     )
     bench.add_argument(
@@ -325,6 +335,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests slower than this carry full span detail in the "
         "event log",
     )
+    serve.add_argument(
+        "--obs-rotate-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="rotate the --obs-log event file once it reaches this size "
+        "(numeric .N suffixes; repro trace spans rotations)",
+    )
+    serve.add_argument(
+        "--history-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="with --obs: metrics time-series recording cadence for "
+        "/v1/metrics/history (default: 1s)",
+    )
+    serve.add_argument(
+        "--history-capacity",
+        type=int,
+        default=600,
+        metavar="SAMPLES",
+        help="with --obs: ring-buffer retention in samples (default: 600)",
+    )
+    serve.add_argument(
+        "--view-p99-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --obs: p99 view-latency SLO ceiling (default: the "
+        "paper's interactivity budget)",
+    )
+    serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="start the sampling stack profiler (collapsed stacks at "
+        "/v1/profile; slow requests carry a profile excerpt)",
+    )
+    serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=100.0,
+        metavar="HZ",
+        help="profiler sampling rate (default: 100)",
+    )
 
     store_cmd = sub.add_parser(
         "store",
@@ -386,6 +440,100 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the full report as JSON instead of the table",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate service-level objectives over retained metrics",
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_sub.add_parser(
+        "check",
+        help="evaluate SLOs against a live server or a saved history; "
+        "exit 1 when violated (CI gate)",
+    )
+    slo_check.add_argument(
+        "--url",
+        default=None,
+        help="fetch /v1/metrics/history from this running service",
+    )
+    slo_check.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="evaluate a saved history instead: a /v1/metrics/history "
+        "JSON dump, a bare sample list, or a BENCH_loadgen.json with a "
+        "recorded obs series",
+    )
+    slo_check.add_argument(
+        "--objective",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="gate only this objective (repeatable; unknown names fail); "
+        "named objectives with no data also fail",
+    )
+    slo_check.add_argument(
+        "--view-p99-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the p99 view-latency ceiling (default: the "
+        "paper's interactivity budget)",
+    )
+    slo_check.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.01,
+        metavar="RATIO",
+        help="5xx-per-request ceiling (default: 0.01)",
+    )
+    slo_check.add_argument(
+        "--cache-hit-floor",
+        type=float,
+        default=0.10,
+        metavar="RATIO",
+        help="windowed solve-cache hit-rate floor (default: 0.10)",
+    )
+    slo_check.add_argument(
+        "--short-window", type=float, default=60.0, metavar="SECONDS"
+    )
+    slo_check.add_argument(
+        "--long-window", type=float, default=300.0, metavar="SECONDS"
+    )
+    slo_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="also exit 1 on degraded (short-window) breaches",
+    )
+    slo_check.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full SLO report as JSON",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over /v1/metrics + /v1/health",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8000",
+        help="service base URL (default: http://127.0.0.1:8000)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll/refresh interval (default: 2s)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
     )
     return parser
 
@@ -582,6 +730,7 @@ def cmd_loadgen(
     output: str,
     obs_enabled: bool = False,
     obs_log: str | None = None,
+    scrape_interval: float = 0.5,
 ) -> int:
     """Policy-driven concurrent workload against a (possibly temp) server."""
     from repro.explore import (
@@ -625,6 +774,7 @@ def cmd_loadgen(
             objective=objective,
             seed=seed,
             obs=obs_enabled,
+            scrape_interval=scrape_interval,
         )
         print(
             f"loadgen: {config.sessions} session(s) x {config.rounds} "
@@ -699,6 +849,12 @@ def cmd_serve(
     slow_ms: float = 500.0,
     store_url: str | None = None,
     fsync: str = "batch",
+    obs_rotate_mb: float | None = None,
+    history_interval: float = 1.0,
+    history_capacity: int = 600,
+    view_p99_budget: float | None = None,
+    profile: bool = False,
+    profile_hz: float = 100.0,
 ) -> int:
     from repro.service import (
         ReproServer,
@@ -726,8 +882,27 @@ def cmd_serve(
 
     if obs_enabled or obs_log is not None:
         from repro import obs as obs_module
+        from repro.obs.slo import default_slos
 
-        obs_module.configure(event_log=obs_log, slow_ms=slow_ms)
+        slos = default_slos(**(
+            {"view_p99_budget": view_p99_budget}
+            if view_p99_budget is not None else {}
+        ))
+        obs_module.configure(
+            event_log=obs_log,
+            slow_ms=slow_ms,
+            event_log_max_bytes=(
+                int(obs_rotate_mb * 1024 * 1024)
+                if obs_rotate_mb and obs_log else None
+            ),
+            slos=slos,
+            history_interval=history_interval,
+            history_capacity=history_capacity,
+        )
+    if profile:
+        from repro import obs as obs_module
+
+        obs_module.start_profiler(interval=1.0 / profile_hz)
     manager = SessionManager(
         DATASETS,
         store=store,
@@ -746,8 +921,14 @@ def cmd_serve(
         print(f"store: {store_url}{durability}")
     if obs_enabled or obs_log is not None:
         print(
-            "observability: tracing on, metrics at /v1/metrics"
+            "observability: tracing on, metrics at /v1/metrics, history at "
+            "/v1/metrics/history, SLOs in /v1/health"
             + (f", events -> {obs_log}" if obs_log else "")
+        )
+    if profile:
+        print(
+            f"profiler: sampling at {profile_hz:g} Hz, collapsed stacks "
+            "at /v1/profile"
         )
 
     def checkpoint_on_shutdown() -> None:
@@ -907,6 +1088,157 @@ def cmd_trace(log: str, top: int, as_json: bool) -> int:
     return 0
 
 
+def _load_history_samples(path: str) -> list[dict] | None:
+    """Samples from a saved history file (several accepted shapes).
+
+    Accepts a ``/v1/metrics/history`` dump (``{"samples": [...]}``), a
+    bare sample list, or a ``BENCH_loadgen.json`` report carrying a
+    recorded ``obs.series``.  Returns ``None`` when no samples are found.
+    """
+    import json
+
+    with open(path, encoding="utf-8") as stream:
+        payload = json.load(stream)
+    if isinstance(payload, list):
+        return payload
+    if isinstance(payload, dict):
+        if isinstance(payload.get("samples"), list):
+            return payload["samples"]
+        series = (payload.get("obs") or {}).get("series") or {}
+        if isinstance(series.get("samples"), list):
+            return series["samples"]
+    return None
+
+
+def cmd_slo_check(
+    url: str | None,
+    history: str | None,
+    objectives: list[str] | None,
+    view_p99_budget: float | None,
+    error_rate: float,
+    cache_hit_floor: float,
+    short_window: float,
+    long_window: float,
+    strict: bool,
+    as_json: bool,
+) -> int:
+    """``repro slo check`` — evaluate objectives, exit nonzero on breach.
+
+    Exit codes: 0 objectives met, 1 violated (or degraded with
+    ``--strict``, or an explicitly named objective has no data),
+    2 usage/data errors (no source, unreachable server, empty history).
+    """
+    import json
+
+    from repro.obs.slo import (
+        INTERACTIVITY_BUDGET_SECONDS,
+        default_slos,
+        evaluate_samples,
+    )
+
+    if (url is None) == (history is None):
+        print("slo check needs exactly one of --url or --history",
+              file=sys.stderr)
+        return 2
+    if url is not None:
+        from repro.service import ServiceClient
+
+        payload = ServiceClient(url).metrics_history()
+        if not payload.get("enabled"):
+            print(
+                f"{url} has no metrics history — start the server with "
+                "`repro serve --obs`",
+                file=sys.stderr,
+            )
+            return 2
+        samples = payload.get("samples", [])
+        source = url
+    else:
+        try:
+            samples = _load_history_samples(history)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {history}: {exc}", file=sys.stderr)
+            return 2
+        if samples is None:
+            print(
+                f"{history} carries no metrics samples (expected a "
+                "/v1/metrics/history dump, a sample list, or a loadgen "
+                "report with an obs series)",
+                file=sys.stderr,
+            )
+            return 2
+        source = history
+    if len(samples) < 2:
+        print(
+            f"{source}: {len(samples)} sample(s) retained — need at least "
+            "2 to evaluate a window",
+            file=sys.stderr,
+        )
+        return 2
+
+    slos = default_slos(
+        view_p99_budget=(
+            view_p99_budget if view_p99_budget is not None
+            else INTERACTIVITY_BUDGET_SECONDS
+        ),
+        error_rate_ceiling=error_rate,
+        cache_hit_floor=cache_hit_floor,
+    )
+    if objectives:
+        known = {slo.name for slo in slos}
+        unknown = [name for name in objectives if name not in known]
+        if unknown:
+            print(
+                f"unknown objective(s) {unknown}; known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        slos = tuple(slo for slo in slos if slo.name in objectives)
+    report = evaluate_samples(
+        samples, slos, short_window=short_window, long_window=long_window
+    )
+    if as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"slo check ({source}, {report['samples']} samples)")
+        for row in report["slos"]:
+            short = row["short"]
+            measured = short["measured"]
+            burn = short["burn"]
+            print(
+                f"  {row['name']:<20} {row['status']:<10} "
+                f"measured={'-' if measured is None else f'{measured:.4g}'} "
+                f"threshold={short['threshold']:g} "
+                f"burn={'-' if burn is None else f'{burn:.2f}'}"
+            )
+    failed = [r["name"] for r in report["slos"] if r["status"] == "violating"]
+    if strict:
+        failed += [r["name"] for r in report["slos"]
+                   if r["status"] == "degraded"]
+    if objectives:
+        # A named objective we cannot measure is a failed gate, not a pass.
+        failed += [r["name"] for r in report["slos"]
+                   if r["status"] == "no_data"]
+    if failed:
+        print(f"SLO FAILED: {', '.join(sorted(set(failed)))}",
+              file=sys.stderr)
+        return 1
+    print(f"slo ok ({report['status']})")
+    return 0
+
+
+def cmd_top(url: str, interval: float, iterations: int | None) -> int:
+    """``repro top`` — live ops dashboard over a running service."""
+    from repro.obs.top import run_top
+    from repro.service.client import ServiceClientError
+
+    try:
+        return run_top(url, interval=interval, iterations=iterations)
+    except ServiceClientError as exc:
+        print(f"cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro`` and the console script."""
     args = build_parser().parse_args(argv)
@@ -954,6 +1286,7 @@ def main(argv: list[str] | None = None) -> int:
             args.output,
             args.obs,
             args.obs_log,
+            args.scrape_interval,
         )
     if args.command == "bench":
         return cmd_bench(
@@ -977,6 +1310,12 @@ def main(argv: list[str] | None = None) -> int:
             args.slow_ms,
             args.store,
             args.fsync,
+            args.obs_rotate_mb,
+            args.history_interval,
+            args.history_capacity,
+            args.view_p99_budget,
+            args.profile,
+            args.profile_hz,
         )
     if args.command == "store":
         return cmd_store(
@@ -988,6 +1327,21 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "trace":
         return cmd_trace(args.log, args.top, args.json)
+    if args.command == "slo":
+        return cmd_slo_check(
+            args.url,
+            args.history,
+            args.objective,
+            args.view_p99_budget,
+            args.error_rate,
+            args.cache_hit_floor,
+            args.short_window,
+            args.long_window,
+            args.strict,
+            args.json,
+        )
+    if args.command == "top":
+        return cmd_top(args.url, args.interval, args.iterations)
     return 2
 
 

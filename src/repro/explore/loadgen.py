@@ -162,6 +162,11 @@ class LoadGenConfig:
         Scrape the server's ``/v1/metrics`` after the run and cross-check
         its per-route latency histograms against the client-side
         percentiles (requires observability enabled on the server).
+    scrape_interval:
+        With ``obs``, also scrape ``/v1/metrics`` every this many seconds
+        *during* the run and record the series into the report (so
+        throughput-over-time and warmup effects are visible, not just
+        end-of-run aggregates).  ``0`` disables the mid-run sampler.
     """
 
     url: str
@@ -175,6 +180,7 @@ class LoadGenConfig:
     timeout: float = 60.0
     cleanup: bool = True
     obs: bool = False
+    scrape_interval: float = 0.5
 
     def to_dict(self) -> dict:
         return {
@@ -189,6 +195,7 @@ class LoadGenConfig:
             "timeout": self.timeout,
             "cleanup": self.cleanup,
             "obs": self.obs,
+            "scrape_interval": self.scrape_interval,
         }
 
     def resolved_workers(self) -> int:
@@ -286,6 +293,80 @@ def capture_obs(control: ServiceClient, client_routes: dict) -> dict | None:
     }
 
 
+class _MetricsSampler(threading.Thread):
+    """Scrapes ``/v1/metrics?format=json`` on an interval during the run.
+
+    Each scrape is stored as a time-series sample in the shape the
+    :mod:`repro.obs.timeseries` derivation helpers consume, so the
+    report's ``obs.series`` can be post-processed with the same
+    counter→rate math the server's history endpoint uses.  Scrape
+    failures are skipped (the workload, not the sampler, is the
+    experiment).
+    """
+
+    def __init__(self, control: ServiceClient, interval: float) -> None:
+        super().__init__(name="loadgen-scrape", daemon=True)
+        self.control = control
+        self.interval = float(interval)
+        self.samples: list[dict] = []
+        self._lock = threading.Lock()
+        # NB: not named _stop — Thread.join() calls a private _stop().
+        self._done = threading.Event()
+
+    def scrape(self) -> None:
+        try:
+            payload = self.control.metrics()
+        except ServiceClientError:
+            return
+        if not payload.get("enabled"):
+            return
+        sample = {
+            "ts": time.time(),
+            "mono": time.perf_counter(),
+            "families": payload.get("families", {}),
+        }
+        with self._lock:
+            self.samples.append(sample)
+
+    def run(self) -> None:
+        self.scrape()
+        while not self._done.wait(self.interval):
+            self.scrape()
+
+    def finish(self) -> list[dict]:
+        """Stop the sampler, take one final scrape, return the series."""
+        self._done.set()
+        self.join(timeout=self.interval + 5.0)
+        self.scrape()
+        with self._lock:
+            return list(self.samples)
+
+
+def _series_timeline(samples: Sequence[dict]) -> list[dict]:
+    """Per-interval request/solve rates from consecutive scrapes."""
+    from repro.obs.timeseries import counter_delta
+
+    timeline = []
+    origin = samples[0]["mono"] if samples else 0.0
+    for first, last in zip(samples, samples[1:]):
+        window = max(last["mono"] - first["mono"], 1e-9)
+        requests = counter_delta(first, last, "repro_requests_total")
+        hits = counter_delta(
+            first, last, "repro_solve_cache_lookups_total", {"result": "hit"}
+        )
+        misses = counter_delta(
+            first, last, "repro_solve_cache_lookups_total", {"result": "miss"}
+        )
+        lookups = hits + misses
+        timeline.append({
+            "elapsed_s": last["mono"] - origin,
+            "requests_per_s": requests / window,
+            "solves_per_s": misses / window,
+            "cache_hit_rate": (hits / lookups) if lookups else None,
+        })
+    return timeline
+
+
 def _run_one_session(
     index: int, config: LoadGenConfig, datasets: Sequence[str],
     recorder: LatencyRecorder,
@@ -352,6 +433,10 @@ def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
     if not datasets:
         raise ValueError("the server advertises no datasets to explore")
 
+    sampler = None
+    if config.obs and config.scrape_interval > 0:
+        sampler = _MetricsSampler(control, config.scrape_interval)
+        sampler.start()
     started = time.perf_counter()
     with ThreadPoolExecutor(
         max_workers=config.resolved_workers(), thread_name_prefix="loadgen"
@@ -363,6 +448,7 @@ def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
             )
         )
     wall = time.perf_counter() - started
+    series = sampler.finish() if sampler is not None else None
 
     requests, errors = recorder.totals()
     routes = recorder.summary()
@@ -372,6 +458,12 @@ def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
         server_stats = None
     cache = (server_stats or {}).get("cache")
     obs_capture = capture_obs(control, routes) if config.obs else None
+    if series is not None and obs_capture is not None:
+        obs_capture["series"] = {
+            "interval_seconds": config.scrape_interval,
+            "samples": series,
+            "timeline": _series_timeline(series),
+        }
     return LoadGenReport(
         config=config.to_dict(),
         routes=routes,
@@ -437,4 +529,12 @@ def format_report(report: LoadGenReport) -> str:
                 f"histogram(s); latency cross-check {agreed}/{len(checks)} "
                 "within bucket resolution"
             )
+            series = report.obs.get("series")
+            if series and series.get("timeline"):
+                rates = [t["requests_per_s"] for t in series["timeline"]]
+                lines.append(
+                    f"obs series: {len(series['samples'])} scrape(s) @ "
+                    f"{series['interval_seconds']:g}s — req/s "
+                    f"min {min(rates):.1f} / peak {max(rates):.1f}"
+                )
     return "\n".join(lines)

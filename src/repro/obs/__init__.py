@@ -36,19 +36,28 @@ from repro import perf
 from repro.obs import trace as trace_module
 from repro.obs.events import EventLog, read_events
 from repro.obs.metrics import (
+    DEFAULT_FSYNC_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
+    DEFAULT_SOLVE_BUCKETS,
     MetricsRegistry,
     bucket_bounds,
     histogram_quantile,
     parse_prometheus,
 )
+from repro.obs.profile import StackProfiler
+from repro.obs.slo import SLO, SLOEngine, default_slos
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.trace import PerfBridge, Trace, accept_trace_id, new_trace_id
 
 __all__ = [
     "EventLog",
     "MetricsRegistry",
     "Observability",
+    "SLO",
+    "SLOEngine",
+    "StackProfiler",
+    "TimeSeriesRecorder",
     "Trace",
     "accept_trace_id",
     "active",
@@ -56,16 +65,20 @@ __all__ = [
     "cache_lookup",
     "compaction",
     "configure",
+    "default_slos",
     "disable",
     "feedback_batch",
     "histogram_quantile",
     "is_enabled",
     "new_trace_id",
     "parse_prometheus",
+    "profiler",
     "read_events",
     "recovery",
     "route_template",
     "solve_completed",
+    "start_profiler",
+    "stop_profiler",
     "trace_module",
     "wal_append",
 ]
@@ -111,11 +124,19 @@ class Observability:
         events: EventLog | None = None,
         slow_ms: float = 500.0,
         tracing: bool = True,
+        bucket_overrides: dict[str, tuple[float, ...]] | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events
         self.slow_ms = float(slow_ms)
         self.tracing = bool(tracing)
+        self.history: TimeSeriesRecorder | None = None
+        self.slo: SLOEngine | None = None
+        overrides = dict(bucket_overrides or {})
+
+        def _buckets(name: str, default: tuple[float, ...]):
+            return tuple(overrides.get(name, default))
+
         m = self.metrics
         self._requests = m.counter(
             "repro_requests_total",
@@ -126,7 +147,9 @@ class Observability:
             "repro_request_duration_seconds",
             "Server-side request duration, by route.",
             labelnames=("route",),
-            buckets=DEFAULT_LATENCY_BUCKETS,
+            buckets=_buckets(
+                "repro_request_duration_seconds", DEFAULT_LATENCY_BUCKETS
+            ),
         )
         self._slow_requests = m.counter(
             "repro_slow_requests_total",
@@ -136,7 +159,9 @@ class Observability:
         self._solve_duration = m.histogram(
             "repro_solve_duration_seconds",
             "MaxEnt solver wall-clock per solve (INIT + OPTIM).",
-            buckets=DEFAULT_LATENCY_BUCKETS,
+            buckets=_buckets(
+                "repro_solve_duration_seconds", DEFAULT_SOLVE_BUCKETS
+            ),
         ).default()
         self._solver_sweeps = m.counter(
             "repro_solver_sweeps_total",
@@ -150,12 +175,12 @@ class Observability:
         self._feedback_batch = m.histogram(
             "repro_feedback_batch_size",
             "Feedback items per applied batch.",
-            buckets=DEFAULT_SIZE_BUCKETS,
+            buckets=_buckets("repro_feedback_batch_size", DEFAULT_SIZE_BUCKETS),
         ).default()
         self._wal_append = m.histogram(
             "repro_wal_append_seconds",
             "Durable write-ahead append per feedback batch.",
-            buckets=DEFAULT_LATENCY_BUCKETS,
+            buckets=_buckets("repro_wal_append_seconds", DEFAULT_FSYNC_BUCKETS),
         ).default()
         self._compactions = m.counter(
             "repro_store_compactions_total",
@@ -183,6 +208,54 @@ class Observability:
         ).default()
 
     # ------------------------------------------------------------------
+    # Retention + objectives (obs v2)
+    # ------------------------------------------------------------------
+
+    def enable_history(
+        self, interval: float = 1.0, capacity: int = 600
+    ) -> TimeSeriesRecorder:
+        """Start (or return) the ring-buffer metrics recorder."""
+        if self.history is None:
+            self.history = TimeSeriesRecorder(
+                self.metrics, interval=interval, capacity=capacity
+            )
+        self.history.start()
+        return self.history
+
+    def enable_slos(
+        self,
+        slos=None,
+        short_window: float | None = None,
+        long_window: float | None = None,
+        history_interval: float = 1.0,
+        history_capacity: int = 600,
+    ) -> SLOEngine:
+        """Attach an SLO engine (implies history retention).
+
+        ``slos`` is a sequence of :class:`~repro.obs.slo.SLO`; ``None``
+        installs :func:`~repro.obs.slo.default_slos`.
+        """
+        recorder = self.enable_history(
+            interval=history_interval, capacity=history_capacity
+        )
+        kwargs = {}
+        if short_window is not None:
+            kwargs["short_window"] = short_window
+        if long_window is not None:
+            kwargs["long_window"] = long_window
+        self.slo = SLOEngine(recorder, slos=slos, **kwargs)
+        return self.slo
+
+    def slo_report(self) -> dict | None:
+        """Current SLO evaluation, or ``None`` when no engine is on."""
+        return self.slo.report() if self.slo is not None else None
+
+    def shutdown(self) -> None:
+        """Stop owned background threads (recorder); sinks stay open."""
+        if self.history is not None:
+            self.history.stop()
+
+    # ------------------------------------------------------------------
     # Request-level recording
     # ------------------------------------------------------------------
 
@@ -199,6 +272,7 @@ class Observability:
         trace_id: str | None = None,
         error: str | None = None,
         error_kind: str | None = None,
+        started: float | None = None,
     ) -> None:
         """Record one finished request: metrics always, one event if a
         sink is configured (typed ``error`` event for 4xx/5xx)."""
@@ -247,6 +321,16 @@ class Observability:
                 # Promote full per-span detail for the requests worth
                 # staring at; routine fast requests stay one line.
                 event["span_detail"] = trace.span_events()
+        if slow:
+            # Slow-request exemplar: if the sampling profiler is running,
+            # attach its recent stacks for this handler thread, scoped to
+            # the request's own lifetime — "p99 regressed" arrives with
+            # the offending code path, not just a duration.
+            prof = _profiler
+            if prof is not None and prof.running:
+                excerpt = prof.excerpt(since=started)
+                if excerpt:
+                    event["profile"] = excerpt
         self.events.emit(event)
 
     def update_service_gauges(self, manager) -> None:
@@ -309,37 +393,70 @@ def configure(
     metrics: MetricsRegistry | None = None,
     slow_ms: float = 500.0,
     tracing: bool = True,
+    bucket_overrides: dict[str, tuple[float, ...]] | None = None,
+    event_log_max_bytes: int | None = None,
+    history: bool = False,
+    history_interval: float = 1.0,
+    history_capacity: int = 600,
+    slos=None,
+    slo_short_window: float | None = None,
+    slo_long_window: float | None = None,
 ) -> Observability:
     """Enable observability process-wide; returns the installed state.
 
     ``event_log`` may be a path (opened append-mode) or a pre-built
     :class:`EventLog`; ``None`` records metrics and traces without a
-    JSONL sink.  Reconfiguring replaces the previous state (its event log
-    is closed if it was opened here).
+    JSONL sink.  ``event_log_max_bytes`` bounds a path-backed log via
+    size rotation.  ``history=True`` starts the ring-buffer metrics
+    recorder (``/v1/metrics/history``); ``slos`` attaches the SLO engine
+    (``True`` for :func:`~repro.obs.slo.default_slos`, or an explicit
+    sequence of :class:`~repro.obs.slo.SLO`) and implies history.
+    ``bucket_overrides`` maps histogram family names to replacement
+    bucket edges.  Reconfiguring replaces the previous state (its event
+    log is closed if it was opened here; its recorder is stopped).
     """
     global _active
     previous = _active
-    events = EventLog(event_log) if isinstance(event_log, (str, os.PathLike)) \
+    events = (
+        EventLog(event_log, max_bytes=event_log_max_bytes)
+        if isinstance(event_log, (str, os.PathLike))
         else event_log
-    state = Observability(
-        metrics=metrics, events=events, slow_ms=slow_ms, tracing=tracing
     )
+    state = Observability(
+        metrics=metrics, events=events, slow_ms=slow_ms, tracing=tracing,
+        bucket_overrides=bucket_overrides,
+    )
+    if slos is not None and slos is not False:
+        state.enable_slos(
+            slos=None if slos is True else slos,
+            short_window=slo_short_window,
+            long_window=slo_long_window,
+            history_interval=history_interval,
+            history_capacity=history_capacity,
+        )
+    elif history:
+        state.enable_history(
+            interval=history_interval, capacity=history_capacity
+        )
     _active = state
     perf.trace_sink = PerfBridge() if tracing else None
-    if previous is not None and previous.events is not None \
-            and previous.events is not events:
-        previous.events.close()
+    if previous is not None:
+        previous.shutdown()
+        if previous.events is not None and previous.events is not events:
+            previous.events.close()
     return state
 
 
 def disable() -> None:
-    """Turn observability off and close the event sink."""
+    """Turn observability off, stop the recorder, close the event sink."""
     global _active
     state = _active
     _active = None
     perf.trace_sink = None
-    if state is not None and state.events is not None:
-        state.events.close()
+    if state is not None:
+        state.shutdown()
+        if state.events is not None:
+            state.events.close()
 
 
 # ----------------------------------------------------------------------
@@ -456,15 +573,64 @@ class _RequestEnvelope:
             trace_id=self.trace_id,
             error=self.error,
             error_kind=self.error_kind,
+            started=self.started,
         )
         return None
 
 
+# ----------------------------------------------------------------------
+# Continuous profiler (process-wide, decoupled from the obs switch)
+# ----------------------------------------------------------------------
+
+_profiler: StackProfiler | None = None
+
+
+def profiler() -> StackProfiler | None:
+    """The process profiler, or ``None`` if never started."""
+    return _profiler
+
+
+def start_profiler(
+    interval: float | None = None,
+) -> StackProfiler:
+    """Start (or resume) the process-wide sampling profiler.
+
+    ``interval`` seconds between samples (default ~100 Hz).  Idempotent;
+    changing the interval while stopped replaces the profiler (and its
+    accumulated stacks).
+    """
+    global _profiler
+    from repro.obs import profile as profile_module
+
+    if interval is None:
+        interval = profile_module.DEFAULT_INTERVAL
+    prof = _profiler
+    if prof is None or (not prof.running and prof.interval != interval):
+        prof = StackProfiler(interval=interval)
+        _profiler = prof
+    prof.start()
+    return prof
+
+
+def stop_profiler() -> StackProfiler | None:
+    """Stop sampling; the collected stacks stay readable."""
+    prof = _profiler
+    if prof is not None:
+        prof.stop()
+    return prof
+
+
 # Environment switch, read once at import: REPRO_OBS=1 enables the layer,
 # REPRO_OBS_LOG both enables it and attaches the JSONL sink.
+# REPRO_PROF=1 independently starts the sampling profiler
+# (REPRO_PROF_HZ overrides the ~100 Hz default rate).
 _env_log = os.environ.get("REPRO_OBS_LOG", "")
 if os.environ.get("REPRO_OBS", "") == "1" or _env_log:
     configure(
         event_log=_env_log or None,
         slow_ms=float(os.environ.get("REPRO_OBS_SLOW_MS", "500")),
+    )
+if os.environ.get("REPRO_PROF", "") == "1":
+    start_profiler(
+        interval=1.0 / float(os.environ.get("REPRO_PROF_HZ", "100"))
     )

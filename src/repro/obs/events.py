@@ -9,51 +9,121 @@ Writes are line-buffered under a lock, so concurrent handler threads
 never interleave partial lines, and each line is flushed as written —
 a crash loses at most the event being formatted, and a tail -f on the
 log sees requests as they complete.
+
+Long-running services (loadgen soaks, ``repro screen`` style runs) can
+bound the log with ``max_bytes``: when appending a line would push the
+live file past the limit, it is renamed to ``<path>.<n>`` (``n``
+increasing chronologically) and a fresh live file is started.
+:func:`read_events` transparently spans the rotated files in order, so
+``repro trace`` over a rotated log sees the full event stream.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import re
 import threading
 import time
 from pathlib import Path
 from typing import Iterator
 
+_ROTATED_SUFFIX = re.compile(r"^\.(\d+)$")
+
+
+def rotated_paths(path: str | Path) -> list[Path]:
+    """The rotated siblings of a live log, oldest first.
+
+    Rotation appends increasing numeric suffixes (``events.jsonl.1`` was
+    rotated out before ``events.jsonl.2``), so chronological order is
+    numeric suffix order.
+    """
+    path = Path(path)
+    found = []
+    for sibling in path.parent.glob(path.name + ".*"):
+        match = _ROTATED_SUFFIX.match(sibling.name[len(path.name):])
+        if match:
+            found.append((int(match.group(1)), sibling))
+    return [sibling for _, sibling in sorted(found)]
+
 
 class EventLog:
-    """Append-only JSONL sink (a path, or any writable text stream)."""
+    """Append-only JSONL sink (a path, or any writable text stream).
 
-    def __init__(self, target: str | Path | io.TextIOBase) -> None:
+    ``max_bytes`` (path targets only) rotates the live file to a numeric
+    ``.<n>`` suffix before an append would exceed the limit; ``None``
+    (the default) keeps the historical unbounded behaviour.
+    """
+
+    def __init__(
+        self,
+        target: str | Path | io.TextIOBase,
+        max_bytes: int | None = None,
+    ) -> None:
         if isinstance(target, (str, Path)):
             self.path: Path | None = Path(target)
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._stream = open(self.path, "a", encoding="utf-8")
             self._owns_stream = True
+            self._size = self._stream.tell()
         else:
             self.path = None
             self._stream = target
             self._owns_stream = False
+            self._size = 0
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_bytes is not None and self.path is None:
+            raise ValueError("max_bytes requires a path-backed log")
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self._emitted = 0
+        self._rotations = 0
 
     def emit(self, event: dict) -> None:
         """Write one event (a ``"ts"`` wall-clock stamp is added if absent)."""
         if "ts" not in event:
             event = {"ts": time.time(), **event}
         line = json.dumps(event, separators=(",", ":"), default=str)
+        nbytes = len(line.encode("utf-8")) + 1
         with self._lock:
             if self._stream.closed:
                 return  # late event after close() — drop, never raise
+            if (
+                self.max_bytes is not None
+                and self._size > 0
+                and self._size + nbytes > self.max_bytes
+            ):
+                self._rotate_locked()
             self._stream.write(line + "\n")
             self._stream.flush()
+            self._size += nbytes
             self._emitted += 1
+
+    def _rotate_locked(self) -> None:
+        """Move the live file aside and start a fresh one (lock held)."""
+        assert self.path is not None
+        existing = rotated_paths(self.path)
+        next_index = (
+            int(existing[-1].name.rsplit(".", 1)[1]) + 1 if existing else 1
+        )
+        self._stream.close()
+        self.path.rename(self.path.with_name(f"{self.path.name}.{next_index}"))
+        self._stream = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self._rotations += 1
 
     @property
     def emitted(self) -> int:
         """Events successfully written since this log was opened."""
         with self._lock:
             return self._emitted
+
+    @property
+    def rotations(self) -> int:
+        """How many times the live file was rotated out."""
+        with self._lock:
+            return self._rotations
 
     def close(self) -> None:
         with self._lock:
@@ -68,15 +138,24 @@ class EventLog:
 
 
 def read_events(path: str | Path) -> Iterator[dict]:
-    """Yield events from a JSONL log, skipping any truncated final line."""
-    with open(path, encoding="utf-8") as stream:
-        for line in stream:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                yield json.loads(line)
-            except json.JSONDecodeError:
-                # A process killed mid-write leaves at most one partial
-                # line; analysis over the surviving events is still valid.
-                continue
+    """Yield events from a JSONL log, skipping any truncated record.
+
+    Spans size-based rotation: ``<path>.1``, ``<path>.2``, ... are read
+    (in chronological order) before the live file, so analysis over a
+    rotated log covers the whole run.  A process killed mid-write leaves
+    at most one partial line per file; analysis over the surviving
+    events is still valid.
+    """
+    path = Path(path)
+    rotated = rotated_paths(path)
+    sources = rotated + ([path] if path.exists() or not rotated else [])
+    for source in sources:
+        with open(source, encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue

@@ -42,6 +42,23 @@ DEFAULT_LATENCY_BUCKETS = (
 #: Buckets for small-count distributions (feedback batch sizes).
 DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
 
+#: Buckets for fsync-class durations (WAL appends): the interesting
+#: resolution is tens of microseconds (page-cache write) up to tens of
+#: milliseconds (a real disk flush) — the request-latency buckets squash
+#: that whole range into their first two bins.
+DEFAULT_FSYNC_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.5,
+)
+
+#: Buckets for solver wall-clock: cold solves on large data run far past
+#: the 10 s ceiling of the request-latency buckets, and the sub-ms bins
+#: there are noise for a solve — shift the range up instead.
+DEFAULT_SOLVE_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
 _INF = float("inf")
 
 
@@ -191,6 +208,32 @@ class Histogram:
                 "count": self._count,
             }
 
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Addition of per-bucket counts, sum, and count — commutative and
+        associative, so shard snapshots can be merged in any order.
+        Raises :class:`ValueError` when the bucket edges differ (shards
+        must share a bucket configuration to be mergeable).
+        """
+        rows = snap["buckets"]
+        edges = tuple(float(row[0]) for row in rows)
+        if edges != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{edges} vs {self.buckets}"
+            )
+        with self._lock:
+            previous = 0
+            for i, (_, cumulative) in enumerate(rows):
+                cumulative = int(cumulative)
+                self._counts[i] += cumulative - previous
+                previous = cumulative
+            self._sum += float(snap["sum"])
+            # Observations past the last finite edge live only in the
+            # total count (the implicit +Inf bucket) — carried over here.
+            self._count += int(snap["count"])
+
 
 class _Family:
     """One named metric family; children are keyed by label values."""
@@ -298,6 +341,106 @@ class MetricsRegistry:
         """Drop every family (tests; a live service never resets)."""
         with self._lock:
             self._families.clear()
+
+    # ------------------------------------------------------------------
+    # Shard snapshots: serialise + commutative merge
+    # ------------------------------------------------------------------
+
+    def to_snapshot(self, source: str | None = None) -> dict:
+        """Portable snapshot of every family — the shard telemetry unit.
+
+        The returned dict is JSON-ready and feeds :meth:`merge` on an
+        aggregator registry.  Unlike :meth:`render_json` it carries the
+        label *names* and metric kind per family, so a merge can
+        re-register identical families on the receiving side.  ``source``
+        tags the snapshot with the producing shard's identity (used to
+        label gauges when merging).
+        """
+        with self._lock:
+            families = sorted(self._families.items())
+        payload: dict = {"version": 1, "families": {}}
+        if source is not None:
+            payload["source"] = str(source)
+        for name, family in families:
+            samples = []
+            for values, child in family.children():
+                labels = dict(zip(family.labelnames, values))
+                if family.kind in ("counter", "gauge"):
+                    samples.append({"labels": labels, "value": child.value})
+                else:
+                    samples.append({"labels": labels, **child.snapshot()})
+            payload["families"][name] = {
+                "kind": family.kind,
+                "help": family.help_text,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            }
+        return payload
+
+    def merge(self, snapshot: Mapping, source: str | None = None) -> None:
+        """Fold a shard's :meth:`to_snapshot` into this registry.
+
+        Merge semantics per kind:
+
+        * **counters** sum — commutative and associative, so merging N
+          worker snapshots in any order equals one registry that saw the
+          whole workload;
+        * **histograms** sum per-bucket (same property; bucket edges must
+          match across shards, :class:`ValueError` otherwise);
+        * **gauges** are *not* summable (a mean of live-session counts
+          means nothing) — each shard's value is kept as its own child
+          under an extra ``source`` label.
+
+        ``source`` names the producing shard; when omitted, the
+        snapshot's own ``"source"`` tag (see :meth:`to_snapshot`) is
+        used, falling back to ``"unknown"``.  Typically called on a
+        *fresh* aggregator registry — merging gauges into a registry
+        that already registered the same gauge family without the
+        ``source`` label raises (conflicting label sets).
+        """
+        source = str(
+            source if source is not None else snapshot.get("source", "unknown")
+        )
+        families = snapshot.get("families", snapshot)
+        for name in sorted(families):
+            spec = families[name]
+            kind = spec["kind"]
+            labelnames = tuple(spec.get("labelnames", ()))
+            help_text = spec.get("help", "")
+            if kind == "counter":
+                family = self.counter(name, help_text, labelnames)
+                for sample in spec["samples"]:
+                    child = (
+                        family.labels(**sample["labels"])
+                        if labelnames else family.default()
+                    )
+                    child.inc(float(sample["value"]))
+            elif kind == "gauge":
+                family = self.gauge(name, help_text, labelnames + ("source",))
+                for sample in spec["samples"]:
+                    family.labels(**sample["labels"], source=source).set(
+                        float(sample["value"])
+                    )
+            elif kind == "histogram":
+                edges = None
+                for sample in spec["samples"]:
+                    edges = tuple(float(row[0]) for row in sample["buckets"])
+                    break
+                if edges is None:
+                    continue  # no children observed on that shard yet
+                family = self.histogram(
+                    name, help_text, labelnames, buckets=edges
+                )
+                for sample in spec["samples"]:
+                    child = (
+                        family.labels(**sample["labels"])
+                        if labelnames else family.default()
+                    )
+                    child.merge_snapshot(sample)
+            else:
+                raise ValueError(
+                    f"snapshot family {name!r} has unknown kind {kind!r}"
+                )
 
     # ------------------------------------------------------------------
     # Rendering

@@ -1,0 +1,279 @@
+"""``repro top``: a live ANSI terminal dashboard for a running service.
+
+Polls ``GET /v1/metrics?format=json`` and ``GET /v1/health`` on an
+interval and renders, in place:
+
+* overall health (ready / degraded / violating, with the burning SLO);
+* per-route request rate and *windowed* p50/p95/p99 latency (derived
+  client-side from consecutive scrapes with the same bucket math the
+  server's history endpoint uses — the dashboard works against any
+  server exposing ``/v1/metrics``, history retention or not);
+* solve-cache hit rate over the window, live session count, and a
+  sparkline of recent request throughput.
+
+Pure stdlib, no curses: the screen is repainted with ANSI escape codes,
+so it works in any terminal and in CI logs (``--iterations 1`` renders
+one frame and exits, which is what the smoke test does).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from collections import deque
+from typing import Callable, Mapping, Sequence
+
+from .metrics import histogram_quantile
+from .timeseries import counter_delta, gauge_value, histogram_delta
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_CSI = "\x1b["
+_STATUS_COLOR = {
+    "ready": "32",      # green
+    "ok": "32",
+    "degraded": "33",   # yellow
+    "violating": "31",  # red
+    "no_data": "90",    # dim
+}
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Render a series as unicode block characters, newest right."""
+    values = [v for v in values if not (isinstance(v, float) and math.isnan(v))]
+    if not values:
+        return ""
+    values = values[-width:]
+    top = max(values)
+    if top <= 0:
+        return _BLOCKS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v / top) * (len(_BLOCKS) - 1) + 0.5)
+        out.append(_BLOCKS[max(0, min(idx, len(_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def _color(text: str, code: str, enable: bool) -> str:
+    return f"{_CSI}{code}m{text}{_CSI}0m" if enable else text
+
+
+def _fmt_ms(seconds: float) -> str:
+    if isinstance(seconds, float) and math.isnan(seconds):
+        return "-"
+    return f"{seconds * 1e3:.1f}"
+
+
+class Dashboard:
+    """Client-side state: recent scrapes + frame rendering.
+
+    ``add()`` ingests one scrape (the ``families`` dict of
+    ``/v1/metrics?format=json`` plus the ``/v1/health`` payload);
+    ``render()`` returns one frame.  Timestamps are injectable so tests
+    can drive deterministic windows.
+    """
+
+    def __init__(self, keep: int = 120, color: bool = True) -> None:
+        self._samples: deque[dict] = deque(maxlen=keep)
+        self._health: dict = {}
+        self._rate_history: deque[float] = deque(maxlen=60)
+        self.color = color
+
+    def add(
+        self,
+        families: Mapping,
+        health: Mapping | None = None,
+        ts: float | None = None,
+        mono: float | None = None,
+    ) -> None:
+        self._samples.append({
+            "ts": ts if ts is not None else time.time(),
+            "mono": mono if mono is not None else time.perf_counter(),
+            "families": dict(families),
+        })
+        if health is not None:
+            self._health = dict(health)
+        if len(self._samples) >= 2:
+            first, last = self._samples[-2], self._samples[-1]
+            window = max(last["mono"] - first["mono"], 1e-9)
+            total = counter_delta(first, last, "repro_requests_total")
+            self._rate_history.append(total / window)
+
+    # -- derivation ----------------------------------------------------
+
+    def _pair(self) -> tuple[dict, dict] | None:
+        if len(self._samples) < 2:
+            return None
+        return self._samples[0], self._samples[-1]
+
+    def route_rows(self) -> list[dict]:
+        """Per-route rate + windowed quantiles over the retained window."""
+        pair = self._pair()
+        if pair is None:
+            return []
+        first, last = pair
+        window = max(last["mono"] - first["mono"], 1e-9)
+        spec = last["families"].get("repro_request_duration_seconds")
+        if spec is None:
+            return []
+        rows = []
+        for s in spec["samples"]:
+            route = s["labels"].get("route", "?")
+            delta = histogram_delta(
+                first, last, "repro_request_duration_seconds", s["labels"]
+            )
+            count = delta["count"]
+            buckets = [(row[0], row[1]) for row in delta["buckets"]]
+            rows.append({
+                "route": route,
+                "rate": count / window,
+                "count": count,
+                "p50": histogram_quantile(buckets, count, 0.5),
+                "p95": histogram_quantile(buckets, count, 0.95),
+                "p99": histogram_quantile(buckets, count, 0.99),
+            })
+        rows.sort(key=lambda r: -r["rate"])
+        return rows
+
+    def cache_hit_rate(self) -> float:
+        pair = self._pair()
+        if pair is None:
+            return math.nan
+        first, last = pair
+        hits = counter_delta(
+            first, last, "repro_solve_cache_lookups_total", {"result": "hit"}
+        )
+        misses = counter_delta(
+            first, last, "repro_solve_cache_lookups_total", {"result": "miss"}
+        )
+        total = hits + misses
+        return hits / total if total else math.nan
+
+    def sessions_in_memory(self) -> float:
+        if not self._samples:
+            return math.nan
+        return gauge_value(self._samples[-1], "repro_sessions_in_memory")
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self, url: str = "", width: int = 100) -> str:
+        c = self.color
+        status = str(self._health.get("status", "unknown"))
+        lines = []
+        header = f" repro top — {url or 'service'}"
+        stamp = time.strftime("%H:%M:%S", time.localtime(
+            self._samples[-1]["ts"] if self._samples else time.time()
+        ))
+        pad = max(1, width - len(header) - len(stamp) - 1)
+        lines.append(_color(header + " " * pad + stamp + " ", "7", c))
+        lines.append(
+            " health: "
+            + _color(status, _STATUS_COLOR.get(status, "0"), c)
+            + self._slo_summary()
+        )
+        sessions = self.sessions_in_memory()
+        hit = self.cache_hit_rate()
+        rate = self._rate_history[-1] if self._rate_history else math.nan
+        lines.append(
+            f" sessions: {'-' if math.isnan(sessions) else int(sessions)}"
+            f"   cache hit: "
+            f"{'-' if math.isnan(hit) else f'{hit * 100:.0f}%'}"
+            f"   req/s: {'-' if math.isnan(rate) else f'{rate:.1f}'}  "
+            + sparkline(list(self._rate_history))
+        )
+        lines.append("")
+        rows = self.route_rows()
+        if rows:
+            lines.append(_color(
+                f" {'route':<44} {'req/s':>7} {'p50ms':>8} "
+                f"{'p95ms':>8} {'p99ms':>8}", "1", c,
+            ))
+            for r in rows[:12]:
+                lines.append(
+                    f" {r['route'][:44]:<44} {r['rate']:>7.1f} "
+                    f"{_fmt_ms(r['p50']):>8} {_fmt_ms(r['p95']):>8} "
+                    f"{_fmt_ms(r['p99']):>8}"
+                )
+        else:
+            lines.append(" (waiting for a second scrape to derive rates...)")
+        slos = self._health.get("slos")
+        if slos:
+            lines.append("")
+            lines.append(_color(
+                f" {'slo':<24} {'status':<10} {'measured':>10} "
+                f"{'threshold':>10} {'burn':>6}", "1", c,
+            ))
+            for row in slos:
+                short = row.get("short", {})
+                measured = short.get("measured")
+                burn = short.get("burn")
+                lines.append(
+                    f" {row['name'][:24]:<24} "
+                    + _color(
+                        f"{row['status']:<10}",
+                        _STATUS_COLOR.get(row["status"], "0"), c,
+                    )
+                    + f" {'-' if measured is None else f'{measured:.4g}':>10}"
+                    + f" {short.get('threshold', 0):>10.4g}"
+                    + f" {'-' if burn is None else f'{burn:.2f}':>6}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def _slo_summary(self) -> str:
+        slos = self._health.get("slos") or []
+        burning = [r["name"] for r in slos
+                   if r.get("status") in ("degraded", "violating")]
+        return f"  (burning: {', '.join(burning)})" if burning else ""
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    stream=None,
+    fetch: Callable[[], tuple[Mapping, Mapping]] | None = None,
+    color: bool | None = None,
+) -> int:
+    """Poll a service and repaint the dashboard until interrupted.
+
+    ``fetch`` (tests) overrides the HTTP scrape and must return
+    ``(families, health)``.  ``iterations`` bounds the number of frames
+    (``None`` = run until Ctrl-C).  Returns a shell exit code.
+    """
+    stream = stream if stream is not None else sys.stdout
+    if color is None:
+        color = bool(getattr(stream, "isatty", lambda: False)())
+    if fetch is None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(url)
+
+        def fetch() -> tuple[Mapping, Mapping]:
+            payload = client.metrics()
+            if not payload.get("enabled", False):
+                raise RuntimeError(
+                    "server has observability disabled — start it with "
+                    "`repro serve --obs`"
+                )
+            return payload.get("families", {}), client.health()
+
+    board = Dashboard(color=color)
+    frame = 0
+    try:
+        while iterations is None or frame < iterations:
+            families, health = fetch()
+            board.add(families, health)
+            if color:
+                stream.write(f"{_CSI}H{_CSI}2J")
+            stream.write(board.render(url=url))
+            stream.flush()
+            frame += 1
+            if iterations is not None and frame >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    except RuntimeError as exc:
+        stream.write(f"error: {exc}\n")
+        return 1
+    return 0

@@ -16,6 +16,8 @@ GET         /v1/datasets                          registered dataset names
 GET         /v1/objectives                        registered view objectives
 GET         /v1/stats                             manager + solve-cache statistics
 GET         /v1/metrics                           Prometheus metrics (see below)
+GET         /v1/metrics/history                   retained metrics time-series
+GET         /v1/profile                           collapsed-stack profile
 GET         /v1/sessions                          list sessions (live + stored)
 POST        /v1/sessions                          create a session
 GET         /v1/sessions/{id}                     session status (resumes if stored)
@@ -35,6 +37,16 @@ missing field.
 Prometheus text exposition format (``?format=json`` for the same data as
 JSON).  While observability is disabled the route still answers 200 with
 an empty exposition / ``{"enabled": false}`` so scrapers do not flap.
+
+``GET /v1/metrics/history`` serves the ring-buffer time-series the
+recorder retains (``?seconds=N`` trims the window, ``?derive=0`` skips
+the server-side rate/quantile summary); it answers 200 with
+``{"enabled": false}`` while retention is off.  ``GET /v1/profile``
+serves the sampling profiler's collapsed-stack text (``?format=json``
+for the raw table + stats) — flamegraph tooling can point straight at a
+live server.  ``GET /v1/health`` stays exactly ``{"status": "ok"}``
+unless the SLO engine is on, in which case it carries the full SLO
+report (``status`` becomes ``ready``/``degraded``/``violating``).
 
 Observability: when :mod:`repro.obs` is enabled, every dispatch runs
 inside a request envelope — a per-request trace (id from the transport,
@@ -103,6 +115,12 @@ class TextResponse(str):
     """
 
     content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class PlainTextResponse(TextResponse):
+    """Plain-text body without the Prometheus exposition version tag."""
+
+    content_type = "text/plain; charset=utf-8"
 
 
 def view_to_dict(
@@ -276,6 +294,8 @@ class ServiceAPI:
             "/objectives": {"GET": self._objectives},
             "/stats": {"GET": self._stats},
             "/metrics": {"GET": self._metrics},
+            "/metrics/history": {"GET": self._metrics_history},
+            "/profile": {"GET": self._profile},
             "/sessions": {
                 "GET": self._list_sessions,
                 "POST": self._create_session,
@@ -309,7 +329,14 @@ class ServiceAPI:
     # ------------------------------------------------------------------
 
     def _health(self, body: dict, query: dict) -> tuple[int, dict]:
-        # Payload kept exactly as in the unversioned API (clients assert on it).
+        # Payload kept exactly as in the unversioned API (clients assert
+        # on it) — the SLO extension below only applies when the engine
+        # is explicitly enabled (repro serve --obs).
+        state = obs.active()
+        if state is not None and state.slo is not None:
+            report = state.slo_report()
+            if report is not None:
+                return 200, report
         return 200, {"status": "ok"}
 
     def _datasets(self, body: dict, query: dict) -> tuple[int, dict]:
@@ -338,6 +365,53 @@ class ServiceAPI:
         if as_json:
             return 200, {"enabled": True, "families": state.metrics.render_json()}
         return 200, TextResponse(state.metrics.render_prometheus())
+
+    def _metrics_history(self, body: dict, query: dict) -> tuple[int, dict]:
+        """Retained metrics time-series with server-side derivation.
+
+        ``?seconds=N`` trims to the last N seconds; ``?derive=0`` skips
+        the rate/windowed-quantile summary (raw samples only).  Answers
+        ``{"enabled": false}`` while retention is off, mirroring the
+        metrics route's never-flap contract.
+        """
+        state = obs.active()
+        recorder = state.history if state is not None else None
+        if recorder is None:
+            return 200, {"enabled": False, "samples": []}
+        seconds = query.get("seconds")
+        window = recorder.window(float(seconds) if seconds else None)
+        state.update_service_gauges(self.manager)
+        payload: dict = {
+            "enabled": True,
+            "interval_seconds": recorder.interval,
+            "capacity": recorder.capacity,
+            "samples": window,
+        }
+        if str(query.get("derive", "1")).lower() not in ("0", "false", "no"):
+            from repro.obs import timeseries as ts
+
+            payload["derived"] = (
+                ts.derive(window[0], window[-1]) if len(window) >= 2 else None
+            )
+        return 200, payload
+
+    def _profile(self, body: dict, query: dict) -> tuple[int, dict]:
+        """Collapsed-stack profile (text by default, ``?format=json``).
+
+        The text body feeds flamegraph renderers directly; the JSON form
+        carries ``{"stacks": {...}, ...stats}``.  Answers 200 with an
+        explicit disabled marker while the profiler is off.
+        """
+        as_json = str(query.get("format", "")).lower() == "json"
+        prof = obs.profiler()
+        if prof is None:
+            if as_json:
+                return 200, {"enabled": False, "samples": 0, "stacks": {}}
+            return 200, PlainTextResponse("# repro profiler disabled\n")
+        if as_json:
+            return 200, {"enabled": True, **prof.stats(),
+                         "stacks": prof.stacks()}
+        return 200, PlainTextResponse(prof.render_collapsed())
 
     def _list_sessions(self, body: dict, query: dict) -> tuple[int, dict]:
         return 200, {"sessions": self.manager.list_sessions()}

@@ -218,6 +218,25 @@ class ServiceClient:
         """Server metrics as JSON: ``{"enabled": bool, "families": {...}}``."""
         return self._request("GET", "/metrics?format=json")
 
+    def metrics_history(self, seconds: float | None = None) -> dict:
+        """Retained metrics time-series + server-side derivation.
+
+        ``{"enabled": bool, "samples": [...], "derived": {...}}`` — see
+        ``GET /v1/metrics/history``.  ``seconds`` trims the window.
+        """
+        path = "/metrics/history"
+        if seconds is not None:
+            path += f"?seconds={seconds:g}"
+        return self._request("GET", path)
+
+    def profile_text(self) -> str:
+        """Collapsed-stack profile of the server (flamegraph input)."""
+        return self._request("GET", "/profile", decode_json=False)
+
+    def profile(self) -> dict:
+        """Profiler stats + raw stack table as JSON."""
+        return self._request("GET", "/profile?format=json")
+
     def list_sessions(self) -> list[dict]:
         """Summaries of live and checkpointed sessions."""
         return self._request("GET", "/sessions")["sessions"]

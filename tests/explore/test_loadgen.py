@@ -143,3 +143,77 @@ class TestLiveWorkload:
         assert report.totals["sessions_failed"] == 0
         used = {outcome["dataset"] for outcome in report.sessions}
         assert used == {"two", "gauss"}
+
+    def test_obs_run_records_metrics_series(
+        self, two_cluster_data, tmp_path
+    ):
+        """With --obs the loadgen scrapes /v1/metrics DURING the run and
+        the report carries the time-series, not just the final totals."""
+        from repro import obs
+
+        data, _ = two_cluster_data
+        obs.configure()
+        server = start_background(SessionManager({"two": data}))
+        try:
+            report = run_loadgen(
+                LoadGenConfig(
+                    url=server.base_url,
+                    sessions=4,
+                    workers=2,
+                    policies=("objective-sweep",),
+                    rounds=2,
+                    seed=0,
+                    obs=True,
+                    scrape_interval=0.05,
+                )
+            )
+        finally:
+            server.stop()
+            obs.disable()
+        series = report.obs["series"]
+        assert series["interval_seconds"] == 0.05
+        samples = series["samples"]
+        assert len(samples) >= 2  # immediate anchor + final scrape
+        for sample in samples:
+            assert {"ts", "mono", "families"} <= set(sample)
+        assert samples[0]["mono"] <= samples[-1]["mono"]
+        timeline = series["timeline"]
+        assert len(timeline) == len(samples) - 1
+        assert all(point["requests_per_s"] >= 0 for point in timeline)
+        # the whole run's requests appear in the scraped counters
+        from repro.obs.timeseries import counter_delta
+
+        total = counter_delta(
+            samples[0], samples[-1], "repro_requests_total"
+        )
+        assert total > 0
+        # series survives the JSON artifact round-trip
+        path = write_report(report, tmp_path / "BENCH_loadgen.json")
+        payload = json.loads(path.read_text())
+        assert payload["obs"]["series"]["timeline"] == timeline
+        assert "obs series:" in format_report(report)
+
+    def test_scrape_interval_zero_disables_sampler(self, two_cluster_data):
+        from repro import obs
+
+        data, _ = two_cluster_data
+        obs.configure()
+        server = start_background(SessionManager({"two": data}))
+        try:
+            report = run_loadgen(
+                LoadGenConfig(
+                    url=server.base_url,
+                    sessions=1,
+                    workers=1,
+                    policies=("objective-sweep",),
+                    rounds=1,
+                    seed=0,
+                    obs=True,
+                    scrape_interval=0.0,
+                )
+            )
+        finally:
+            server.stop()
+            obs.disable()
+        assert report.obs["enabled"] is True
+        assert "series" not in report.obs

@@ -101,6 +101,74 @@ class TestAnalyzeEvents:
         assert report["requests"] == 1
 
 
+class TestEdgeCases:
+    def test_empty_log_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        report = analyze_log(path)
+        assert report["events"] == 0
+        assert report["requests"] == 0
+        assert report["routes"] == {}
+        assert report["cache"] is None
+        # and the renderer survives a contentless report
+        assert "0 event(s)" in format_analysis(report)
+
+    def test_interleaved_concurrent_session_traces(self):
+        # two sessions' requests interleaved in arrival order, as a
+        # threaded server writes them; per-route stats must not care
+        events = []
+        for i in range(4):
+            events.append(_request(
+                "GET /v1/sessions/{id}/view", 10.0 + i,
+                trace_id=f"{i:032x}", session_id="sess-a",
+                spans={"service_view": {"calls": 1, "seconds": 0.01}},
+            ))
+            events.append(_request(
+                "GET /v1/sessions/{id}/view", 20.0 + i,
+                trace_id=f"{i + 100:032x}", session_id="sess-b",
+                spans={"service_view": {"calls": 1, "seconds": 0.02}},
+            ))
+        report = analyze_events(events)
+        stats = report["routes"]["GET /v1/sessions/{id}/view"]
+        assert stats["count"] == 8
+        assert report["spans"]["service_view"]["calls"] == 8
+        assert report["spans"]["service_view"]["seconds"] == pytest.approx(
+            0.12
+        )
+        sessions = {row["session_id"] for row in report["slowest"]}
+        assert sessions == {"sess-a", "sess-b"}
+
+    def test_truncated_final_record_after_rotation(self, tmp_path):
+        from repro.obs.events import EventLog
+
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=256) as log:
+            for i in range(8):
+                log.emit(_request("GET /v1/health", float(i)))
+        # crash mid-write on the live file
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"event": "request", "rou')
+        report = analyze_log(path)
+        assert report["requests"] == 8  # rotation spanned, partial skipped
+        assert report["routes"]["GET /v1/health"]["count"] == 8
+
+    def test_missing_root_span_tree_renders_without_total(self):
+        # only child spans present (the root never completed): shares
+        # cannot be computed against a root total, but nothing crashes
+        events = [
+            _request(
+                "GET /v1/x", 5.0,
+                spans={"service_view/service_fit":
+                       {"calls": 2, "seconds": 0.04}},
+            )
+        ]
+        report = analyze_events(events)
+        assert report["spans"]["service_view/service_fit"]["calls"] == 2
+        text = format_analysis(report)
+        assert "service_fit" in text
+        assert "0.0%" in text  # share falls back to zero, not a crash
+
+
 class TestAnalyzeLog:
     def test_reads_jsonl_file(self, tmp_path):
         path = tmp_path / "events.jsonl"

@@ -6,7 +6,9 @@ import io
 import json
 import threading
 
-from repro.obs.events import EventLog, read_events
+import pytest
+
+from repro.obs.events import EventLog, read_events, rotated_paths
 
 
 class TestEventLog:
@@ -76,6 +78,72 @@ class TestEventLog:
         assert all(e["filler"] == payload["filler"] for e in events)
 
 
+class TestRotation:
+    def test_rotates_when_append_would_exceed_max_bytes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=200) as log:
+            for i in range(20):
+                log.emit({"event": "request", "n": i, "pad": "x" * 40})
+            assert log.rotations >= 2
+            assert log.emitted == 20
+        rotated = rotated_paths(path)
+        assert [p.name for p in rotated] == [
+            f"events.jsonl.{i + 1}" for i in range(len(rotated))
+        ]
+        # no rotated file ever exceeded the cap, and the live file exists
+        for p in rotated:
+            assert p.stat().st_size <= 200
+        assert path.exists()
+
+    def test_single_oversized_event_still_lands(self, tmp_path):
+        # an event bigger than max_bytes is written whole into a fresh
+        # file rather than dropped or split
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=64) as log:
+            log.emit({"event": "request", "pad": "x" * 200})
+            log.emit({"event": "request", "pad": "y" * 200})
+        events = list(read_events(path))
+        assert len(events) == 2
+
+    def test_reader_spans_rotations_in_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=120) as log:
+            for i in range(30):
+                log.emit({"event": "request", "n": i, "pad": "x" * 30})
+        events = list(read_events(path))
+        assert [e["n"] for e in events] == list(range(30))
+
+    def test_rotation_resumes_numbering_across_reopens(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for _ in range(2):
+            with EventLog(path, max_bytes=100) as log:
+                for i in range(10):
+                    log.emit({"event": "request", "pad": "x" * 40})
+        names = {p.name for p in rotated_paths(path)}
+        # second process run continued after the first run's suffixes
+        assert len(names) == len(rotated_paths(path))
+        assert list(read_events(path))  # and the stream reads back whole
+
+    def test_max_bytes_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            EventLog(tmp_path / "e.jsonl", max_bytes=0)
+        with pytest.raises(ValueError, match="path-backed"):
+            EventLog(io.StringIO(), max_bytes=100)
+
+    def test_truncated_final_record_after_rotation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=120) as log:
+            for i in range(10):
+                log.emit({"event": "request", "n": i, "pad": "x" * 30})
+        whole = len(list(read_events(path)))
+        # simulate a crash mid-write on the *live* file
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"event": "request", "n": 99, "pa')
+        events = list(read_events(path))
+        assert len(events) == whole  # partial line skipped, rest intact
+        assert [e["n"] for e in events] == list(range(10))
+
+
 class TestReadEvents:
     def test_skips_blank_and_truncated_lines(self, tmp_path):
         path = tmp_path / "events.jsonl"
@@ -87,3 +155,8 @@ class TestReadEvents:
         events = list(read_events(path))
         assert len(events) == 1
         assert events[0]["status"] == 200
+
+    def test_rotated_files_read_even_if_live_file_missing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        (tmp_path / "events.jsonl.1").write_text('{"event": "request"}\n')
+        assert len(list(read_events(path))) == 1

@@ -1,0 +1,187 @@
+"""Shard-ready snapshot merge: commutative counters/histograms, labeled
+gauges, and the split-workload ground-truth property."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _shard(source=None):
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "repro_requests_total", "Requests.", labelnames=("route", "status")
+    )
+    latency = registry.histogram(
+        "repro_request_duration_seconds", "Latency.",
+        labelnames=("route",), buckets=(0.1, 1.0, 10.0),
+    )
+    sessions = registry.gauge("repro_sessions_in_memory", "Sessions.")
+    return registry, requests, latency, sessions
+
+
+def _counter_values(registry, family):
+    spec = registry.render_json().get(family, {"samples": []})
+    return {
+        tuple(sorted(s["labels"].items())): s["value"]
+        for s in spec["samples"]
+    }
+
+
+def _histogram_totals(registry, family):
+    spec = registry.render_json().get(family, {"samples": []})
+    return {
+        tuple(sorted(s["labels"].items())): (
+            tuple(tuple(row) for row in s["buckets"]),
+            pytest.approx(s["sum"]),
+            s["count"],
+        )
+        for s in spec["samples"]
+    }
+
+
+class TestSnapshotShape:
+    def test_snapshot_is_json_ready_and_carries_source(self):
+        registry, requests, latency, sessions = _shard()
+        requests.labels(route="GET /x", status="200").inc(3)
+        latency.labels(route="GET /x").observe(0.05)
+        sessions.default().set(2)
+        snap = registry.to_snapshot(source="shard-a")
+        assert snap["version"] == 1
+        assert snap["source"] == "shard-a"
+        fam = snap["families"]["repro_requests_total"]
+        assert fam["kind"] == "counter"
+        assert fam["samples"][0]["value"] == 3.0
+
+    def test_unknown_kind_rejected_on_merge(self):
+        registry, *_ = _shard()
+        snap = {
+            "version": 1,
+            "families": {
+                "weird": {"kind": "summary", "help": "", "labelnames": [],
+                          "samples": []}
+            },
+        }
+        with pytest.raises(ValueError, match="kind"):
+            MetricsRegistry().merge(snap)
+
+
+class TestMergeSemantics:
+    def test_counters_sum_across_shards(self):
+        a, requests_a, _, _ = _shard()
+        b, requests_b, _, _ = _shard()
+        requests_a.labels(route="GET /x", status="200").inc(3)
+        requests_b.labels(route="GET /x", status="200").inc(4)
+        requests_b.labels(route="GET /y", status="200").inc(1)
+        merged = MetricsRegistry()
+        merged.merge(a.to_snapshot(source="a"))
+        merged.merge(b.to_snapshot(source="b"))
+        values = _counter_values(merged, "repro_requests_total")
+        assert values[
+            (("route", "GET /x"), ("status", "200"))
+        ] == 7.0
+        assert values[
+            (("route", "GET /y"), ("status", "200"))
+        ] == 1.0
+
+    def test_gauges_keep_per_source_identity(self):
+        a, _, _, sessions_a = _shard()
+        b, _, _, sessions_b = _shard()
+        sessions_a.default().set(2)
+        sessions_b.default().set(5)
+        merged = MetricsRegistry()
+        merged.merge(a.to_snapshot(source="shard-a"))
+        merged.merge(b.to_snapshot(source="shard-b"))
+        values = _counter_values(merged, "repro_sessions_in_memory")
+        assert values[(("source", "shard-a"),)] == 2.0
+        assert values[(("source", "shard-b"),)] == 5.0
+
+    def test_source_falls_back_to_snapshot_then_unknown(self):
+        a, _, _, sessions_a = _shard()
+        sessions_a.default().set(1)
+        merged = MetricsRegistry()
+        merged.merge(a.to_snapshot())  # no source anywhere
+        values = _counter_values(merged, "repro_sessions_in_memory")
+        assert values[(("source", "unknown"),)] == 1.0
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("h", "H.", buckets=(1.0, 2.0)).default().observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", "H.", buckets=(5.0,)).default().observe(0.5)
+        merged = MetricsRegistry()
+        merged.merge(a.to_snapshot(source="a"))
+        with pytest.raises(ValueError, match="buckets"):
+            merged.merge(b.to_snapshot(source="b"))
+
+    def test_merge_is_order_independent(self):
+        shards = []
+        for i in range(3):
+            registry, requests, latency, _ = _shard()
+            requests.labels(route="GET /x", status="200").inc(i + 1)
+            latency.labels(route="GET /x").observe(0.05 * (i + 1))
+            latency.labels(route="GET /x").observe(5.0)
+            shards.append(registry.to_snapshot(source=f"s{i}"))
+        reference = None
+        for order in itertools.permutations(range(3)):
+            merged = MetricsRegistry()
+            for i in order:
+                merged.merge(shards[i])
+            counters = _counter_values(merged, "repro_requests_total")
+            hists = _histogram_totals(
+                merged, "repro_request_duration_seconds"
+            )
+            if reference is None:
+                reference = (counters, hists)
+            else:
+                assert (counters, hists) == reference
+
+
+class TestSplitWorkloadGroundTruth:
+    """Observations split across K shards then merged must equal the
+    single-registry ground truth — the property that makes per-shard
+    scraping safe."""
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        observations=st.lists(
+            st.tuples(
+                st.sampled_from(["GET /x", "GET /y", "POST /z"]),
+                st.sampled_from(["200", "404", "500"]),
+                st.floats(
+                    min_value=0.001, max_value=20.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                st.integers(min_value=0, max_value=3),  # shard index
+            ),
+            max_size=60,
+        ),
+        shards=st.integers(min_value=1, max_value=4),
+    )
+    def test_merged_equals_single_registry(self, observations, shards):
+        ground, g_requests, g_latency, _ = _shard()
+        shard_state = [_shard() for _ in range(shards)]
+        for route, status, value, shard_index in observations:
+            # apply to the assigned shard and to the ground truth
+            target = shard_state[shard_index % shards]
+            target[1].labels(route=route, status=status).inc()
+            target[2].labels(route=route).observe(value)
+            g_requests.labels(route=route, status=status).inc()
+            g_latency.labels(route=route).observe(value)
+        merged = MetricsRegistry()
+        for i, (registry, *_rest) in enumerate(shard_state):
+            merged.merge(registry.to_snapshot(source=f"shard-{i}"))
+        assert _counter_values(
+            merged, "repro_requests_total"
+        ) == _counter_values(ground, "repro_requests_total")
+        assert _histogram_totals(
+            merged, "repro_request_duration_seconds"
+        ) == _histogram_totals(ground, "repro_request_duration_seconds")

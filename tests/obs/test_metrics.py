@@ -108,6 +108,52 @@ class TestHistogram:
             Histogram(())
 
 
+class TestConfigurableBuckets:
+    def test_histogram_family_accepts_custom_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "fsync_seconds", "Fsync.", buckets=(0.0001, 0.001, 0.01)
+        ).default()
+        hist.observe(0.0005)
+        snap = hist.snapshot()
+        assert [edge for edge, _ in snap["buckets"]] == [0.0001, 0.001, 0.01]
+        assert snap["buckets"][1][1] == 1  # landed in the 1 ms bin
+
+    def test_default_buckets_unchanged_when_not_overridden(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("dur_seconds", "Durations.").default()
+        assert hist.buckets == tuple(DEFAULT_LATENCY_BUCKETS)
+
+    def test_purpose_built_default_ladders(self):
+        # fsync buckets resolve sub-ms flushes; solve buckets reach the
+        # paper's 10 s solver cutoff and beyond
+        from repro.obs.metrics import (
+            DEFAULT_FSYNC_BUCKETS,
+            DEFAULT_SOLVE_BUCKETS,
+        )
+
+        assert min(DEFAULT_FSYNC_BUCKETS) < 0.001
+        assert max(DEFAULT_FSYNC_BUCKETS) <= 1.0
+        assert max(DEFAULT_SOLVE_BUCKETS) >= 10.0
+
+    def test_observability_state_honors_bucket_overrides(self):
+        from repro.obs import Observability
+        from repro.obs.metrics import DEFAULT_FSYNC_BUCKETS
+
+        state = Observability(
+            metrics=MetricsRegistry(),
+            bucket_overrides={
+                "repro_request_duration_seconds": (0.5, 1.0),
+            },
+        )
+        child = state._request_duration.labels(route="GET /x")
+        assert child.buckets == (0.5, 1.0)
+        # non-overridden families keep their purpose-built defaults
+        assert state._wal_append.buckets == tuple(
+            sorted(b for b in DEFAULT_FSYNC_BUCKETS if b != float("inf"))
+        )
+
+
 class TestExposition:
     def _populated(self) -> MetricsRegistry:
         reg = MetricsRegistry()

@@ -1,0 +1,165 @@
+"""Sampling stack profiler: collapsed stacks, exemplars, lifecycle."""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import StackProfiler, collapse_frame
+
+
+def _here():
+    return sys._current_frames()[threading.get_ident()]
+
+
+class _ParkedThread:
+    """A named worker parked on an event, so sample_once (which skips the
+    calling thread) always has a stack to collect."""
+
+    def __init__(self, name="parked-thread"):
+        self._ready = threading.Event()
+        self._release = threading.Event()
+        self.ident = None
+        self._thread = threading.Thread(
+            target=self._park, name=name, daemon=True
+        )
+
+    def _park(self):
+        self.ident = threading.get_ident()
+        self._ready.set()
+        self._release.wait(10.0)
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(5.0)
+        return self
+
+    def __exit__(self, *exc):
+        self._release.set()
+        self._thread.join()
+
+
+class TestCollapseFrame:
+    def test_root_first_semicolon_joined(self):
+        def inner():
+            return collapse_frame(_here())
+
+        def outer():
+            return inner()
+
+        stack = outer()
+        parts = stack.split(";")
+        # leaf (innermost) frame last, in filestem:func form
+        assert parts[-1] == "test_profile:_here"
+        assert parts[-2] == "test_profile:inner"
+        assert parts[-3] == "test_profile:outer"
+        assert all(":" in part for part in parts)
+
+
+class TestStackProfiler:
+    def test_sample_once_counts_other_threads(self):
+        profiler = StackProfiler()
+        with _ParkedThread():
+            profiler.sample_once()
+            profiler.sample_once()
+        assert profiler.samples >= 2
+        stacks = profiler.stacks()
+        parked_stacks = [s for s in stacks if s.startswith("parked-thread;")]
+        assert parked_stacks
+        assert any("test_profile:_park" in s for s in parked_stacks)
+
+    def test_render_collapsed_is_flamegraph_input(self):
+        profiler = StackProfiler()
+        with _ParkedThread():
+            profiler.sample_once()
+        text = profiler.render_collapsed()
+        assert text.endswith("\n")
+        line = text.splitlines()[0]
+        stack, count = line.rsplit(" ", 1)
+        assert int(count) >= 1
+        assert ";" in stack
+
+    def test_render_collapsed_empty_profile(self):
+        assert StackProfiler().render_collapsed() == ""
+
+    def test_write_collapsed(self, tmp_path):
+        profiler = StackProfiler()
+        with _ParkedThread():
+            profiler.sample_once()
+        out = profiler.write_collapsed(tmp_path / "deep" / "profile.txt")
+        assert out.read_text().strip()
+
+    def test_daemon_thread_samples_continuously(self):
+        profiler = StackProfiler(interval=0.005)
+        profiler.start()
+        profiler.start()  # idempotent
+        try:
+            deadline = time.perf_counter() + 5.0
+            while profiler.samples == 0 and time.perf_counter() < deadline:
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+        assert not profiler.running
+        assert profiler.samples > 0
+        stats = profiler.stats()
+        assert stats["unique_stacks"] >= 1
+        assert stats["interval_seconds"] == 0.005
+        # own sampler thread is never profiled
+        assert not any(
+            s.startswith("repro-obs-profiler;") for s in profiler.stacks()
+        )
+
+    def test_excerpt_scopes_by_thread_and_time(self):
+        # sample_once skips the calling thread, so park a named worker
+        # and excerpt that.
+        profiler = StackProfiler()
+        cut = time.perf_counter()
+        with _ParkedThread(name="excerpt-thread") as parked:
+            profiler.sample_once()
+            ident = parked.ident
+        rows = profiler.excerpt(thread_ident=ident)
+        assert rows
+        assert rows[0]["count"] >= 1
+        assert rows[0]["stack"].startswith("excerpt-thread;")
+        # a cutoff in the future filters everything out
+        future = time.perf_counter() + 100.0
+        assert profiler.excerpt(thread_ident=ident, since=future) == []
+        assert profiler.excerpt(thread_ident=ident, since=cut) == rows
+
+    def test_reset_clears_state(self):
+        profiler = StackProfiler()
+        with _ParkedThread():
+            profiler.sample_once()
+        profiler.reset()
+        assert profiler.samples == 0
+        assert profiler.stacks() == {}
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            StackProfiler(interval=0.0)
+
+
+class TestModuleLevelProfiler:
+    def test_start_stop_and_replace_interval(self):
+        from repro import obs
+
+        assert obs.profiler() is None or not obs.profiler().running
+        first = obs.start_profiler(interval=0.5)
+        try:
+            assert first.running
+            assert obs.start_profiler(interval=0.5) is first  # idempotent
+            second = obs.start_profiler(interval=0.25)
+            assert second is first  # running profiler is never replaced
+        finally:
+            obs.stop_profiler()
+        assert obs.profiler() is not None
+        assert not obs.profiler().running
+        # a stopped profiler with a different cadence is replaced
+        third = obs.start_profiler(interval=0.125)
+        try:
+            assert third.interval == 0.125
+        finally:
+            obs.stop_profiler()

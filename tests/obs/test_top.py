@@ -1,0 +1,140 @@
+"""The `repro top` dashboard: derivation, rendering, poll loop."""
+
+from __future__ import annotations
+
+import io
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import Dashboard, run_top, sparkline
+
+
+def _families(requests=0, slow=0, hits=0, misses=0, sessions=0):
+    """A /v1/metrics families payload with the given cumulative totals."""
+    registry = MetricsRegistry()
+    latency = registry.histogram(
+        "repro_request_duration_seconds", "Latency.",
+        labelnames=("route", "status"), buckets=(0.1, 1.0, 10.0),
+    )
+    counter = registry.counter(
+        "repro_requests_total", "Requests.", labelnames=("route", "status")
+    )
+    lookups = registry.counter(
+        "repro_solve_cache_lookups_total", "Cache.", labelnames=("result",)
+    )
+    gauge = registry.gauge("repro_sessions_in_memory", "Sessions.")
+    route = "GET /v1/sessions/{id}/view"
+    for _ in range(requests):
+        latency.labels(route=route, status="200").observe(0.05)
+        counter.labels(route=route, status="200").inc()
+    for _ in range(slow):
+        latency.labels(route=route, status="200").observe(5.0)
+        counter.labels(route=route, status="200").inc()
+    if hits:
+        lookups.labels(result="hit").inc(hits)
+    if misses:
+        lookups.labels(result="miss").inc(misses)
+    gauge.default().set(sessions)
+    return registry.render_json()
+
+
+class TestSparkline:
+    def test_scales_to_blocks(self):
+        line = sparkline([0.0, 1.0, 2.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty_and_flat_zero(self):
+        assert sparkline([]) == ""
+        assert sparkline([float("nan")]) == ""
+        assert sparkline([0.0, 0.0]) == "▁▁"
+
+    def test_width_keeps_newest(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+
+class TestDashboard:
+    def test_needs_two_scrapes_for_rates(self):
+        board = Dashboard(color=False)
+        board.add(_families(requests=10), mono=0.0)
+        assert board.route_rows() == []
+        assert math.isnan(board.cache_hit_rate())
+        board.add(_families(requests=30, hits=6, misses=2), mono=10.0)
+        rows = board.route_rows()
+        assert len(rows) == 1
+        assert rows[0]["route"] == "GET /v1/sessions/{id}/view"
+        assert rows[0]["rate"] == pytest.approx(2.0)  # 20 reqs / 10 s
+        assert rows[0]["p99"] <= 0.1  # every delta observation was fast
+        assert board.cache_hit_rate() == pytest.approx(0.75)
+
+    def test_sessions_reads_latest_gauge(self):
+        board = Dashboard(color=False)
+        assert math.isnan(board.sessions_in_memory())
+        board.add(_families(sessions=4), mono=0.0)
+        assert board.sessions_in_memory() == 4.0
+
+    def test_render_plain_frame(self):
+        board = Dashboard(color=False)
+        health = {
+            "status": "degraded",
+            "slos": [{
+                "name": "view-latency-p99", "status": "degraded",
+                "short": {"measured": 2.5, "threshold": 2.0, "burn": 1.25},
+                "long": {"measured": None, "threshold": 2.0, "burn": None},
+            }],
+        }
+        board.add(_families(requests=5), health=health, mono=0.0)
+        board.add(_families(requests=25, slow=1), health=health, mono=5.0)
+        frame = board.render(url="http://127.0.0.1:8000")
+        assert "repro top" in frame
+        assert "health: degraded" in frame
+        assert "burning: view-latency-p99" in frame
+        assert "GET /v1/sessions/{id}/view" in frame
+        assert "req/s" in frame
+        assert "\x1b[" not in frame  # color disabled -> no ANSI codes
+
+    def test_render_before_any_scrape(self):
+        frame = Dashboard(color=False).render()
+        assert "waiting for a second scrape" in frame
+
+
+class TestRunTop:
+    def test_bounded_iterations_with_injected_fetch(self):
+        frames = iter([
+            (_families(requests=5), {"status": "ready"}),
+            (_families(requests=9), {"status": "ready"}),
+        ])
+        out = io.StringIO()
+        code = run_top(
+            "http://example", interval=0.0, iterations=2,
+            stream=out, fetch=lambda: next(frames), color=False,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert text.count("repro top") == 2
+        assert "health: ready" in text
+
+    def test_fetch_error_exits_nonzero(self):
+        def fetch():
+            raise RuntimeError("server has observability disabled")
+
+        out = io.StringIO()
+        code = run_top(
+            "http://example", iterations=1, stream=out, fetch=fetch,
+            color=False,
+        )
+        assert code == 1
+        assert "observability disabled" in out.getvalue()
+
+    def test_keyboard_interrupt_is_clean_exit(self):
+        def fetch():
+            raise KeyboardInterrupt
+
+        code = run_top(
+            "http://example", iterations=5, stream=io.StringIO(),
+            fetch=fetch, color=False,
+        )
+        assert code == 0

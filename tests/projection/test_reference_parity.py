@@ -234,9 +234,21 @@ class TestFastICAParity:
             # legitimately swap which of the two optima wins, so the
             # "dominant direction" is not well defined for this input.
             return
-        # Run B must recover run A's dominant direction (up to sign).
+        # Run B must recover run A's dominant direction (up to sign)
+        # — or land on a *different* optimum of equal contrast. Even a
+        # clearly dominant top score does not make the optimum unique:
+        # hypothesis found a (246, 4) input whose landscape holds two
+        # ~40-degrees-apart optima scoring within 0.6% of each other,
+        # where the permutation legitimately steers the iteration to
+        # the other one. The contrast *value* is permutation-equivariant
+        # even where the argmax is not, so that is what a divergent
+        # direction must justify itself against.
         cosines = np.abs(b.components @ a.components[top])
-        assert cosines.max() > 0.999
+        if cosines.max() <= 0.999:
+            scores_b = np.atleast_1d(ica_scores(data[perm], b.components))
+            assert np.max(np.abs(scores_b)) == pytest.approx(
+                ranked[0], rel=0.05, abs=0.005
+            )
 
 
 @st.composite

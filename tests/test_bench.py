@@ -14,6 +14,8 @@ from repro.core.equivalence import build_equivalence_classes
 _TINY = {"structural": 3, "d": 4, "n": 64, "sweeps": 2, "repeats": 1}
 _TINY_PROJECTION = {"n": 48, "d": 3, "restarts": 2, "iterations": 4,
                     "scatter_classes": 6, "repeats": 1}
+_TINY_OBS = {"structural": 3, "d": 4, "n": 64, "sweeps": 2, "solves": 1,
+             "repeats": 1, "merge_shards": 2, "history_samples": 3}
 
 
 @pytest.fixture
@@ -22,6 +24,7 @@ def tiny_sizes(monkeypatch):
     monkeypatch.setitem(
         bench.PROJECTION_SIZES, "quick", dict(_TINY_PROJECTION)
     )
+    monkeypatch.setitem(bench.OBS_SIZES, "quick", dict(_TINY_OBS))
 
 
 class TestWorkload:
@@ -68,6 +71,53 @@ class TestSuite:
         assert path.name == "BENCH_projection.json"
         saved = json.loads(path.read_text())
         assert saved["workload"]["restarts"] == _TINY_PROJECTION["restarts"]
+
+    def test_obs_payload_shape_and_artifact(self, tiny_sizes, tmp_path):
+        payload = bench.run_obs_suite(quick=True, seed=0)
+        assert payload["suite"] == "obs"
+        assert payload["mode"] == "quick"
+        timings = payload["timings"]
+        for key in (
+            "solve_unprofiled_s", "solve_profiled_s",
+            "profiler_overhead_ratio", "history_sample_s",
+            "snapshot_merge_s",
+        ):
+            assert key in timings
+        assert timings["profiler_overhead_ratio"] > 0
+        profiling = payload["profiling"]
+        assert profiling["bound"] == bench.PROFILER_OVERHEAD_BOUND
+        assert profiling["hz"] == pytest.approx(100.0)
+        assert isinstance(profiling["within_bound"], bool)
+        # ratio is rounded to 4dp in the section, 6dp in timings
+        assert profiling["ratio"] == pytest.approx(
+            timings["profiler_overhead_ratio"], abs=5e-5
+        )
+        path = bench.write_payload(payload, tmp_path)
+        assert path.name == "BENCH_obs.json"
+        saved = json.loads(path.read_text())
+        assert saved["workload"]["merge_shards"] == _TINY_OBS["merge_shards"]
+        # the overhead number is recorded in the artifact (acceptance)
+        assert "profiling" in saved
+
+    def test_obs_profiling_section_rendered(self, tiny_sizes):
+        payload = bench.run_obs_suite(quick=True, seed=0)
+        text = bench.format_payload(payload)
+        assert "profiling:" in text
+        assert "ratio" in text
+
+    def test_obs_ratio_gated_by_baselines(self, tiny_sizes, tmp_path):
+        payload = bench.run_obs_suite(quick=True, seed=0)
+        gate = tmp_path / "gate.json"
+        gate.write_text(json.dumps({
+            "tolerance": 2.0,
+            "obs": {"quick": {"profiler_overhead_ratio": 0.55}},
+        }))
+        # force a breach: a ratio above baseline x tolerance must fail
+        payload["timings"]["profiler_overhead_ratio"] = 1.2
+        failures = bench.check_baselines(payload, gate)
+        assert failures and "profiler_overhead_ratio" in failures[0]
+        payload["timings"]["profiler_overhead_ratio"] = 1.05
+        assert bench.check_baselines(payload, gate) == []
 
     def test_check_baselines_passes_and_fails(self, tiny_sizes, tmp_path):
         payload = bench.run_core_solver_suite(quick=True, seed=0)
@@ -150,7 +200,7 @@ class TestSuite:
                 / "baselines.json"
             ).read_text()
         )
-        for suite in ("core_solver", "projection"):
+        for suite in ("core_solver", "projection", "store", "obs"):
             assert suite in committed, f"baselines.json lost its {suite} section"
             for mode in ("quick", "full"):
                 assert committed[suite][mode], (suite, mode)
@@ -167,8 +217,10 @@ class TestCli:
         out = capsys.readouterr().out
         assert "suite core_solver (quick)" in out
         assert "suite projection (quick)" in out
+        assert "suite obs (quick)" in out
         assert (tmp_path / "BENCH_core_solver.json").exists()
         assert (tmp_path / "BENCH_projection.json").exists()
+        assert (tmp_path / "BENCH_obs.json").exists()
 
     def test_bench_command_single_suite(self, tiny_sizes, tmp_path, capsys):
         status = main(
