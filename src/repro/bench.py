@@ -1,7 +1,7 @@
 """`repro bench`: measured proof of the vectorized kernels.
 
-Four suites; the first two pit the batched implementations against the
-preserved pre-vectorization loops, the last two gate infrastructure
+Five suites; the first two pit the batched implementations against the
+preserved pre-vectorization loops, the rest gate infrastructure
 overhead ratios:
 
 * ``core_solver`` — OPTIM sweep, whitening, sampling, one-shot INIT,
@@ -19,6 +19,10 @@ overhead ratios:
 * ``obs`` — the observability tier: 100 Hz sampling-profiler overhead
   on the solver workload, time-series snapshot cost, and shard-snapshot
   merge throughput.  Writes ``BENCH_obs.json``.
+* ``resilience`` — overload behavior under 4x the admission limit
+  (accepted-request p99 vs the interactivity budget, shed fast path)
+  plus deadline-check and circuit-breaker hot-path overhead.  Writes
+  ``BENCH_resilience.json``.
 
 With ``--check`` the vectorized timings are compared against the
 committed ``benchmarks/baselines.json`` (suite-keyed sections) and the
@@ -754,12 +758,173 @@ def run_obs_suite(quick: bool = True, seed: int = 0) -> dict:
     }
 
 
+#: Resilience-suite workload sizes.  ``limit`` is the admission cap L;
+#: offered load is ``limit x load_factor`` concurrent workers issuing
+#: back-to-back view requests.
+RESILIENCE_SIZES = {
+    "quick": {"limit": 4, "load_factor": 4, "requests": 40, "repeats": 3,
+              "shed_calls": 500, "deadline_calls": 100_000,
+              "breaker_cycles": 50_000},
+    "full": {"limit": 4, "load_factor": 4, "requests": 120, "repeats": 3,
+             "shed_calls": 1000, "deadline_calls": 200_000,
+             "breaker_cycles": 100_000},
+}
+
+
+def run_resilience_suite(quick: bool = True, seed: int = 0) -> dict:
+    """Time the resilience tier: overload behavior and hot-path overhead.
+
+    Four measurements, written to ``BENCH_resilience.json``:
+
+    * **overload p99** — an in-process server with admission cap L under
+      ``load_factor`` x L offered load (concurrent workers, no client
+      retries); the p99 latency of *accepted* view requests divided by
+      the paper's 2 s interactivity budget is exported as
+      ``overload_accepted_p99_interactivity_ratio`` — the baselines file
+      gates that accepted requests stay interactive while the excess is
+      shed, which is the whole point of admission control;
+    * **shed fast path** — seconds to answer ``shed_calls`` dispatches
+      against a saturated admission controller (the 503 rejection path
+      must be orders cheaper than the work it refuses);
+    * **deadline overhead** — ``deadline_calls`` ambient
+      :func:`~repro.resilience.deadline.check_deadline` calls with no
+      deadline set (the per-sweep solver cost when the feature is off);
+    * **breaker cycle** — ``breaker_cycles`` closed-state
+      acquire/record_success pairs (the per-request client cost).
+    """
+    from concurrent.futures import ThreadPoolExecutor
+    from contextlib import ExitStack
+
+    from repro.datasets import three_d_clusters
+    from repro.obs.slo import INTERACTIVITY_BUDGET_SECONDS
+    from repro.resilience import AdmissionController, CircuitBreaker
+    from repro.resilience.deadline import check_deadline
+    from repro.service import ServiceAPI, start_background
+    from repro.service.client import ServiceClient, ServiceClientError
+    from repro.service.manager import SessionManager
+
+    size = RESILIENCE_SIZES["quick" if quick else "full"]
+    limit = size["limit"]
+    workers = limit * size["load_factor"]
+    bundle = three_d_clusters(seed=seed)
+    manager = SessionManager({"three-d": lambda: bundle})
+    admission = AdmissionController(max_inflight=limit)
+    api = ServiceAPI(manager, admission=admission)
+    server = start_background(api)
+    accepted: list[float] = []
+    shed = 0
+    try:
+        control = ServiceClient(server.base_url)
+        sid = control.create_session("three-d", seed=seed)
+        control.view(sid)  # warm-up: solve + cache fill off the clock
+
+        def drive(_: int) -> tuple[list[float], int]:
+            # No retries and no breaker: offered load must stay constant
+            # at 4xL, not collapse when the server starts shedding.
+            client = ServiceClient(
+                server.base_url, breaker=False, max_retries=0,
+                connect_retries=3, retry_delay=0.0,
+            )
+            latencies: list[float] = []
+            rejected = 0
+            for _ in range(size["requests"]):
+                started = time.perf_counter()
+                try:
+                    client.view(sid)
+                except ServiceClientError as exc:
+                    kind = (
+                        exc.payload.get("kind")
+                        if isinstance(exc.payload, dict) else None
+                    )
+                    if kind != "overloaded":
+                        raise
+                    rejected += 1
+                    continue
+                latencies.append(time.perf_counter() - started)
+            return latencies, rejected
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for latencies, rejected in pool.map(drive, range(workers)):
+                accepted.extend(latencies)
+                shed += rejected
+
+        # -- shed fast path: dispatch cost while saturated ---------------
+        with ExitStack() as stack:
+            for _ in range(limit):
+                stack.enter_context(admission.admit())
+
+            def shed_dispatches() -> None:
+                for _ in range(size["shed_calls"]):
+                    api.dispatch("GET", "/v1/datasets")
+
+            shed_fast_path_s = _best_of(size["repeats"], shed_dispatches)
+    finally:
+        server.stop()
+
+    if not accepted:
+        raise RuntimeError(
+            "overload run accepted zero requests; admission cap "
+            f"{limit} shed all {shed} attempts"
+        )
+    accepted_p99_s = float(np.percentile(accepted, 99))
+    ratio = accepted_p99_s / INTERACTIVITY_BUDGET_SECONDS
+
+    def deadline_checks() -> None:
+        for _ in range(size["deadline_calls"]):
+            check_deadline()
+
+    breaker = CircuitBreaker("bench")
+
+    def breaker_cycle() -> None:
+        for _ in range(size["breaker_cycles"]):
+            breaker.acquire()
+            breaker.record_success()
+
+    timings = {
+        "overload_accepted_p99_interactivity_ratio": ratio,
+        "shed_fast_path_s": shed_fast_path_s,
+        "deadline_check_overhead_s": _best_of(
+            size["repeats"], deadline_checks
+        ),
+        "breaker_cycle_s": _best_of(size["repeats"], breaker_cycle),
+    }
+    timings = {k: round(v, 6) for k, v in timings.items()}
+    offered = workers * size["requests"]
+    return {
+        "suite": "resilience",
+        "mode": "quick" if quick else "full",
+        "workload": {
+            "max_inflight": limit,
+            "load_factor": size["load_factor"],
+            "workers": workers,
+            "requests_per_worker": size["requests"],
+            "shed_calls": size["shed_calls"],
+            "deadline_calls": size["deadline_calls"],
+            "breaker_cycles": size["breaker_cycles"],
+            "repeats": size["repeats"],
+            "seed": seed,
+        },
+        "timings": timings,
+        "overload": {
+            "offered": offered,
+            "accepted": len(accepted),
+            "shed": shed,
+            "shed_rate": round(shed / offered, 4) if offered else 0.0,
+            "accepted_p99_ms": round(accepted_p99_s * 1e3, 3),
+            "interactivity_budget_s": INTERACTIVITY_BUDGET_SECONDS,
+            "within_budget": accepted_p99_s <= INTERACTIVITY_BUDGET_SECONDS,
+            "admission": admission.stats(),
+        },
+    }
+
+
 #: Suite name -> runner; ``repro bench`` executes these in order.
 SUITES = {
     "core_solver": run_core_solver_suite,
     "projection": run_projection_suite,
     "store": run_store_suite,
     "obs": run_obs_suite,
+    "resilience": run_resilience_suite,
 }
 
 

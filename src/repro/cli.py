@@ -236,6 +236,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --obs: scrape /v1/metrics this often during the run "
         "and record the series in the report (0 disables; default 0.5)",
     )
+    loadgen.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="send X-Repro-Deadline-Ms on every request; shed and "
+        "deadline-exceeded responses land in the report's resilience "
+        "counters",
+    )
+    loadgen.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="client-side fault injection, e.g. "
+        "'client.request:error:p=0.05' (grammar: point:kind[:k=v...]); "
+        "exercises retries and the circuit breaker",
+    )
+    loadgen.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="seed for --chaos fault draws (reproducible fault trains)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -249,7 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="all",
-        choices=("all", "core_solver", "projection", "store", "obs"),
+        choices=("all", "core_solver", "projection", "store", "obs",
+                 "resilience"),
         help="which kernel suite to run (default: all)",
     )
     bench.add_argument(
@@ -378,6 +402,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=100.0,
         metavar="HZ",
         help="profiler sampling rate (default: 100)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline applied when the client sends no "
+        "X-Repro-Deadline-Ms header; expired requests answer 503 "
+        "deadline_exceeded (default: none)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission-control concurrency limit; excess requests are "
+        "shed with 503 overloaded + Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--drain-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="graceful-drain budget on SIGTERM or POST /v1/admin/drain: "
+        "how long to wait for in-flight requests before checkpointing "
+        "and exiting (default: 10)",
     )
 
     store_cmd = sub.add_parser(
@@ -731,6 +781,9 @@ def cmd_loadgen(
     obs_enabled: bool = False,
     obs_log: str | None = None,
     scrape_interval: float = 0.5,
+    deadline_ms: float | None = None,
+    chaos_spec: str | None = None,
+    chaos_seed: int | None = None,
 ) -> int:
     """Policy-driven concurrent workload against a (possibly temp) server."""
     from repro.explore import (
@@ -775,12 +828,17 @@ def cmd_loadgen(
             seed=seed,
             obs=obs_enabled,
             scrape_interval=scrape_interval,
+            deadline_ms=deadline_ms,
+            chaos=chaos_spec,
+            chaos_seed=chaos_seed,
         )
         print(
             f"loadgen: {config.sessions} session(s) x {config.rounds} "
             f"round(s), {config.resolved_workers()} worker(s), "
             f"policies {list(config.policies)}"
         )
+        if chaos_spec:
+            print(f"chaos: {chaos_spec}")
         report = run_loadgen(config)
     finally:
         if server is not None:
@@ -855,7 +913,20 @@ def cmd_serve(
     view_p99_budget: float | None = None,
     profile: bool = False,
     profile_hz: float = 100.0,
+    default_deadline_ms: float | None = None,
+    max_inflight: int | None = None,
+    drain_budget: float | None = None,
 ) -> int:
+    import os
+    import signal
+    import threading
+
+    from repro.resilience import (
+        AdmissionController,
+        run_drain,
+    )
+    from repro.resilience import chaos as chaos_module
+    from repro.resilience.drain import DEFAULT_DRAIN_BUDGET
     from repro.service import (
         ReproServer,
         ServiceAPI,
@@ -864,6 +935,9 @@ def cmd_serve(
         serve,
     )
     from repro.service.store import StoreError
+
+    if drain_budget is None:
+        drain_budget = DEFAULT_DRAIN_BUDGET
 
     if store_url is not None and store_dir is not None:
         print("--store and --store-dir are mutually exclusive", file=sys.stderr)
@@ -903,6 +977,7 @@ def cmd_serve(
         from repro import obs as obs_module
 
         obs_module.start_profiler(interval=1.0 / profile_hz)
+    chaos_registry = chaos_module.configure_from_env(os.environ)
     manager = SessionManager(
         DATASETS,
         store=store,
@@ -910,7 +985,15 @@ def cmd_serve(
         max_sessions=max_sessions,
         ttl_seconds=ttl,
     )
-    server = ReproServer(ServiceAPI(manager), host=host, port=port, quiet=False)
+    api = ServiceAPI(
+        manager,
+        admission=AdmissionController(max_inflight=max_inflight),
+        default_deadline_ms=default_deadline_ms,
+        drain_budget=drain_budget,
+    )
+    server = ReproServer(api, host=host, port=port, quiet=False)
+    # POST /v1/admin/drain stops the serve loop once the drain finishes.
+    api.shutdown_hook = server.shutdown
     actual_port = server.server_address[1]
     print(f"repro service on http://{host}:{actual_port}")
     print("routes: /v1/... (unversioned paths kept as legacy aliases)")
@@ -930,12 +1013,56 @@ def cmd_serve(
             f"profiler: sampling at {profile_hz:g} Hz, collapsed stacks "
             "at /v1/profile"
         )
+    if max_inflight is not None or default_deadline_ms is not None:
+        print(
+            "resilience: "
+            f"max-inflight={max_inflight if max_inflight else 'unbounded'}, "
+            f"default-deadline-ms={default_deadline_ms or 'none'}, "
+            f"drain-budget={drain_budget:g}s"
+        )
+    if chaos_registry is not None:
+        print(
+            "CHAOS INJECTION ACTIVE (REPRO_CHAOS): "
+            + "; ".join(str(f.to_dict()) for f in chaos_registry.faults)
+        )
 
     def checkpoint_on_shutdown() -> None:
         if manager.store is not None:
             print(f"checkpointed {manager.checkpoint_all()} session(s)")
 
-    serve(server, on_shutdown=checkpoint_on_shutdown)
+    def drain_in_background() -> None:
+        report = run_drain(
+            api.admission,
+            manager,
+            budget_seconds=drain_budget,
+            shutdown=server.shutdown,
+        )
+        print(
+            f"drained: {report['checkpointed']} session(s) checkpointed, "
+            f"{report['abandoned_inflight']} request(s) abandoned, "
+            f"{report['elapsed_seconds']:.2f}s elapsed"
+        )
+
+    def handle_sigterm(signum, frame) -> None:
+        # Graceful drain: stop admitting, let in-flight requests finish
+        # inside the budget, checkpoint, then stop the serve loop.  Runs
+        # on its own thread — server.shutdown() would deadlock if called
+        # from a signal handler interrupting serve_forever's poll loop.
+        print(f"SIGTERM: draining (budget {drain_budget:g}s) ...")
+        threading.Thread(
+            target=drain_in_background, name="repro-sigterm-drain",
+            daemon=True,
+        ).start()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, handle_sigterm)
+    except ValueError:
+        previous = None  # not the main thread (embedded use); no handler
+    try:
+        serve(server, on_shutdown=checkpoint_on_shutdown)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
     return 0
 
 
@@ -1287,6 +1414,9 @@ def main(argv: list[str] | None = None) -> int:
             args.obs,
             args.obs_log,
             args.scrape_interval,
+            args.deadline_ms,
+            args.chaos,
+            args.chaos_seed,
         )
     if args.command == "bench":
         return cmd_bench(
@@ -1316,6 +1446,9 @@ def main(argv: list[str] | None = None) -> int:
             args.view_p99_budget,
             args.profile,
             args.profile_hz,
+            args.default_deadline_ms,
+            args.max_inflight,
+            args.drain_budget,
         )
     if args.command == "store":
         return cmd_store(

@@ -22,6 +22,7 @@ from repro.core.equivalence import EquivalenceClasses, build_equivalence_classes
 from repro.core.parameters import ClassParameters
 from repro.core.updates import linear_step, quadratic_step
 from repro.errors import ConvergenceError, DataShapeError
+from repro.resilience.deadline import check_deadline
 
 
 @dataclass(frozen=True)
@@ -195,6 +196,11 @@ def solve_maxent(
 
     with perf.timer("solver_optim"):
         while sweeps < options.max_sweeps:
+            # Ambient per-request deadline (repro.resilience): a solve
+            # running under an expired budget aborts between sweeps
+            # instead of burning a worker thread; one thread-local read
+            # when no deadline is set.
+            check_deadline()
             sweeps += 1
             max_change = 0.0
             prev_means = params.mean.copy()

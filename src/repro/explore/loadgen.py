@@ -32,7 +32,14 @@ import numpy as np
 from repro.explore.engine import RemoteDriver, run_exploration
 from repro.explore.policies import make_policy
 from repro.obs import bucket_bounds, histogram_quantile
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosError, parse_chaos
 from repro.service.client import ServiceClient, ServiceClientError
+
+#: Client counters summed across workers into ``totals["resilience"]``.
+_CLIENT_COUNTERS = (
+    "retries", "shed", "breaker_open", "deadline_exceeded", "dedup"
+)
 
 #: Percentiles reported per route.
 _PERCENTILES = (50, 95, 99)
@@ -121,9 +128,18 @@ class InstrumentedClient(ServiceClient):
         route = route_template(method, self.prefix, path)
         start = time.perf_counter()
         try:
+            # Client-side chaos point: `--chaos "client.request:error:p=..."`
+            # injects ambiguous transport failures *before* the wire, so the
+            # retry/breaker machinery is exercised without a faulty server.
+            chaos.hit("client.request")
             payload = super()._request_once(
                 method, path, body, decode_json=decode_json
             )
+        except ChaosError as exc:
+            self.recorder.record(route, time.perf_counter() - start, ok=False)
+            raise ServiceClientError(
+                0, {"error": f"injected fault: {exc}"}
+            ) from exc
         except ServiceClientError:
             self.recorder.record(route, time.perf_counter() - start, ok=False)
             raise
@@ -167,6 +183,18 @@ class LoadGenConfig:
         *during* the run and record the series into the report (so
         throughput-over-time and warmup effects are visible, not just
         end-of-run aggregates).  ``0`` disables the mid-run sampler.
+    deadline_ms:
+        Per-request deadline each worker sends as ``X-Repro-Deadline-Ms``
+        (``None`` sends none); deadline-shed requests land in the
+        report's resilience counters.
+    chaos:
+        Client-side fault spec (:func:`repro.resilience.chaos.parse_chaos`
+        grammar) installed for the duration of the run; the meaningful
+        point is ``client.request`` (latency / error before each
+        attempt).  Exercises the retry and breaker paths without needing
+        a misbehaving server.
+    chaos_seed:
+        Seed of the chaos registry's RNG, for reproducible fault trains.
     """
 
     url: str
@@ -181,6 +209,9 @@ class LoadGenConfig:
     cleanup: bool = True
     obs: bool = False
     scrape_interval: float = 0.5
+    deadline_ms: float | None = None
+    chaos: str | None = None
+    chaos_seed: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -196,6 +227,9 @@ class LoadGenConfig:
             "cleanup": self.cleanup,
             "obs": self.obs,
             "scrape_interval": self.scrape_interval,
+            "deadline_ms": self.deadline_ms,
+            "chaos": self.chaos,
+            "chaos_seed": self.chaos_seed,
         }
 
     def resolved_workers(self) -> int:
@@ -375,7 +409,9 @@ def _run_one_session(
     policy_name = config.policies[index % len(config.policies)]
     seed = config.seed + index
     client = InstrumentedClient(
-        config.url, recorder, timeout=config.timeout
+        config.url, recorder,
+        timeout=config.timeout,
+        deadline_ms=config.deadline_ms,
     )
     outcome = {
         "index": index,
@@ -410,6 +446,8 @@ def _run_one_session(
         # reported as a failed session, not abort the whole run (and lose
         # every other worker's measurements).
         outcome["error"] = f"{type(exc).__name__}: {exc}"
+    outcome["client"] = dict(client.counters)
+    outcome["last_attempts"] = client.last_attempts
     return outcome
 
 
@@ -437,16 +475,24 @@ def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
     if config.obs and config.scrape_interval > 0:
         sampler = _MetricsSampler(control, config.scrape_interval)
         sampler.start()
-    started = time.perf_counter()
-    with ThreadPoolExecutor(
-        max_workers=config.resolved_workers(), thread_name_prefix="loadgen"
-    ) as pool:
-        outcomes = list(
-            pool.map(
-                lambda i: _run_one_session(i, config, datasets, recorder),
-                range(config.sessions),
-            )
+    if config.chaos:
+        chaos.configure_chaos(
+            parse_chaos(config.chaos), seed=config.chaos_seed
         )
+    started = time.perf_counter()
+    try:
+        with ThreadPoolExecutor(
+            max_workers=config.resolved_workers(), thread_name_prefix="loadgen"
+        ) as pool:
+            outcomes = list(
+                pool.map(
+                    lambda i: _run_one_session(i, config, datasets, recorder),
+                    range(config.sessions),
+                )
+            )
+    finally:
+        if config.chaos:
+            chaos.disable_chaos()
     wall = time.perf_counter() - started
     series = sampler.finish() if sampler is not None else None
 
@@ -464,6 +510,10 @@ def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
             "samples": series,
             "timeline": _series_timeline(series),
         }
+    resilience = {
+        key: sum(o.get("client", {}).get(key, 0) for o in outcomes)
+        for key in _CLIENT_COUNTERS
+    }
     return LoadGenReport(
         config=config.to_dict(),
         routes=routes,
@@ -476,6 +526,7 @@ def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
             "sessions_failed": sum(
                 1 for o in outcomes if o["error"] is not None
             ),
+            "resilience": resilience,
         },
         cache=cache,
         server=server_stats,
@@ -508,6 +559,16 @@ def format_report(report: LoadGenReport) -> str:
         f"{totals['sessions_ok']} session(s) ok, "
         f"{totals['sessions_failed']} failed"
     )
+    resilience = totals.get("resilience") or {}
+    if any(resilience.values()):
+        lines.append(
+            "resilience: "
+            f"{resilience.get('retries', 0)} retried, "
+            f"{resilience.get('shed', 0)} shed, "
+            f"{resilience.get('breaker_open', 0)} breaker-open, "
+            f"{resilience.get('deadline_exceeded', 0)} deadline-exceeded, "
+            f"{resilience.get('dedup', 0)} deduplicated"
+        )
     if report.cache:
         lines.append(
             f"solve cache: hit rate {report.cache.get('hit_rate', 0.0):.2%} "

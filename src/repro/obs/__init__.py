@@ -65,9 +65,11 @@ __all__ = [
     "cache_lookup",
     "compaction",
     "configure",
+    "deadline_exceeded",
     "default_slos",
     "disable",
     "feedback_batch",
+    "feedback_deduplicated",
     "histogram_quantile",
     "is_enabled",
     "new_trace_id",
@@ -76,6 +78,7 @@ __all__ = [
     "read_events",
     "recovery",
     "route_template",
+    "shed",
     "solve_completed",
     "start_profiler",
     "stop_profiler",
@@ -197,6 +200,21 @@ class Observability:
         self._recovered_batches = m.counter(
             "repro_store_recovered_batches_total",
             "Feedback batches replayed from the log during recovery.",
+        ).default()
+        self._shed = m.counter(
+            "repro_shed_total",
+            "Requests shed by admission control, by reason "
+            "(overloaded / draining).",
+            labelnames=("reason",),
+        )
+        self._deadline_exceeded = m.counter(
+            "repro_deadline_exceeded_total",
+            "Requests aborted because their deadline budget expired.",
+        ).default()
+        self._feedback_dedup = m.counter(
+            "repro_feedback_deduplicated_total",
+            "Feedback batches answered from the idempotency dedup map "
+            "instead of re-applied.",
         ).default()
         self._sessions_gauge = m.gauge(
             "repro_sessions_in_memory",
@@ -361,6 +379,15 @@ class Observability:
         self._compactions.inc()
         self._compacted_records.inc(pruned_records)
 
+    def record_shed(self, reason: str) -> None:
+        self._shed.labels(reason=reason).inc()
+
+    def record_deadline_exceeded(self) -> None:
+        self._deadline_exceeded.inc()
+
+    def record_feedback_deduplicated(self) -> None:
+        self._feedback_dedup.inc()
+
     def record_recovery(self, batches: int, warnings: int = 0) -> None:
         self._recoveries.inc()
         self._recovered_batches.inc(batches)
@@ -504,6 +531,29 @@ def recovery(batches: int, warnings: int = 0) -> None:
     state = _active
     if state is not None:
         state.record_recovery(batches, warnings)
+
+
+def shed(reason: str) -> None:
+    """Called when admission control refuses a request (``overloaded``
+    / ``draining``)."""
+    state = _active
+    if state is not None:
+        state.record_shed(reason)
+
+
+def deadline_exceeded() -> None:
+    """Called when a request is aborted by its deadline budget."""
+    state = _active
+    if state is not None:
+        state.record_deadline_exceeded()
+
+
+def feedback_deduplicated() -> None:
+    """Called when an idempotency key answers a feedback batch from the
+    dedup map instead of re-applying it."""
+    state = _active
+    if state is not None:
+        state.record_feedback_deduplicated()
 
 
 def request_envelope(method: str, path: str, trace_id: str | None = None):

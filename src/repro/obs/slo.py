@@ -207,6 +207,7 @@ def default_slos(
     view_p99_budget: float = INTERACTIVITY_BUDGET_SECONDS,
     error_rate_ceiling: float = 0.01,
     cache_hit_floor: float = 0.10,
+    shed_rate_ceiling: float = 0.25,
 ) -> tuple[SLO, ...]:
     """The stock objectives the service evaluates when obs v2 is on."""
     return (
@@ -242,6 +243,21 @@ def default_slos(
             where={"result": "hit"},
             denominator_where={"result": "*"},
             threshold=cache_hit_floor,
+            min_count=5,
+        ),
+        SLO(
+            name="shed-rate",
+            description=(
+                "requests shed by admission control per request; "
+                "shedding is the designed response to overload, but a "
+                "sustained high rate means the deployment is undersized"
+            ),
+            kind="ratio_ceiling",
+            family="repro_shed_total",
+            where={"reason": "*"},
+            denominator_family="repro_requests_total",
+            denominator_where={},
+            threshold=shed_rate_ceiling,
             min_count=5,
         ),
     )

@@ -1,0 +1,183 @@
+"""Admission control: bounded in-flight work, shed the excess fast.
+
+A ``ThreadingHTTPServer`` accepts every connection, so without a bound
+an overloaded server queues requests behind the GIL and *every* client
+sees multi-second latency — the failure mode the paper's interactivity
+budget cannot tolerate.  The controller keeps a simple in-flight
+counter: session work past the bound is refused immediately with
+:class:`OverloadedError` (``503 overloaded`` + ``Retry-After``), so the
+requests that *are* admitted keep their latency while the shed ones
+retry against a recovering server instead of piling onto a drowning
+one.
+
+The same counter powers graceful drain: :meth:`begin_drain` flips the
+controller into a mode where new session work is refused with
+:class:`DrainingError` while the already-admitted requests finish, and
+:meth:`wait_idle` blocks (bounded) until the in-flight count reaches
+zero — at which point every session can be checkpointed and the process
+can exit.
+
+Health/metrics/admin routes are *exempt*: they are answered even while
+shedding or draining (an overloaded server must still be observable),
+which callers express per-request via ``admit(exempt=True)``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ReproError
+
+__all__ = ["AdmissionController", "DrainingError", "OverloadedError"]
+
+#: Default ``Retry-After`` hint (seconds) attached to shed responses.
+DEFAULT_RETRY_AFTER = 1.0
+
+
+class OverloadedError(ReproError):
+    """In-flight work is at the admission bound; the request was shed."""
+
+    def __init__(self, inflight: int, limit: int, retry_after: float) -> None:
+        self.inflight = int(inflight)
+        self.limit = int(limit)
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"server overloaded: {inflight} requests in flight "
+            f"(limit {limit}); retry after {retry_after:g}s"
+        )
+
+
+class DrainingError(ReproError):
+    """The server is draining and no longer accepts session work."""
+
+    def __init__(self, retry_after: float) -> None:
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"server is draining; retry another replica "
+            f"after {retry_after:g}s"
+        )
+
+
+class AdmissionController:
+    """Counts in-flight requests; sheds past a bound; coordinates drain.
+
+    Parameters
+    ----------
+    max_inflight:
+        Bound on concurrently admitted (non-exempt) requests; ``None``
+        disables shedding but the counter still tracks in-flight work so
+        drain can wait for it.
+    retry_after:
+        The ``Retry-After`` hint (seconds) shed responses carry.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int | None = None,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        if max_inflight is not None and max_inflight <= 0:
+            raise ValueError(
+                f"max_inflight must be positive or None, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._draining = False
+        self._shed_overload = 0
+        self._shed_draining = 0
+        self._admitted = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def admit(self, exempt: bool = False) -> Iterator[None]:
+        """Admit one request for the duration of the block, or shed it.
+
+        Exempt requests (health, metrics, admin) are always admitted and
+        are not counted against the bound — they must keep answering
+        precisely when the server is overloaded or draining.
+        """
+        if exempt:
+            yield
+            return
+        with self._lock:
+            if self._draining:
+                self._shed_draining += 1
+                raise DrainingError(self.retry_after)
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self._shed_overload += 1
+                raise OverloadedError(
+                    self._inflight, self.max_inflight, self.retry_after
+                )
+            self._inflight += 1
+            self._admitted += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> bool:
+        """Stop admitting session work; returns False if already draining."""
+        with self._lock:
+            if self._draining:
+                return False
+            self._draining = True
+            return True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def wait_idle(self, budget_seconds: float) -> bool:
+        """Block until in-flight work reaches zero, or the budget runs out.
+
+        Returns True when idle was reached inside the budget.
+        """
+        deadline = time.monotonic() + max(float(budget_seconds), 0.0)
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> dict:
+        """Counters for ``GET /v1/stats`` and the loadgen report."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "admitted": self._admitted,
+                "shed_overload": self._shed_overload,
+                "shed_draining": self._shed_draining,
+                "draining": self._draining,
+            }

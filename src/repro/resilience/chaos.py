@@ -1,0 +1,291 @@
+"""Fault injection: named chaos points threaded through the service.
+
+The resilience claims in this package are only worth anything if they
+are exercised against real failure, so the service carries a handful of
+named **fault points** — places where a test or a chaos run can inject
+trouble:
+
+=============================== =======================================
+point                           where it sits
+=============================== =======================================
+``api.dispatch``                before request routing in ServiceAPI
+``manager.feedback.post_commit`` after the WAL commit of a feedback
+                                batch, before the response is built —
+                                the exactly-once window
+``store.append``                before a WAL/SQLite feedback append
+``server.respond``              before the HTTP response bytes are
+                                written (supports torn responses)
+=============================== =======================================
+
+Each point can carry faults of four kinds:
+
+* ``latency`` — sleep ``ms`` milliseconds (queueing, GC pauses);
+* ``error`` — raise :class:`ChaosError` (maps to ``500``);
+* ``kill`` — ``os._exit(137)``, a worker dying mid-request exactly as
+  ``kill -9`` would, with no cleanup and no response;
+* ``torn`` — only meaningful at ``server.respond``: the handler writes
+  a prefix of the response body and closes the socket, the classic
+  half-written answer a client must treat as ambiguous.
+
+Faults are described by a compact spec string (``REPRO_CHAOS`` env var
+or ``--chaos`` flags)::
+
+    point:kind[:key=value]*[,point:kind...]
+
+    api.dispatch:latency:ms=50:p=0.3     30% of requests +50 ms
+    api.dispatch:error:p=0.05            5% injected 500s
+    manager.feedback.post_commit:kill:after=3:times=1
+                                         die on the 4th commit, once
+    server.respond:torn:p=0.02           2% torn responses
+
+``p`` is an independent firing probability (default 1), ``after`` skips
+the first N eligible hits, ``times`` caps total firings.  Draws come
+from a seeded :class:`random.Random` so chaos runs are reproducible.
+
+The discipline is the same as :mod:`repro.perf`: one module-global
+``_active``; :func:`hit` reads it once and returns immediately when
+chaos is off, so instrumented production paths pay a single global read.
+Fired faults are appended to a JSONL event log (``REPRO_CHAOS_LOG``)
+that the CI chaos-smoke job uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ChaosError",
+    "ChaosRegistry",
+    "FaultSpec",
+    "active_chaos",
+    "configure_chaos",
+    "disable_chaos",
+    "hit",
+    "parse_chaos",
+]
+
+FAULT_KINDS = ("latency", "error", "torn", "kill")
+
+#: Exit code of an injected worker kill — the conventional SIGKILL code.
+KILL_EXIT_CODE = 137
+
+
+class ChaosError(ReproError):
+    """An injected failure (maps to ``500 chaos_injected`` at the API)."""
+
+    def __init__(self, point: str) -> None:
+        self.point = point
+        super().__init__(f"chaos: injected error at {point}")
+
+
+@dataclass
+class FaultSpec:
+    """One fault attached to one point (parsed from the spec grammar)."""
+
+    point: str
+    kind: str
+    ms: float = 0.0
+    p: float = 1.0
+    after: int = 0
+    times: int | None = None
+    hits: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {', '.join(FAULT_KINDS)})"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
+        if self.ms < 0:
+            raise ValueError(f"fault latency must be >= 0, got {self.ms}")
+
+    def to_dict(self) -> dict:
+        payload = {"point": self.point, "kind": self.kind}
+        if self.kind == "latency":
+            payload["ms"] = self.ms
+        if self.p < 1.0:
+            payload["p"] = self.p
+        if self.after:
+            payload["after"] = self.after
+        if self.times is not None:
+            payload["times"] = self.times
+        return payload
+
+
+def _parse_one(token: str) -> FaultSpec:
+    parts = token.strip().split(":")
+    if len(parts) < 2:
+        raise ValueError(
+            f"bad chaos spec {token!r}: expected point:kind[:key=value...]"
+        )
+    point, kind = parts[0], parts[1]
+    kwargs: dict = {}
+    for option in parts[2:]:
+        key, sep, value = option.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad chaos option {option!r} in {token!r}: expected key=value"
+            )
+        if key in ("ms", "p"):
+            kwargs[key] = float(value)
+        elif key in ("after", "times"):
+            kwargs[key] = int(value)
+        else:
+            raise ValueError(
+                f"unknown chaos option {key!r} in {token!r} "
+                f"(expected ms, p, after, or times)"
+            )
+    return FaultSpec(point=point, kind=kind, **kwargs)
+
+
+def parse_chaos(spec: str) -> list[FaultSpec]:
+    """Parse a comma-separated chaos spec string into fault specs."""
+    return [_parse_one(token) for token in spec.split(",") if token.strip()]
+
+
+class ChaosRegistry:
+    """Holds the active faults and evaluates them at each point."""
+
+    def __init__(
+        self,
+        faults,
+        seed: int | None = None,
+        log_path: str | None = None,
+    ) -> None:
+        import random
+
+        if isinstance(faults, str):
+            faults = parse_chaos(faults)
+        self.faults: list[FaultSpec] = list(faults)
+        self.log_path = log_path
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._by_point: dict[str, list[FaultSpec]] = {}
+        for fault in self.faults:
+            self._by_point.setdefault(fault.point, []).append(fault)
+
+    def hit(self, point: str) -> FaultSpec | None:
+        """Evaluate the faults at ``point``; act on one if it fires.
+
+        ``latency`` sleeps here, ``error`` raises :class:`ChaosError`,
+        ``kill`` exits the process; ``torn`` is returned to the caller
+        (only the response writer knows how to tear its own output).
+        At most one fault fires per hit, in spec order.
+        """
+        faults = self._by_point.get(point)
+        if not faults:
+            return None
+        fired: FaultSpec | None = None
+        with self._lock:
+            for fault in faults:
+                fault.hits += 1
+                if fault.hits <= fault.after:
+                    continue
+                if fault.times is not None and fault.fired >= fault.times:
+                    continue
+                if fault.p < 1.0 and self._rng.random() >= fault.p:
+                    continue
+                fault.fired += 1
+                fired = fault
+                break
+        if fired is None:
+            return None
+        self._log_event(fired)
+        if fired.kind == "latency":
+            time.sleep(fired.ms / 1e3)
+            return None
+        if fired.kind == "error":
+            raise ChaosError(point)
+        if fired.kind == "kill":
+            # A worker dying mid-request: no cleanup, no response, no
+            # atexit — exactly what the recovery path must survive.
+            os._exit(KILL_EXIT_CODE)
+        return fired  # torn: the caller tears its own response
+
+    def _log_event(self, fault: FaultSpec) -> None:
+        if self.log_path is None:
+            return
+        event = dict(fault.to_dict())
+        event.update(
+            ts=time.time(), pid=os.getpid(), fired=fault.fired, hits=fault.hits
+        )
+        try:
+            with self._lock:
+                with open(self.log_path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(event, sort_keys=True) + "\n")
+                    handle.flush()
+                    if fault.kind == "kill":
+                        # The exit below skips every buffer flush; make
+                        # sure the log survives the injected death.
+                        os.fsync(handle.fileno())
+        except OSError:
+            pass
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "faults": [
+                    dict(fault.to_dict(), hits=fault.hits, fired=fault.fired)
+                    for fault in self.faults
+                ]
+            }
+
+
+# ----------------------------------------------------------------------
+# Module-level switch: the zero-overhead-when-disabled discipline.
+# ----------------------------------------------------------------------
+
+_active: ChaosRegistry | None = None
+
+
+def configure_chaos(
+    faults,
+    seed: int | None = None,
+    log_path: str | None = None,
+) -> ChaosRegistry:
+    """Install a chaos registry (spec string or FaultSpec list)."""
+    global _active
+    registry = ChaosRegistry(faults, seed=seed, log_path=log_path)
+    _active = registry
+    return registry
+
+
+def disable_chaos() -> None:
+    global _active
+    _active = None
+
+
+def active_chaos() -> ChaosRegistry | None:
+    return _active
+
+
+def hit(point: str) -> FaultSpec | None:
+    """Evaluate chaos at ``point``; a no-op global read while disabled."""
+    state = _active
+    if state is None:
+        return None
+    return state.hit(point)
+
+
+def configure_from_env(environ=os.environ) -> ChaosRegistry | None:
+    """Install chaos from ``REPRO_CHAOS`` (and friends), if set.
+
+    Recognised variables: ``REPRO_CHAOS`` (spec string),
+    ``REPRO_CHAOS_SEED`` (int), ``REPRO_CHAOS_LOG`` (JSONL path).
+    """
+    spec = environ.get("REPRO_CHAOS", "").strip()
+    if not spec:
+        return None
+    seed_raw = environ.get("REPRO_CHAOS_SEED", "").strip()
+    seed = int(seed_raw) if seed_raw else None
+    log_path = environ.get("REPRO_CHAOS_LOG", "").strip() or None
+    return configure_chaos(spec, seed=seed, log_path=log_path)

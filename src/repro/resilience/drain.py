@@ -1,0 +1,83 @@
+"""Graceful drain: stop admitting, finish in-flight, checkpoint, exit.
+
+One function, :func:`run_drain`, shared by the two triggers:
+
+* the ``SIGTERM`` handler installed by ``repro serve`` (the orchestrator
+  told this worker to go away), and
+* ``POST /v1/admin/drain`` (an operator or the future shard router asked
+  it to hand its sessions off).
+
+The sequence is fixed: flip the admission controller into draining mode
+(new session work is refused with ``503 draining`` + ``Retry-After``,
+pointing clients at another replica), wait — bounded by the drain
+budget — for already-admitted requests to finish, checkpoint every live
+session through the store so a successor can resume them, then hand
+control to the caller's ``shutdown`` callback (stop the HTTP server /
+exit 0).  If in-flight work outlives the budget it is abandoned, not
+waited on forever: the report says so, and the sessions those requests
+touched are still checkpointed at whatever state their last *completed*
+batch reached — the WAL guarantees nothing half-applied is ever
+persisted.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["run_drain"]
+
+#: Default drain budget (seconds) used by serve and the admin route.
+DEFAULT_DRAIN_BUDGET = 10.0
+
+
+def run_drain(
+    admission,
+    manager,
+    budget_seconds: float = DEFAULT_DRAIN_BUDGET,
+    shutdown=None,
+) -> dict:
+    """Drain the server: refuse new work, settle, checkpoint, shut down.
+
+    Parameters
+    ----------
+    admission:
+        The server's :class:`~repro.resilience.admission.AdmissionController`.
+    manager:
+        The :class:`~repro.service.manager.SessionManager` whose sessions
+        must be checkpointed before the process goes away.
+    budget_seconds:
+        How long to wait for in-flight requests before abandoning them.
+    shutdown:
+        Optional zero-argument callable invoked last (e.g.
+        ``server.shutdown``); exceptions from it are reported, not
+        raised — drain must always reach its report.
+
+    Returns a report dict (also logged by callers): whether this call
+    initiated the drain, whether in-flight work settled inside the
+    budget, how many sessions were checkpointed, and elapsed seconds.
+    """
+    started = time.monotonic()
+    initiated = admission.begin_drain()
+    idle = admission.wait_idle(budget_seconds)
+    abandoned = admission.inflight
+    if getattr(manager, "store", None) is not None:
+        checkpointed = manager.checkpoint_all()
+    else:
+        checkpointed = 0  # ephemeral server: nothing to persist
+    shutdown_error = None
+    if shutdown is not None:
+        try:
+            shutdown()
+        except Exception as exc:  # noqa: BLE001 - reported, never raised
+            shutdown_error = f"{type(exc).__name__}: {exc}"
+    report = {
+        "initiated": initiated,
+        "idle": idle,
+        "abandoned_inflight": abandoned,
+        "checkpointed": checkpointed,
+        "budget_seconds": float(budget_seconds),
+        "elapsed_seconds": time.monotonic() - started,
+    }
+    if shutdown_error is not None:
+        report["shutdown_error"] = shutdown_error
+    return report

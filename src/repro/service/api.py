@@ -18,6 +18,7 @@ GET         /v1/stats                             manager + solve-cache statisti
 GET         /v1/metrics                           Prometheus metrics (see below)
 GET         /v1/metrics/history                   retained metrics time-series
 GET         /v1/profile                           collapsed-stack profile
+POST        /v1/admin/drain                       begin graceful drain (202)
 GET         /v1/sessions                          list sessions (live + stored)
 POST        /v1/sessions                          create a session
 GET         /v1/sessions/{id}                     session status (resumes if stored)
@@ -80,6 +81,7 @@ historical blanket behaviour — answer ``404``.
 from __future__ import annotations
 
 import re
+import threading
 
 import numpy as np
 
@@ -88,6 +90,15 @@ from repro.errors import ConstraintError, DataShapeError, ReproError
 from repro.feedback import feedback_batch_from_payload, feedback_from_dict
 from repro.projection import registry
 from repro.projection.view import Projection2D
+from repro.resilience import chaos
+from repro.resilience.admission import (
+    AdmissionController,
+    DrainingError,
+    OverloadedError,
+)
+from repro.resilience.chaos import ChaosError
+from repro.resilience.deadline import DeadlineExceededError, deadline_scope
+from repro.resilience.drain import DEFAULT_DRAIN_BUDGET, run_drain
 from repro.service.manager import (
     SessionExistsError,
     SessionManager,
@@ -102,7 +113,29 @@ from repro.service.store import (
 #: Version prefix of the canonical routes.
 API_VERSION = "v1"
 
+#: HTTP request headers the transport forwards into ``dispatch``.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+IDEMPOTENCY_HEADER = "Idempotency-Key"
+
+#: Normalized paths that bypass admission control and deadlines: an
+#: overloaded or draining server must stay observable and steerable.
+_EXEMPT_PATHS = frozenset(
+    {
+        "/health",
+        "/metrics",
+        "/metrics/history",
+        "/profile",
+        "/stats",
+        "/admin/drain",
+    }
+)
+
 _SESSION_PATH = re.compile(r"^/sessions/(?P<sid>[^/]+)(?P<rest>(?:/[^/]+)?)$")
+
+#: Per-thread request context: carries the idempotency key from
+#: ``dispatch`` down to the feedback handler without widening every
+#: handler signature.
+_request_ctx = threading.local()
 
 
 class TextResponse(str):
@@ -152,10 +185,41 @@ def view_to_dict(
 
 
 class ServiceAPI:
-    """Maps (method, path) requests onto :class:`SessionManager` calls."""
+    """Maps (method, path) requests onto :class:`SessionManager` calls.
 
-    def __init__(self, manager: SessionManager) -> None:
+    Parameters
+    ----------
+    manager:
+        The session manager every route operates on.
+    admission:
+        Admission controller bounding in-flight session work; one with
+        no bound is created when omitted (shedding off, drain still
+        works).
+    default_deadline_ms:
+        Deadline budget applied to requests that carry no
+        ``X-Repro-Deadline-Ms`` header; ``None`` means no default.
+    drain_budget:
+        Seconds the drain sequence waits for in-flight work.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        *,
+        admission: AdmissionController | None = None,
+        default_deadline_ms: float | None = None,
+        drain_budget: float = DEFAULT_DRAIN_BUDGET,
+    ) -> None:
         self.manager = manager
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.default_deadline_ms = default_deadline_ms
+        self.drain_budget = float(drain_budget)
+        # Set by the serving layer: called after a drain finishes
+        # checkpointing, to stop the HTTP server / exit the process.
+        self.shutdown_hook = None
+        self.last_drain: dict | None = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -168,6 +232,8 @@ class ServiceAPI:
         body: dict | None = None,
         query: dict | None = None,
         trace_id: str | None = None,
+        deadline_ms: float | None = None,
+        idempotency_key: str | None = None,
     ) -> tuple[int, dict]:
         """Route one request; always returns ``(status, payload)``.
 
@@ -176,22 +242,38 @@ class ServiceAPI:
         :class:`TextResponse`.  ``trace_id`` is the (already validated)
         id the transport extracted from the request headers; it seeds the
         per-request trace and is ignored while observability is off.
+        ``deadline_ms`` is the request's time budget (the
+        ``X-Repro-Deadline-Ms`` header; the configured default applies
+        when ``None``); ``idempotency_key`` is the ``Idempotency-Key``
+        header, honoured by the feedback route.
         """
         body = body if body is not None else {}
         query = query if query is not None else {}
         method = method.upper()
         perf.add("api.requests")
         if obs.active() is None:
-            status, payload, _kind = self._dispatch(method, path, body, query)
+            status, payload, _kind = self._dispatch(
+                method, path, body, query,
+                deadline_ms=deadline_ms, idempotency_key=idempotency_key,
+            )
             return status, payload
         with obs.request_envelope(method, path, trace_id) as req:
-            status, payload, kind = self._dispatch(method, path, body, query)
+            status, payload, kind = self._dispatch(
+                method, path, body, query,
+                deadline_ms=deadline_ms, idempotency_key=idempotency_key,
+            )
             error = payload.get("error") if isinstance(payload, dict) else None
             req.set_result(status, error=error, error_kind=kind)
         return status, payload
 
     def _dispatch(
-        self, method: str, path: str, body: dict, query: dict
+        self,
+        method: str,
+        path: str,
+        body: dict,
+        query: dict,
+        deadline_ms: float | None = None,
+        idempotency_key: str | None = None,
     ) -> tuple[int, dict, str | None]:
         """Inner dispatcher: ``(status, payload, error_kind)``.
 
@@ -199,10 +281,14 @@ class ServiceAPI:
         machine-readable tag otherwise; it feeds the structured ``error``
         events only — JSON error payloads keep their historical shape
         (``{"error": ...}``, plus ``"allow"`` on 405), so the /v1 error
-        contract is unchanged by observability.
+        contract is unchanged by observability.  Shed responses
+        (``overloaded`` / ``draining``) and deadline expiries answer
+        ``503``; the shed payloads carry ``retry_after`` so transports
+        can emit a ``Retry-After`` header.
         """
         try:
             normalized, versioned = self._strip_version(path.rstrip("/") or "/")
+            chaos.hit("api.dispatch")
             handlers = self._handlers_for(normalized)
             if handlers is None:
                 return (
@@ -229,8 +315,53 @@ class ServiceAPI:
                     {"error": f"no route {method} {path}"},
                     "unknown_route",
                 )
-            status, payload = handler(body, query)
+            exempt = normalized in _EXEMPT_PATHS
+            budget = (
+                deadline_ms
+                if deadline_ms is not None
+                else self.default_deadline_ms
+            )
+            _request_ctx.idempotency_key = idempotency_key
+            try:
+                with self.admission.admit(exempt=exempt):
+                    with deadline_scope(None if exempt else budget):
+                        status, payload = handler(body, query)
+            finally:
+                _request_ctx.idempotency_key = None
             return status, payload, None
+        except DeadlineExceededError as exc:
+            # No retry_after: resending the same budget would burn it
+            # again, so the client must decide, not blindly retry.
+            obs.deadline_exceeded()
+            return (
+                503,
+                {"error": str(exc), "kind": "deadline_exceeded"},
+                "deadline_exceeded",
+            )
+        except OverloadedError as exc:
+            obs.shed("overloaded")
+            return (
+                503,
+                {
+                    "error": str(exc),
+                    "kind": "overloaded",
+                    "retry_after": exc.retry_after,
+                },
+                "overloaded",
+            )
+        except DrainingError as exc:
+            obs.shed("draining")
+            return (
+                503,
+                {
+                    "error": str(exc),
+                    "kind": "draining",
+                    "retry_after": exc.retry_after,
+                },
+                "draining",
+            )
+        except ChaosError as exc:
+            return 500, {"error": str(exc)}, "chaos_injected"
         except SessionNotFoundError as exc:
             return 404, {"error": str(exc)}, "unknown_session"
         except UnknownDatasetError as exc:
@@ -296,6 +427,7 @@ class ServiceAPI:
             "/metrics": {"GET": self._metrics},
             "/metrics/history": {"GET": self._metrics_history},
             "/profile": {"GET": self._profile},
+            "/admin/drain": {"POST": self._admin_drain},
             "/sessions": {
                 "GET": self._list_sessions,
                 "POST": self._create_session,
@@ -346,7 +478,51 @@ class ServiceAPI:
         return 200, {"objectives": registry.describe()}
 
     def _stats(self, body: dict, query: dict) -> tuple[int, dict]:
-        return 200, self.manager.stats()
+        stats = self.manager.stats()
+        stats["admission"] = self.admission.stats()
+        registry_state = chaos.active_chaos()
+        if registry_state is not None:
+            stats["chaos"] = registry_state.stats()
+        return 200, stats
+
+    def _admin_drain(self, body: dict, query: dict) -> tuple[int, dict]:
+        """Begin graceful drain; answers ``202`` immediately.
+
+        The drain itself — wait for in-flight work, checkpoint every
+        session, fire the shutdown hook — runs on a background thread so
+        this response can still get out.  A repeat call while draining
+        answers ``202`` with ``"initiated": false``.
+        """
+        budget = body.get("budget_seconds", self.drain_budget)
+        budget = float(budget)
+        if budget < 0:
+            raise ValueError(f"budget_seconds must be >= 0, got {budget}")
+        initiated = self.admission.begin_drain()
+        if initiated:
+            worker = threading.Thread(
+                target=self._run_drain_background,
+                args=(budget,),
+                name="repro-drain",
+                daemon=True,
+            )
+            worker.start()
+        return 202, {
+            "draining": True,
+            "initiated": initiated,
+            "budget_seconds": budget,
+        }
+
+    def _run_drain_background(self, budget: float) -> None:
+        report = run_drain(
+            self.admission,
+            self.manager,
+            budget_seconds=budget,
+            shutdown=self.shutdown_hook,
+        )
+        self.last_drain = report
+        state = obs.active()
+        if state is not None and state.events is not None:
+            state.events.emit({"event": "drain", **report})
 
     def _metrics(self, body: dict, query: dict) -> tuple[int, dict]:
         """Metrics scrape: Prometheus text by default, ``?format=json``.
@@ -467,7 +643,8 @@ class ServiceAPI:
 
     def _feedback(self, sid: str, body: dict, query: dict) -> tuple[int, dict]:
         batch = feedback_batch_from_payload(body.get("feedback"))
-        stats = self.manager.apply_feedback(sid, batch)
+        key = getattr(_request_ctx, "idempotency_key", None)
+        stats = self.manager.apply_feedback(sid, batch, idempotency_key=key)
         return 200, stats
 
     def _constraints(

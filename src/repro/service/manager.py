@@ -47,6 +47,7 @@ from __future__ import annotations
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Iterator, Mapping, Sequence
 
@@ -70,12 +71,18 @@ from repro.service.store import (
     validate_session_id,
 )
 from repro.store.compaction import CompactionPolicy, should_compact
+from repro.resilience import chaos
 from repro.store.recovery import (
     load_session_state,
     replay_records,
     validate_recovery_policy,
 )
 from repro.store.wal import FeedbackLogStore
+
+#: Idempotency keys remembered per session (LRU).  A retry storm only
+#: ever replays recent keys, so a small window is plenty; the bound
+#: keeps checkpoints and memory flat under adversarial key churn.
+IDEMPOTENCY_WINDOW = 256
 
 
 class UnknownDatasetError(ReproError):
@@ -103,6 +110,7 @@ class _Entry:
         "last_access",
         "wal_seq",
         "tail_records",
+        "idem",
     )
 
     def __init__(
@@ -135,6 +143,16 @@ class _Entry:
         # (what the compaction policy watches).
         self.wal_seq = 0
         self.tail_records = 0
+        # Recently applied idempotency keys (key -> applied labels), LRU
+        # bounded; persisted in checkpoints and rebuilt from the WAL tail
+        # on resume, so dedup survives eviction and crash recovery.
+        self.idem: OrderedDict[str, list[str]] = OrderedDict()
+
+    def remember_key(self, key: str, applied: list[str]) -> None:
+        self.idem[key] = list(applied)
+        self.idem.move_to_end(key)
+        while len(self.idem) > IDEMPOTENCY_WINDOW:
+            self.idem.popitem(last=False)
 
 
 class SessionManager:
@@ -230,6 +248,7 @@ class SessionManager:
         self._wal_rollbacks = 0
         self._compactions = 0
         self._replayed_batches = 0
+        self._deduplicated = 0
 
     # ------------------------------------------------------------------
     # Dataset registry
@@ -427,6 +446,20 @@ class SessionManager:
         )
         entry.wal_seq = state.wal_seq
         entry.tail_records = len(state.records)
+        # Rebuild the exactly-once dedup map: checkpointed keys first,
+        # then any keys carried by the replayed WAL tail (batches that
+        # committed after the last checkpoint — exactly the ones an
+        # ambiguous-failure retry will resend).
+        idem = payload.get("idempotency")
+        if isinstance(idem, dict):
+            for key, labels in idem.items():
+                entry.remember_key(str(key), [str(l) for l in labels or []])
+        for record in state.records:
+            if record.kind == "feedback" and record.key is not None:
+                entry.remember_key(
+                    record.key,
+                    [str(item.get("label", "")) for item in record.items],
+                )
         self._entries[session_id] = entry
         self._resumed += 1
         self._replayed_batches += len(state.records)
@@ -453,6 +486,13 @@ class SessionManager:
             "wal_seq": entry.wal_seq,
             "session": session_to_payload(entry.session),
         }
+        if entry.idem:
+            # Applied idempotency keys ride in the checkpoint so dedup
+            # survives eviction and a successor worker resuming the
+            # session — retries across a handoff stay exactly-once.
+            payload["idempotency"] = {
+                key: list(labels) for key, labels in entry.idem.items()
+            }
         if self.durable:
             pruned = self.store.checkpoint_and_prune(
                 entry.session_id, payload, entry.wal_seq
@@ -590,7 +630,10 @@ class SessionManager:
             return view, meta
 
     def apply_feedback(
-        self, session_id: str, batch: Sequence[Feedback]
+        self,
+        session_id: str,
+        batch: Sequence[Feedback],
+        idempotency_key: str | None = None,
     ) -> dict:
         """Apply a batch of typed feedback objects to one session.
 
@@ -600,17 +643,34 @@ class SessionManager:
         batch costs at most one background-model fit
         (:meth:`ExplorationSession.apply_many`).  Returns the session
         stats with the applied labels under ``"applied"``.
+
+        With an ``idempotency_key``, a batch whose key was already
+        applied is *not* re-applied: the stats carry the original labels
+        and ``"duplicate": True``.  The key rides in the write-ahead
+        record and in checkpoints, so dedup holds across eviction, crash
+        recovery, and worker handoff — the exactly-once contract a
+        client retry after an ambiguous failure depends on.
         """
         items = list(batch)
         obs.feedback_batch(len(items))
         with self._checkout(session_id) as entry, perf.timer("service_feedback"):
+            if idempotency_key is not None and idempotency_key in entry.idem:
+                entry.idem.move_to_end(idempotency_key)
+                self._deduplicated += 1
+                obs.feedback_deduplicated()
+                stats = self._stats_locked(entry)
+                stats["applied"] = list(entry.idem[idempotency_key])
+                stats["duplicate"] = True
+                return stats
             if any(isinstance(item, ViewSelectionFeedback) for item in items):
                 # apply_many will need the current view's axes, which may
                 # require a fit — route it through the cache first, exactly
                 # like a view request.
                 self._fit_with_cache(entry)
             record = self._wal_append(
-                entry, [item.to_dict() for item in items]
+                entry,
+                [item.to_dict() for item in items],
+                key=idempotency_key,
             )
             try:
                 applied = entry.session.apply_many(items)
@@ -621,16 +681,27 @@ class SessionManager:
                 self._wal_rollback(entry, record)
                 raise
             self._wal_commit(entry, record)
+            if idempotency_key is not None:
+                entry.remember_key(idempotency_key, applied)
+            # Chaos point: the batch is durable and applied but no
+            # response exists yet — the window where a worker death turns
+            # a success into an ambiguous failure the client must retry.
+            chaos.hit("manager.feedback.post_commit")
             stats = self._stats_locked(entry)
             stats["applied"] = applied
             return stats
 
-    def _wal_append(self, entry: _Entry, items: list[dict], kind="feedback"):
+    def _wal_append(
+        self, entry: _Entry, items: list[dict], kind="feedback", key=None
+    ):
         """Durably log one batch before its in-memory apply (durable only)."""
         if not self.durable:
             return None
+        chaos.hit("store.append")
         start = time.perf_counter()
-        record = self.store.append_feedback(entry.session_id, items, kind=kind)
+        record = self.store.append_feedback(
+            entry.session_id, items, kind=kind, key=key
+        )
         self._wal_appends += 1
         obs.wal_append(time.perf_counter() - start)
         return record
@@ -771,6 +842,7 @@ class SessionManager:
             "wal_rollbacks": self._wal_rollbacks,
             "compactions": self._compactions,
             "replayed_batches": self._replayed_batches,
+            "deduplicated": self._deduplicated,
             "datasets": self.dataset_names(),
             "store": type(self.store).__name__ if self.store is not None else None,
             "cache": self.cache.stats() if self.cache is not None else None,

@@ -24,7 +24,12 @@ from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro import obs
-from repro.service.api import ServiceAPI
+from repro.resilience import chaos
+from repro.service.api import (
+    DEADLINE_HEADER,
+    IDEMPOTENCY_HEADER,
+    ServiceAPI,
+)
 from repro.service.manager import SessionManager
 
 #: Default request-body ceiling.  Large enough for any realistic feedback
@@ -97,9 +102,27 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     "malformed_body",
                 )
                 return
+        deadline_ms: float | None = None
+        deadline_raw = self.headers.get(DEADLINE_HEADER)
+        if deadline_raw is not None:
+            try:
+                deadline_ms = float(deadline_raw)
+            except ValueError:
+                self._reject(
+                    state,
+                    started,
+                    method,
+                    parsed.path,
+                    400,
+                    f"invalid {DEADLINE_HEADER} header: {deadline_raw!r}",
+                    "bad_request",
+                )
+                return
         status, payload = self.server.api.dispatch(  # type: ignore[attr-defined]
             method, parsed.path, body=body, query=query,
             trace_id=self._trace_id,
+            deadline_ms=deadline_ms,
+            idempotency_key=self.headers.get(IDEMPOTENCY_HEADER),
         )
         self._respond(status, payload)
 
@@ -141,9 +164,25 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
+        if isinstance(payload, dict) and "retry_after" in payload:
+            # Shed responses (503 overloaded / draining) name a comeback
+            # time; well-behaved clients back off at least this long.
+            self.send_header("Retry-After", f"{payload['retry_after']:g}")
         if self._trace_id is not None:
             self.send_header(obs.TRACE_HEADER, self._trace_id)
         self.end_headers()
+        torn = chaos.hit("server.respond")
+        if torn is not None and torn.kind == "torn" and len(encoded) > 1:
+            # Injected torn response: write a prefix of the body and slam
+            # the connection — the client sees headers but a short read.
+            self.wfile.write(encoded[: len(encoded) // 2])
+            self.wfile.flush()
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+            return
         self.wfile.write(encoded)
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
@@ -221,13 +260,37 @@ class ReproServer(ThreadingHTTPServer):
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop serving and release the socket (idempotent).
+
+        Raises :class:`RuntimeError` if the serve thread is still alive
+        after ``join_timeout`` seconds — a hung handler is a bug worth
+        hearing about, not a silent return that pretends the server
+        stopped.  A structured ``shutdown_hang`` event is emitted first
+        (when observability is on) and the thread reference is kept so a
+        later ``stop()`` can retry the join.
+        """
         self.shutdown()
         self.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return
+        thread.join(timeout=join_timeout)
+        if thread.is_alive():
+            state = obs.active()
+            if state is not None and state.events is not None:
+                state.events.emit(
+                    {
+                        "event": "shutdown_hang",
+                        "thread": thread.name,
+                        "join_timeout_seconds": float(join_timeout),
+                    }
+                )
+            raise RuntimeError(
+                f"server thread {thread.name!r} still alive "
+                f"{join_timeout:g}s after shutdown; a handler is hung"
+            )
+        self._thread = None
 
 
 def start_background(

@@ -276,10 +276,16 @@ class SQLiteStore(SessionStore, FeedbackLogStore):
         items: list[dict],
         kind: str = "feedback",
         ref: int | None = None,
+        key: str | None = None,
     ) -> WalRecord:
         validate_session_id(session_id)
         items = list(items)
-        encoded = self._encode({"items": items})
+        # The idempotency key rides inside the items JSON column, so the
+        # schema needs no migration and keyless rows stay byte-identical.
+        body = {"items": items}
+        if key is not None:
+            body["key"] = key
+        encoded = self._encode(body)
         conn = self._conn()
         try:
             # BEGIN IMMEDIATE takes the write lock up front, so the
@@ -298,7 +304,7 @@ class SQLiteStore(SessionStore, FeedbackLogStore):
                 (session_id,),
             ).fetchone()
             seq = int(row[0]) + 1
-            record = WalRecord.make(session_id, seq, kind, items, ref)
+            record = WalRecord.make(session_id, seq, kind, items, ref, key)
             conn.execute(
                 "INSERT INTO wal "
                 "(session_id, seq, kind, items, ref, checksum, created_at) "
@@ -344,7 +350,8 @@ class SQLiteStore(SessionStore, FeedbackLogStore):
         records: list[WalRecord] = []
         for seq, kind, encoded, ref, checksum in rows:
             try:
-                items = json.loads(encoded)["items"]
+                body = json.loads(encoded)
+                items = body["items"]
             except (json.JSONDecodeError, KeyError, TypeError):
                 return records, (
                     f"unreadable WAL record {session_id!r}#{seq} in "
@@ -358,6 +365,7 @@ class SQLiteStore(SessionStore, FeedbackLogStore):
                     items=list(items),
                     ref=ref if ref is None else int(ref),
                     checksum=str(checksum),
+                    key=body.get("key"),
                 )
             )
         return records, None

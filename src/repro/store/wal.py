@@ -87,23 +87,31 @@ def record_checksum(
     kind: str,
     items: list[dict],
     ref: int | None = None,
+    key: str | None = None,
 ) -> str:
     """Content hash of one WAL record (everything except the hash itself).
 
     Canonical JSON (sorted keys, no whitespace) so the checksum is stable
-    across writers and Python versions.
+    across writers and Python versions.  The idempotency ``key`` enters
+    the hash only when present, so every record written before keys
+    existed still verifies.
     """
-    blob = json.dumps(
-        [session_id, int(seq), kind, items, ref],
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    fields = [session_id, int(seq), kind, items, ref]
+    if key is not None:
+        fields.append(key)
+    blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One durable log entry: a feedback batch, an undo, or an abort."""
+    """One durable log entry: a feedback batch, an undo, or an abort.
+
+    ``key`` is the client-supplied idempotency key of a feedback batch
+    (``None`` for undo/abort/prune and for keyless clients); it rides in
+    the log so recovery can rebuild the dedup map and refuse to replay a
+    batch the session already holds.
+    """
 
     session_id: str
     seq: int
@@ -111,6 +119,7 @@ class WalRecord:
     items: list[dict] = field(default_factory=list)
     ref: int | None = None
     checksum: str = ""
+    key: str | None = None
 
     @classmethod
     def make(
@@ -120,6 +129,7 @@ class WalRecord:
         kind: str = "feedback",
         items: list[dict] | None = None,
         ref: int | None = None,
+        key: str | None = None,
     ) -> "WalRecord":
         items = list(items) if items else []
         return cls(
@@ -128,28 +138,29 @@ class WalRecord:
             kind=kind,
             items=items,
             ref=ref,
-            checksum=record_checksum(session_id, seq, kind, items, ref),
+            checksum=record_checksum(session_id, seq, kind, items, ref, key),
+            key=key,
         )
 
     def verify(self) -> bool:
         """True when the stored checksum matches the record content."""
         return self.checksum == record_checksum(
-            self.session_id, self.seq, self.kind, self.items, self.ref
+            self.session_id, self.seq, self.kind, self.items, self.ref, self.key
         )
 
     def to_json_line(self) -> str:
         """One JSONL line (no trailing newline)."""
-        return json.dumps(
-            {
-                "sid": self.session_id,
-                "seq": self.seq,
-                "kind": self.kind,
-                "items": self.items,
-                "ref": self.ref,
-                "sum": self.checksum,
-            },
-            separators=(",", ":"),
-        )
+        payload = {
+            "sid": self.session_id,
+            "seq": self.seq,
+            "kind": self.kind,
+            "items": self.items,
+            "ref": self.ref,
+            "sum": self.checksum,
+        }
+        if self.key is not None:
+            payload["key"] = self.key
+        return json.dumps(payload, separators=(",", ":"))
 
     @classmethod
     def from_json_line(cls, line: str) -> "WalRecord":
@@ -163,6 +174,7 @@ class WalRecord:
                 items=list(raw.get("items") or []),
                 ref=raw.get("ref"),
                 checksum=str(raw.get("sum", "")),
+                key=raw.get("key"),
             )
         except (ValueError, TypeError, KeyError) as exc:
             raise StoreError(f"malformed WAL record: {exc}") from exc
@@ -199,12 +211,14 @@ class FeedbackLogStore(ABC):
         items: list[dict],
         kind: str = "feedback",
         ref: int | None = None,
+        key: str | None = None,
     ) -> WalRecord:
         """Durably append one batch; returns the record with its seq.
 
         Sequence numbers are per-session, monotonic, and contiguous; the
         append must be durable (per the store's fsync policy) before this
         returns — the caller commits the in-memory apply only afterwards.
+        ``key`` is the batch's idempotency key, logged for dedup replay.
         """
 
     @abstractmethod
@@ -386,12 +400,13 @@ class JsonlWal:
         items: list[dict],
         kind: str = "feedback",
         ref: int | None = None,
+        key: str | None = None,
     ) -> WalRecord:
         validate_session_id(session_id)
         with self._lock:
             self._refuse_if_damaged()
             seq = self._last_seq.get(session_id, 0) + 1
-            record = WalRecord.make(session_id, seq, kind, items, ref)
+            record = WalRecord.make(session_id, seq, kind, items, ref, key)
             line = record.to_json_line() + "\n"
             try:
                 with open(self.path, "ab") as fh:
@@ -541,8 +556,9 @@ class WalDirectoryStore(DirectoryStore, FeedbackLogStore):
         items: list[dict],
         kind: str = "feedback",
         ref: int | None = None,
+        key: str | None = None,
     ) -> WalRecord:
-        return self.wal.append(session_id, items, kind=kind, ref=ref)
+        return self.wal.append(session_id, items, kind=kind, ref=ref, key=key)
 
     def rollback_feedback(self, session_id: str, seq: int) -> None:
         self.wal.rollback(session_id, seq)
