@@ -259,6 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed for --chaos fault draws (reproducible fault trains)",
     )
+    loadgen.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="without --url: run the temporary server sharded over N "
+        "worker processes (sticky session routing over a shared "
+        "temporary sqlite store)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -273,7 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite",
         default="all",
         choices=("all", "core_solver", "projection", "store", "obs",
-                 "resilience"),
+                 "resilience", "service"),
         help="which kernel suite to run (default: all)",
     )
     bench.add_argument(
@@ -300,6 +309,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="run the HTTP session service")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the service over N worker processes behind a sticky "
+        "session router (default: 1 = single process); pair with --store "
+        "for rebalancing of a dead worker's sessions onto survivors",
+    )
+    serve.add_argument(
+        "--l2-cache",
+        default=None,
+        metavar="PATH",
+        help="SQLite file for the shared cross-process solve-cache tier "
+        "(default with --workers > 1: a temporary file all workers "
+        "share; single-process: no L2)",
+    )
     serve.add_argument(
         "--store",
         default=None,
@@ -784,6 +810,7 @@ def cmd_loadgen(
     deadline_ms: float | None = None,
     chaos_spec: str | None = None,
     chaos_seed: int | None = None,
+    serve_workers: int = 1,
 ) -> int:
     """Policy-driven concurrent workload against a (possibly temp) server."""
     from repro.explore import (
@@ -810,7 +837,42 @@ def cmd_loadgen(
             file=sys.stderr,
         )
     server = None
-    if url is None:
+    router = None
+    if url is None and serve_workers > 1:
+        import os
+        import tempfile
+
+        from repro.service import ReproServer
+        from repro.service.router import ProcessWorker, Router, WorkerPool
+        from repro.service.worker import WorkerConfig
+
+        runtime_dir = tempfile.mkdtemp(prefix="repro-loadgen-shard-")
+        store_url = f"sqlite:{os.path.join(runtime_dir, 'store.db')}"
+        l2_path = os.path.join(runtime_dir, "solve-cache.db")
+
+        def _factory(worker_id: int) -> ProcessWorker:
+            return ProcessWorker(
+                WorkerConfig(
+                    worker_id=worker_id,
+                    socket_path=os.path.join(
+                        runtime_dir, f"worker-{worker_id}.sock"
+                    ),
+                    store_url=store_url,
+                    l2_cache_path=l2_path,
+                    obs=obs_enabled,
+                )
+            )
+
+        print(f"starting temporary sharded service ({serve_workers} workers) ...")
+        router = Router(
+            WorkerPool(serve_workers, _factory),
+            shared_store=True,
+            dataset_names=sorted(DATASETS),
+        )
+        server = ReproServer(router, port=0).start_background()
+        url = server.base_url
+        print(f"started temporary sharded service on {url}")
+    elif url is None:
         from repro.service import SessionManager, start_background
 
         server = start_background(SessionManager(DATASETS))
@@ -843,6 +905,8 @@ def cmd_loadgen(
     finally:
         if server is not None:
             server.stop()
+        if router is not None:
+            router.close()
         if configured_obs:
             from repro import obs as obs_module
 
@@ -916,6 +980,8 @@ def cmd_serve(
     default_deadline_ms: float | None = None,
     max_inflight: int | None = None,
     drain_budget: float | None = None,
+    workers: int = 1,
+    l2_cache: str | None = None,
 ) -> int:
     import os
     import signal
@@ -934,6 +1000,7 @@ def cmd_serve(
         SolveCache,
         serve,
     )
+    from repro.service.cache import L2SolveCache
     from repro.service.store import StoreError
 
     if drain_budget is None:
@@ -944,6 +1011,27 @@ def cmd_serve(
         return 2
     if store_url is None and store_dir is not None:
         store_url = f"dir:{store_dir}"
+    if workers < 1:
+        print(f"--workers must be >= 1, got {workers}", file=sys.stderr)
+        return 2
+    if workers > 1:
+        return _cmd_serve_sharded(
+            host=host,
+            port=port,
+            workers=workers,
+            store_url=store_url,
+            fsync=fsync,
+            max_sessions=max_sessions,
+            ttl=ttl,
+            cache_size=cache_size,
+            l2_cache=l2_cache,
+            obs_enabled=obs_enabled,
+            obs_log=obs_log,
+            slow_ms=slow_ms,
+            default_deadline_ms=default_deadline_ms,
+            max_inflight=max_inflight,
+            drain_budget=drain_budget,
+        )
     store = None
     if store_url is not None:
         from repro.store import store_from_url
@@ -978,10 +1066,14 @@ def cmd_serve(
 
         obs_module.start_profiler(interval=1.0 / profile_hz)
     chaos_registry = chaos_module.configure_from_env(os.environ)
+    cache = None
+    if cache_size > 0:
+        l2 = L2SolveCache(l2_cache) if l2_cache else None
+        cache = SolveCache(max_entries=cache_size, l2=l2)
     manager = SessionManager(
         DATASETS,
         store=store,
-        cache=SolveCache(max_entries=cache_size) if cache_size > 0 else None,
+        cache=cache,
         max_sessions=max_sessions,
         ttl_seconds=ttl,
     )
@@ -1060,6 +1152,144 @@ def cmd_serve(
         previous = None  # not the main thread (embedded use); no handler
     try:
         serve(server, on_shutdown=checkpoint_on_shutdown)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def _cmd_serve_sharded(
+    host: str,
+    port: int,
+    workers: int,
+    store_url: str | None,
+    fsync: str,
+    max_sessions: int,
+    ttl: float | None,
+    cache_size: int,
+    l2_cache: str | None,
+    obs_enabled: bool,
+    obs_log: str | None,
+    slow_ms: float,
+    default_deadline_ms: float | None,
+    max_inflight: int | None,
+    drain_budget: float,
+) -> int:
+    """``repro serve --workers N``: router front-end + worker processes."""
+    import os
+    import signal
+    import tempfile
+    import threading
+
+    from repro.resilience.admission import AdmissionController
+    from repro.service import ReproServer, serve
+    from repro.service.router import ProcessWorker, Router, WorkerPool
+    from repro.service.store import StoreError
+    from repro.service.worker import WorkerConfig
+
+    if store_url is not None:
+        # Validate the URL here, where the error message is readable —
+        # workers opening a broken store would only report "never ready".
+        from repro.store import store_from_url
+
+        try:
+            store_from_url(store_url, fsync=fsync).close()
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    shared_store = store_url is not None
+    runtime_dir = tempfile.mkdtemp(prefix="repro-shard-")
+    if cache_size > 0 and l2_cache is None:
+        l2_cache = os.path.join(runtime_dir, "solve-cache.db")
+
+    if obs_enabled or obs_log is not None:
+        # Router-side observability: shed counters and the merge source
+        # label; each worker configures its own registry (WorkerConfig).
+        from repro import obs as obs_module
+
+        obs_module.configure(slow_ms=slow_ms)
+
+    def factory(worker_id: int) -> ProcessWorker:
+        return ProcessWorker(
+            WorkerConfig(
+                worker_id=worker_id,
+                socket_path=os.path.join(
+                    runtime_dir, f"worker-{worker_id}.sock"
+                ),
+                store_url=store_url,
+                fsync=fsync,
+                cache_size=cache_size,
+                l2_cache_path=l2_cache if cache_size > 0 else None,
+                max_sessions=max_sessions,
+                ttl_seconds=ttl,
+                default_deadline_ms=default_deadline_ms,
+                obs=obs_enabled or obs_log is not None,
+                obs_log=(
+                    f"{obs_log}.worker{worker_id}" if obs_log else None
+                ),
+                slow_ms=slow_ms,
+            )
+        )
+
+    print(f"starting {workers} worker process(es) ...")
+    try:
+        pool = WorkerPool(workers, factory)
+    except Exception as exc:  # noqa: BLE001 — report and exit cleanly
+        print(f"failed to start worker pool: {exc}", file=sys.stderr)
+        return 2
+    router = Router(
+        pool,
+        shared_store=shared_store,
+        admission=AdmissionController(max_inflight=max_inflight),
+        drain_budget=drain_budget,
+        dataset_names=sorted(DATASETS),
+    )
+    server = ReproServer(router, host=host, port=port, quiet=False)
+    # POST /v1/admin/drain stops the serve loop once the fleet drains.
+    router.shutdown_hook = server.shutdown
+    actual_port = server.server_address[1]
+    print(f"repro sharded service on http://{host}:{actual_port}")
+    print(
+        f"workers: {workers} (sticky session routing, "
+        + (
+            "rebalance + recovery on worker death"
+            if shared_store
+            else "static ring — no shared store, sessions die with "
+            "their worker"
+        )
+        + ")"
+    )
+    if store_url is not None:
+        print(f"store: {store_url} (shared, fsync={fsync})")
+    if cache_size > 0 and l2_cache:
+        print(
+            f"solve cache: L1 {cache_size} entries/worker + shared L2 "
+            f"at {l2_cache}"
+        )
+
+    def drain_in_background() -> None:
+        report = router.drain(drain_budget)
+        print(
+            f"drained: {report['checkpointed']} session(s) checkpointed "
+            f"across {len(report['workers'])} worker(s), "
+            f"{report['abandoned_inflight']} request(s) abandoned, "
+            f"{report['elapsed_seconds']:.2f}s elapsed"
+        )
+        server.shutdown()
+
+    def handle_sigterm(signum, frame) -> None:
+        print(f"SIGTERM: draining fleet (budget {drain_budget:g}s) ...")
+        threading.Thread(
+            target=drain_in_background, name="repro-sigterm-drain",
+            daemon=True,
+        ).start()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, handle_sigterm)
+    except ValueError:
+        previous = None  # not the main thread (embedded use)
+    try:
+        serve(server, on_shutdown=router.close)
     finally:
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
@@ -1417,6 +1647,7 @@ def main(argv: list[str] | None = None) -> int:
             args.deadline_ms,
             args.chaos,
             args.chaos_seed,
+            args.serve_workers,
         )
     if args.command == "bench":
         return cmd_bench(
@@ -1449,6 +1680,8 @@ def main(argv: list[str] | None = None) -> int:
             args.default_deadline_ms,
             args.max_inflight,
             args.drain_budget,
+            args.workers,
+            args.l2_cache,
         )
     if args.command == "store":
         return cmd_store(

@@ -53,6 +53,7 @@ from repro.resilience.deadline import (
 from repro.resilience.drain import run_drain
 from repro.resilience.retry import (
     BREAKER_STATES,
+    MAX_TRACKED_BREAKERS,
     BreakerOpen,
     CircuitBreaker,
     RetryDecision,
@@ -61,6 +62,7 @@ from repro.resilience.retry import (
     breaker_for,
     classify,
     reset_breakers,
+    tracked_breaker_count,
 )
 
 __all__ = [
@@ -74,6 +76,7 @@ __all__ = [
     "DeadlineExceededError",
     "DrainingError",
     "FaultSpec",
+    "MAX_TRACKED_BREAKERS",
     "OverloadedError",
     "RetryDecision",
     "RetryPolicy",
@@ -89,4 +92,5 @@ __all__ = [
     "hit",
     "reset_breakers",
     "run_drain",
+    "tracked_breaker_count",
 ]

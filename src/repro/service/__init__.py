@@ -13,6 +13,10 @@ Layering (each stratum usable on its own):
              versioned under ``/v1`` (legacy unversioned aliases kept)
 ``server``   :class:`ReproServer` — ``ThreadingHTTPServer`` front-end
 ``client``   :class:`ServiceClient` — urllib-based Python client
+``rpc``      length-prefixed JSON frames over Unix sockets (shard link)
+``worker``   :class:`WorkerRuntime` — one shard's service stack over RPC
+``router``   :class:`Router` — sticky-session front-end over a
+             :class:`WorkerPool` (``repro serve --workers N``)
 
 The ``/v1`` API speaks the unified vocabularies end-to-end: view
 objectives come from :mod:`repro.projection.registry`
@@ -34,14 +38,22 @@ Or from the command line: ``repro serve --port 8000``.
 """
 
 from repro.service.api import API_VERSION, ServiceAPI, view_to_dict
-from repro.service.cache import SolveCache, solve_key
+from repro.service.cache import L2SolveCache, SolveCache, solve_key
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.manager import (
     SessionExistsError,
     SessionManager,
     UnknownDatasetError,
 )
+from repro.service.router import (
+    HashRing,
+    InProcessWorker,
+    ProcessWorker,
+    Router,
+    WorkerPool,
+)
 from repro.service.server import ReproServer, serve, start_background
+from repro.service.worker import WorkerConfig, WorkerRuntime
 from repro.service.store import (
     DirectoryStore,
     InvalidSessionIdError,
@@ -54,9 +66,14 @@ from repro.service.store import (
 __all__ = [
     "API_VERSION",
     "DirectoryStore",
+    "HashRing",
+    "InProcessWorker",
     "InvalidSessionIdError",
+    "L2SolveCache",
     "MemoryStore",
+    "ProcessWorker",
     "ReproServer",
+    "Router",
     "ServiceAPI",
     "ServiceClient",
     "ServiceClientError",
@@ -67,6 +84,9 @@ __all__ = [
     "SolveCache",
     "StoreError",
     "UnknownDatasetError",
+    "WorkerConfig",
+    "WorkerPool",
+    "WorkerRuntime",
     "serve",
     "solve_key",
     "start_background",

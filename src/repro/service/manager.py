@@ -249,6 +249,7 @@ class SessionManager:
         self._compactions = 0
         self._replayed_batches = 0
         self._deduplicated = 0
+        self._released = 0
 
     # ------------------------------------------------------------------
     # Dataset registry
@@ -382,6 +383,58 @@ class SessionManager:
                 removed = True
             self.store.delete(session_id)
         return removed
+
+    def release(
+        self,
+        session_id: str,
+        *,
+        checkpoint: bool | None = None,
+        wait_seconds: float = 2.0,
+    ) -> bool:
+        """Drop one session from memory so another process can own it.
+
+        The ownership-handoff primitive of the sharded service: when the
+        front-end reroutes a session to a different worker (rebalance
+        after a crash, a worker rejoining the ring), it first tells the
+        previous owner to ``release`` — otherwise a stale in-memory copy
+        could later be evicted and checkpoint *old* state over the new
+        owner's progress.
+
+        ``checkpoint=None`` (default) persists the session first only on
+        a plain (non-durable) store; on a durable store every committed
+        mutation is already in the write-ahead log, so the successor's
+        checkpoint+tail recovery reproduces the state without a fold
+        here.  Returns False — and keeps the session — when the session
+        is still pinned by in-flight requests after ``wait_seconds`` or
+        when a required checkpoint fails; the caller may retry.
+        """
+        with self._lock:
+            entry = self._entries.get(session_id)
+        if entry is None:
+            return True  # nothing in memory: already safe to re-own
+        deadline = self._clock() + max(wait_seconds, 0.0)
+        with entry.lock:  # serialise with any request mid-flight on it
+            do_checkpoint = (
+                checkpoint
+                if checkpoint is not None
+                else (self.store is not None and not self.durable)
+            )
+            if do_checkpoint and self.store is not None:
+                try:
+                    self._checkpoint_entry(entry)
+                except StoreError:
+                    return False  # dropping now would lose state
+            while True:
+                with self._lock:
+                    if self._entries.get(session_id) is not entry:
+                        return True  # deleted/re-owned underneath us
+                    if entry.pins == 0:
+                        del self._entries[session_id]
+                        self._released += 1
+                        return True
+                if self._clock() >= deadline:
+                    return False  # a request is still queued on it
+                time.sleep(0.01)
 
     @contextmanager
     def _checkout(self, session_id: str) -> Iterator[_Entry]:
@@ -843,6 +896,7 @@ class SessionManager:
             "compactions": self._compactions,
             "replayed_batches": self._replayed_batches,
             "deduplicated": self._deduplicated,
+            "released": self._released,
             "datasets": self.dataset_names(),
             "store": type(self.store).__name__ if self.store is not None else None,
             "cache": self.cache.stats() if self.cache is not None else None,

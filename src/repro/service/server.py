@@ -238,6 +238,13 @@ class ReproServer(ThreadingHTTPServer):
     ) -> None:
         if isinstance(api, SessionManager):
             api = ServiceAPI(api)
+        # Anything with a dispatch(method, path, ...) surface serves —
+        # ServiceAPI directly, or the sharded Router front-end.
+        if not callable(getattr(api, "dispatch", None)):
+            raise TypeError(
+                "api must be a SessionManager or expose "
+                f"dispatch(method, path, ...); got {type(api).__name__}"
+            )
         self.api = api
         self.quiet = quiet
         self.max_body_bytes = max_body_bytes

@@ -23,6 +23,7 @@ processes.  Concretely:
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import threading
 import time
@@ -123,10 +124,22 @@ class SQLiteStore(SessionStore, FeedbackLogStore):
     # ------------------------------------------------------------------
 
     def _conn(self) -> sqlite3.Connection:
-        """This thread's connection (one per thread; SQLite requirement)."""
+        """This thread's connection (one per thread; SQLite requirement).
+
+        Keyed on PID as well as thread: a connection inherited across
+        ``fork()`` shares the parent's file descriptor and lock state,
+        and using — or even closing — it from the child can corrupt the
+        parent's session.  On a PID change the stale handle is dropped
+        without ``close()`` and a fresh connection opened.  (Workers of
+        the sharded service are ``spawn``\\ ed and never hit this path;
+        the guard covers user code that forks around a live store.)
+        """
+        pid = os.getpid()
         conn = getattr(self._local, "conn", None)
         if conn is not None:
-            return conn
+            if getattr(self._local, "pid", None) == pid:
+                return conn
+            self._local.conn = None  # forked: drop, never close
         try:
             conn = sqlite3.connect(
                 self.path,
@@ -144,6 +157,7 @@ class SQLiteStore(SessionStore, FeedbackLogStore):
                 f"cannot open session database {self.path}: {exc}"
             ) from exc
         self._local.conn = conn
+        self._local.pid = pid
         return conn
 
     def _ensure_schema(self, conn: sqlite3.Connection) -> None:
@@ -184,7 +198,10 @@ class SQLiteStore(SessionStore, FeedbackLogStore):
         """Close this thread's connection (other threads' stay open)."""
         conn = getattr(self._local, "conn", None)
         if conn is not None:
-            conn.close()
+            if getattr(self._local, "pid", None) == os.getpid():
+                conn.close()
+            # else: inherited across fork — dropping the reference is the
+            # only safe disposal (closing would release the parent's locks)
             self._local.conn = None
 
     def _execute(self, sql: str, params: tuple = ()):

@@ -193,3 +193,47 @@ class TestSchema:
         path.write_bytes(b"this is not a sqlite database at all")
         with pytest.raises(StoreError):
             SQLiteStore(path)
+
+
+class TestForkSafety:
+    """A connection inherited across fork() must be dropped, never reused.
+
+    Simulated by monkeypatching the PID the store sees: touching (or
+    closing) the parent's handle from a "child" would release the
+    parent's locks mid-transaction, so on a PID change the store must
+    open a fresh connection and leave the inherited one strictly alone.
+    """
+
+    def test_pid_change_reopens_the_connection(self, store, monkeypatch):
+        import repro.store.sqlite as sqlite_module
+
+        store.put("a", {"v": 1})
+        parent_conn = store._conn()
+        assert store._conn() is parent_conn  # cached within one process
+
+        monkeypatch.setattr(sqlite_module.os, "getpid", lambda: -1)
+        child_conn = store._conn()
+        assert child_conn is not parent_conn
+        # The store still works through the fresh handle.
+        assert store.get("a") == {"v": 1}
+        store.put("b", {"v": 2})
+        # The inherited handle was dropped without close(): it is still
+        # usable, exactly as the parent process would need it to be.
+        assert parent_conn.execute("SELECT 1").fetchone() == (1,)
+        child_conn.close()
+
+    def test_close_in_child_leaves_parent_handle_open(
+        self, store, monkeypatch
+    ):
+        import repro.store.sqlite as sqlite_module
+
+        store.put("a", {"v": 1})
+        parent_conn = store._conn()
+
+        monkeypatch.setattr(sqlite_module.os, "getpid", lambda: -1)
+        store.close()  # "child" closing the store it inherited
+        assert parent_conn.execute("SELECT 1").fetchone() == (1,)
+
+        monkeypatch.undo()
+        # Back in the "parent": the store reopens lazily and still works.
+        assert store.get("a") == {"v": 1}
